@@ -1,0 +1,64 @@
+// Ablation: coordination-protocol overhead — quantifying the paper's
+// "lightweight protocol" claim.  Every remote call in the simulator crosses
+// the real wire encoding (loopback peers), so round-trips and bytes are the
+// actual protocol traffic a deployment would see.
+#include <iostream>
+
+#include "common.h"
+#include "workload/pairing.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+int main() {
+  print_header("Ablation", "coordination protocol traffic (one month)");
+
+  Table t({"case", "paired jobs", "round trips", "req bytes", "resp bytes",
+           "RTs / paired job", "bytes / paired job"});
+
+  struct Case {
+    const char* label;
+    double proportion;
+    SchemeCombo combo;
+  };
+  for (const Case& c :
+       {Case{"5% paired, HH", 0.05, kHH}, Case{"5% paired, YY", 0.05, kYY},
+        Case{"20% paired, HH", 0.20, kHH},
+        Case{"33% paired, HH", 0.33, kHH},
+        Case{"33% paired, YY", 0.33, kYY}}) {
+    CoupledWorkload w = make_proportion_workload(c.proportion, 3);
+    auto specs = make_coupled_specs("intrepid", 40960, "eureka", 100,
+                                    c.combo, true);
+    for (auto& s : specs) s.policy = "wfp";
+    CoupledSim sim(specs, {w.intrepid, w.eureka});
+    const SimResult r = sim.run(24 * 30 * kDay);
+    if (!r.completed) {
+      std::cerr << "case stalled: " << c.label << "\n";
+      return 1;
+    }
+    const auto stats = sim.protocol_stats();
+    const std::size_t paired =
+        r.systems[0].paired_jobs + r.systems[1].paired_jobs;
+    const double per_job =
+        paired ? static_cast<double>(stats.calls) /
+                     static_cast<double>(paired)
+               : 0.0;
+    const double bytes_per_job =
+        paired ? static_cast<double>(stats.request_bytes +
+                                     stats.response_bytes) /
+                     static_cast<double>(paired)
+               : 0.0;
+    t.add_row({c.label, format_count(static_cast<long long>(paired)),
+               format_count(static_cast<long long>(stats.calls)),
+               format_count(static_cast<long long>(stats.request_bytes)),
+               format_count(static_cast<long long>(stats.response_bytes)),
+               format_double(per_job, 1), format_double(bytes_per_job, 1)});
+  }
+
+  t.print(std::cout);
+  maybe_export_csv("ablation_protocol", t);
+  std::cout << "\nExpectation: traffic scales with the paired share; even at"
+               " 33% pairing the month's\ncoordination traffic is a few"
+               " MB — negligible beside any scheduler's RPC load.\n";
+  return 0;
+}

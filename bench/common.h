@@ -1,0 +1,93 @@
+// Shared machinery for the figure-reproduction benches.
+//
+// Experiment design follows the paper's §V-A/§V-D/§V-E:
+//  * Intrepid: 40,960 nodes, one month, 9,219 jobs, WFP + backfilling.
+//  * Eureka: 100 nodes, WFP + backfilling.
+//  * Load experiments (Figs. 3-6): Intrepid trace fixed, Eureka offered load
+//    in {0.25, 0.50, 0.75}; jobs paired by 2-minute submit proximity, then
+//    thinned to the paper's 5-10% paired share (we target 7.5%).
+//  * Proportion experiments (Figs. 7-10): Eureka trace with the same job
+//    count and span as Intrepid, offered load 0.5; paired proportion in
+//    {2.5, 5, 10, 20, 33}%.
+//  * Hold-release period 20 minutes; each case averaged over
+//    COSCHED_BENCH_RUNS seeds (default 3; the paper used 10).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coupled_sim.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace cosched::bench {
+
+inline constexpr double kEurekaLoads[] = {0.25, 0.50, 0.75};
+inline constexpr double kPairedProportions[] = {0.025, 0.05, 0.10, 0.20,
+                                                0.33};
+
+/// Number of repetitions per case: COSCHED_BENCH_RUNS (default 3).
+int runs();
+
+/// Workload size multiplier: COSCHED_BENCH_SCALE scales the job counts /
+/// span down for quick smoke runs (default 1.0 = paper scale).
+double scale();
+
+struct CoupledWorkload {
+  Trace intrepid;
+  Trace eureka;
+  double paired_fraction = 0.0;
+};
+
+/// Figs. 3-6 workload (Eureka load on the x-axis).
+CoupledWorkload make_load_workload(double eureka_load, std::uint64_t seed);
+
+/// Figs. 7-10 workload (paired proportion on the x-axis).
+CoupledWorkload make_proportion_workload(double proportion,
+                                         std::uint64_t seed);
+
+struct CaseMetrics {
+  SystemMetrics intrepid;
+  SystemMetrics eureka;
+  PairStartStats pairs;
+  bool completed = false;
+};
+
+/// Runs one coupled simulation.  `enabled` false gives the paper's "base"
+/// series.  Throws if the simulation stalls past its guard time.
+CaseMetrics run_case(const CoupledWorkload& w, SchemeCombo combo,
+                     bool enabled, const CoschedConfig& tweak = {});
+
+/// Mean of a metric over `runs()` seeds of the same case.
+struct Series {
+  RunningStats intrepid_wait, eureka_wait;
+  RunningStats intrepid_slow, eureka_slow;
+  RunningStats intrepid_sync, eureka_sync;
+  RunningStats intrepid_loss_nh, eureka_loss_nh;
+  RunningStats intrepid_loss_frac, eureka_loss_frac;
+  RunningStats paired_fraction;
+  std::size_t pairs_total = 0;
+  std::size_t pairs_synced = 0;
+
+  void add(const CaseMetrics& m, double paired_frac);
+};
+
+/// Runs a full case across seeds and aggregates.
+Series run_series(bool by_load, double x, SchemeCombo combo, bool enabled,
+                  const CoschedConfig& tweak = {});
+
+/// Standard preamble: experiment title + configuration echo.
+void print_header(const std::string& figure, const std::string& what);
+
+/// When COSCHED_BENCH_CSV_DIR is set, opens <dir>/<name>.csv for the
+/// figure's series; returns nullptr otherwise.
+std::unique_ptr<CsvWriter> bench_csv(const std::string& name);
+
+/// Writes the table as <name>.csv if COSCHED_BENCH_CSV_DIR is set.
+void maybe_export_csv(const std::string& name, const Table& table);
+
+}  // namespace cosched::bench

@@ -1,0 +1,50 @@
+// Figure 3: average waiting time (Intrepid and Eureka) under Eureka system
+// loads {0.25, 0.50, 0.75}, schemes HH/HY/YH/YY, vs the no-coscheduling base.
+#include <iostream>
+
+#include "common.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+int main() {
+  print_header("Figure 3", "scheduling performance (avg. wait) by Eureka load");
+
+  Table intrepid({"eureka load", "scheme", "avg wait (min)", "base (min)",
+                  "difference"});
+  Table eureka({"eureka load", "scheme", "avg wait (min)", "base (min)",
+                "difference"});
+
+  for (double load : kEurekaLoads) {
+    // One base per load (coscheduling off), as in the paper's per-group
+    // baselines.
+    const Series base = run_series(/*by_load=*/true, load, kHH,
+                                   /*enabled=*/false);
+    for (const SchemeCombo& combo : kAllCombos) {
+      const Series s = run_series(true, load, combo, true);
+      intrepid.add_row({format_double(load, 2), combo.label,
+                        format_double(s.intrepid_wait.mean()),
+                        format_double(base.intrepid_wait.mean()),
+                        format_double(s.intrepid_wait.mean() -
+                                      base.intrepid_wait.mean())});
+      eureka.add_row({format_double(load, 2), combo.label,
+                      format_double(s.eureka_wait.mean()),
+                      format_double(base.eureka_wait.mean()),
+                      format_double(s.eureka_wait.mean() -
+                                    base.eureka_wait.mean())});
+    }
+    intrepid.add_separator();
+    eureka.add_separator();
+  }
+
+  std::cout << "\n(a) Intrepid avg. wait\n";
+  intrepid.print(std::cout);
+  maybe_export_csv("fig3_intrepid_wait", intrepid);
+  std::cout << "\n(b) Eureka avg. wait\n";
+  eureka.print(std::cout);
+  maybe_export_csv("fig3_eureka_wait", eureka);
+  std::cout << "\nShape check (paper): differences grow with Eureka load;"
+               "\n  hold-based combos cost more than yield-based at high load;"
+               "\n  Eureka differences stay small (single-digit minutes).\n";
+  return 0;
+}

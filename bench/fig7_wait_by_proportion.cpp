@@ -1,0 +1,49 @@
+// Figure 7: average waiting time by paired-job proportion
+// {2.5, 5, 10, 20, 33}% with Eureka at ~0.5 load, schemes HH/HY/YH/YY.
+#include <iostream>
+
+#include "common.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+int main() {
+  print_header("Figure 7", "average waiting times by paired-job proportion");
+
+  Table intrepid({"proportion", "scheme", "avg wait (min)", "base (min)",
+                  "difference"});
+  Table eureka({"proportion", "scheme", "avg wait (min)", "base (min)",
+                "difference"});
+
+  // The base does not depend on the proportion (pairs ignored when
+  // coscheduling is off), but recompute per proportion as the paper plots.
+  for (double prop : kPairedProportions) {
+    const Series base = run_series(/*by_load=*/false, prop, kHH, false);
+    for (const SchemeCombo& combo : kAllCombos) {
+      const Series s = run_series(false, prop, combo, true);
+      intrepid.add_row({format_percent(prop, 1), combo.label,
+                        format_double(s.intrepid_wait.mean()),
+                        format_double(base.intrepid_wait.mean()),
+                        format_double(s.intrepid_wait.mean() -
+                                      base.intrepid_wait.mean())});
+      eureka.add_row({format_percent(prop, 1), combo.label,
+                      format_double(s.eureka_wait.mean()),
+                      format_double(base.eureka_wait.mean()),
+                      format_double(s.eureka_wait.mean() -
+                                    base.eureka_wait.mean())});
+    }
+    intrepid.add_separator();
+    eureka.add_separator();
+  }
+
+  std::cout << "\n(a) Intrepid avg. wait (minutes)\n";
+  intrepid.print(std::cout);
+  maybe_export_csv("fig7_intrepid_wait", intrepid);
+  std::cout << "\n(b) Eureka avg. wait (minutes)\n";
+  eureka.print(std::cout);
+  maybe_export_csv("fig7_eureka_wait", eureka);
+  std::cout << "\nShape check (paper): extra wait grows with the paired"
+               " proportion; modest up to 20%; at 33% the hold-based combos"
+               " degrade markedly while yield-based stay near the 20% level.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate:
+// event-queue throughput, scheduler iteration cost, protocol round-trips,
+// and a full coupled-month simulation.
+#include <benchmark/benchmark.h>
+
+#include "core/coupled_sim.h"
+#include "proto/peer.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "workload/pairing.h"
+#include "workload/synth.h"
+
+namespace cosched {
+namespace {
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i)
+      e.schedule_at(rng.uniform_int(0, 1000000), 0, [] {});
+    e.run();
+    benchmark::DoNotOptimize(e.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EngineCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+      ids.push_back(e.schedule_at(i, 0, [] {}));
+    for (EventId id : ids) e.cancel(id);
+    e.run();
+    benchmark::DoNotOptimize(e.pending());
+  }
+}
+BENCHMARK(BM_EngineCancel);
+
+void BM_SchedulerIteration(benchmark::State& state) {
+  const auto queue_len = static_cast<int>(state.range(0));
+  Scheduler s(40960, make_policy("wfp"));
+  // Fill the machine so the queue stays blocked and the iteration walks the
+  // whole backfill scan.
+  JobSpec filler;
+  filler.id = 1;
+  filler.submit = 0;
+  filler.runtime = 1000000;
+  filler.walltime = 1000000;
+  filler.nodes = 40960;
+  s.submit(filler, 0);
+  s.iterate(0);
+  for (int i = 0; i < queue_len; ++i) {
+    JobSpec j;
+    j.id = 100 + i;
+    j.submit = i;
+    j.runtime = 3600;
+    j.walltime = 7200;
+    j.nodes = 512;
+    s.submit(j, i);
+  }
+  Time now = queue_len;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.iterate(now));
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queue_len) *
+                          state.iterations());
+}
+BENCHMARK(BM_SchedulerIteration)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ProtocolRoundTrip(benchmark::State& state) {
+  Engine e;
+  Cluster target(e, "t", 100, make_policy("fcfs"));
+  target.register_expected([] {
+    JobSpec j;
+    j.id = 5;
+    j.submit = 1000;
+    j.runtime = 600;
+    j.walltime = 600;
+    j.nodes = 10;
+    j.group = 42;
+    return j;
+  }());
+  LoopbackPeer peer(target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peer.get_mate_status(5));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolRoundTrip);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  const Message m = make_get_mate_job_req(123456, 98765, 4242);
+  for (auto _ : state) {
+    const auto bytes = m.encode();
+    benchmark::DoNotOptimize(Message::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_CoupledMonth(benchmark::State& state) {
+  // A ~1/8-scale coupled month with 10% pairing, hold-yield.
+  for (auto _ : state) {
+    state.PauseTiming();
+    SynthParams pa;
+    pa.job_count = 1150;
+    pa.span = 30 * kDay;
+    pa.offered_load = 0.68;
+    pa.seed = 1;
+    Trace a = generate_trace(intrepid_model(), pa);
+    SynthParams pb;
+    pb.span = 30 * kDay;
+    pb.offered_load = 0.5;
+    pb.seed = 2;
+    Trace b = generate_trace(eureka_model(), pb);
+    for (auto& j : b.jobs()) j.id += 1000000;
+    pair_by_proportion(a, b, 0.10, 3);
+    auto specs = make_coupled_specs("intrepid", 40960, "eureka", 100, kHY);
+    for (auto& s : specs) s.policy = "wfp";
+    state.ResumeTiming();
+
+    CoupledSim sim(specs, {a, b});
+    const SimResult r = sim.run(24 * 30 * kDay);
+    benchmark::DoNotOptimize(r.completed);
+  }
+}
+BENCHMARK(BM_CoupledMonth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cosched
+
+BENCHMARK_MAIN();

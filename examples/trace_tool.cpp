@@ -1,0 +1,151 @@
+// trace_tool — workload utility for the coscheduling benches.
+//
+// Subcommands:
+//   gen <out.swf>        generate a calibrated synthetic trace
+//   info <in.swf>        print trace statistics
+//   scale <in> <out>     rescale arrival intervals to a target offered load
+//   pair <a> <b>         assign paired groups across two traces (in place)
+//
+// Real Parallel-Workloads-Archive SWF traces can be used anywhere a
+// synthetic trace is: `trace_tool info ANL-Intrepid-2009-1.swf --capacity
+// 40960 --procs-per-node 4`.
+#include <iostream>
+
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/pairing.h"
+#include "workload/scaling.h"
+#include "workload/swf.h"
+#include "workload/synth.h"
+
+using namespace cosched;
+
+namespace {
+
+int cmd_gen(const Flags& flags, const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::cerr << "usage: trace_tool gen <out.swf> [--model ...] [flags]\n";
+    return 2;
+  }
+  const std::string model_name = flags.get("model");
+  SystemModel model;
+  if (model_name == "intrepid") model = intrepid_model();
+  else if (model_name == "eureka") model = eureka_model();
+  else {
+    std::cerr << "unknown --model (use intrepid|eureka)\n";
+    return 2;
+  }
+  SynthParams p;
+  p.job_count = static_cast<std::size_t>(flags.get_int("jobs"));
+  p.span = flags.get_int("days") * kDay;
+  p.offered_load = flags.get_double("load");
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const Trace t = generate_trace(model, p);
+  write_swf_file(args[1], t);
+  std::cout << "wrote " << t.size() << " jobs to " << args[1] << "\n";
+  return 0;
+}
+
+int cmd_info(const Flags& flags, const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::cerr << "usage: trace_tool info <in.swf> [--capacity N]\n";
+    return 2;
+  }
+  SwfReadOptions opt;
+  opt.procs_per_node = static_cast<int>(flags.get_int("procs-per-node"));
+  const Trace t = read_swf_file(args[1], args[1], opt);
+  const TraceStats s = t.stats();
+  const NodeCount capacity = flags.get_int("capacity");
+
+  Table info({"metric", "value"});
+  info.add_row({"jobs", format_count(static_cast<long long>(s.job_count))});
+  info.add_row({"paired jobs",
+                format_count(static_cast<long long>(s.paired_count))});
+  info.add_row({"span (days)", format_double(to_hours(s.span) / 24.0)});
+  info.add_row({"node range", format_count(s.min_nodes) + " - " +
+                                  format_count(s.max_nodes)});
+  info.add_row({"mean nodes", format_double(s.mean_nodes, 1)});
+  info.add_row({"mean runtime (min)", format_double(s.mean_runtime / 60, 1)});
+  info.add_row({"total node-hours",
+                format_count(static_cast<long long>(s.total_node_seconds /
+                                                    kHour))});
+  if (capacity > 0)
+    info.add_row({"offered load @" + format_count(capacity) + " nodes",
+                  format_percent(s.offered_load(capacity))});
+  info.print(std::cout);
+  return 0;
+}
+
+int cmd_scale(const Flags& flags, const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    std::cerr << "usage: trace_tool scale <in.swf> <out.swf> --capacity N"
+                 " --load X\n";
+    return 2;
+  }
+  SwfReadOptions opt;
+  opt.procs_per_node = static_cast<int>(flags.get_int("procs-per-node"));
+  Trace t = read_swf_file(args[1], args[1], opt);
+  const double factor = scale_to_offered_load(
+      t, flags.get_int("capacity"), flags.get_double("load"));
+  write_swf_file(args[2], t);
+  std::cout << "scaled arrival intervals by " << format_double(factor, 4)
+            << "; offered load now "
+            << format_percent(offered_load(t, flags.get_int("capacity")))
+            << "\n";
+  return 0;
+}
+
+int cmd_pair(const Flags& flags, const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    std::cerr << "usage: trace_tool pair <a.swf> <b.swf> --proportion X\n";
+    return 2;
+  }
+  Trace a = read_swf_file(args[1], args[1]);
+  Trace b = read_swf_file(args[2], args[2]);
+  const PairingResult r = pair_by_proportion(
+      a, b, flags.get_double("proportion"),
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  write_swf_file(args[1], a);
+  write_swf_file(args[2], b);
+  std::cout << "paired " << r.pairs_made << " groups ("
+            << format_percent(r.paired_fraction) << " of all jobs)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("model", "eureka", "synthetic model: intrepid|eureka");
+  flags.define("jobs", "0", "job count (0 = derive from span & load)");
+  flags.define("days", "30", "trace span in days");
+  flags.define("load", "0.5", "target offered load");
+  flags.define("seed", "1", "random seed");
+  flags.define("capacity", "0", "machine capacity in nodes");
+  flags.define("procs-per-node", "1", "SWF processors per node");
+  flags.define("proportion", "0.1", "paired-job proportion");
+
+  std::vector<std::string> args;
+  try {
+    args = flags.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (args.empty()) {
+    std::cerr << "usage: trace_tool <gen|info|scale|pair> ...\n"
+              << flags.usage(argv[0]);
+    return 2;
+  }
+  try {
+    if (args[0] == "gen") return cmd_gen(flags, args);
+    if (args[0] == "info") return cmd_info(flags, args);
+    if (args[0] == "scale") return cmd_scale(flags, args);
+    if (args[0] == "pair") return cmd_pair(flags, args);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown subcommand: " << args[0] << "\n";
+  return 2;
+}

@@ -1,0 +1,353 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace cosched {
+
+void Cluster::track_dependency(const JobSpec& spec) {
+  if (!spec.has_dependency()) return;
+  // Dependency already finished: schedule the delayed wake directly (the
+  // finish-side drain will never see this dependent).
+  const RuntimeJob* dep = sched_.find(spec.after);
+  if (dep != nullptr && dep->state == JobState::kFinished) {
+    const Time ready_at =
+        std::max(engine_.now(), dep->end + spec.after_delay);
+    engine_.schedule_at(ready_at, EventPriority::kSchedule,
+                        [this] { request_iteration(); });
+    return;
+  }
+  dependents_.emplace(spec.after, std::make_pair(spec.id, spec.after_delay));
+}
+
+namespace {
+
+/// RAII commit marker: while a job is deciding/starting, peers that query it
+/// see `starting`, which Algorithm 1 treats like `holding` (ready).
+class CommitGuard {
+ public:
+  CommitGuard(std::unordered_set<JobId>& set, JobId id) : set_(set), id_(id) {
+    set_.insert(id_);
+  }
+  ~CommitGuard() { set_.erase(id_); }
+  CommitGuard(const CommitGuard&) = delete;
+  CommitGuard& operator=(const CommitGuard&) = delete;
+
+ private:
+  std::unordered_set<JobId>& set_;
+  JobId id_;
+};
+
+}  // namespace
+
+Cluster::Cluster(Engine& engine, std::string name, NodeCount capacity,
+                 std::unique_ptr<PriorityPolicy> policy, CoschedConfig cosched,
+                 SchedulerConfig sched_config,
+                 std::shared_ptr<const AllocationModel> alloc)
+    : engine_(engine),
+      name_(std::move(name)),
+      cfg_(cosched),
+      sched_cfg_(sched_config),
+      sched_(capacity, std::move(policy), sched_config, std::move(alloc)) {
+  sched_.set_on_start([this](const RuntimeJob& job) { on_job_started(job); });
+}
+
+void Cluster::arm_periodic_iteration() {
+  if (sched_cfg_.iteration_period <= 0 || periodic_armed_) return;
+  periodic_armed_ = true;
+  engine_.schedule_in(sched_cfg_.iteration_period, EventPriority::kStats,
+                      [this] {
+                        periodic_armed_ = false;
+                        const bool work_left =
+                            sched_.queue_length() > 0 ||
+                            sched_.running_count() > 0 ||
+                            !sched_.holding_ids().empty();
+                        if (!work_left) return;  // go quiescent; submits re-arm
+                        request_iteration();
+                        arm_periodic_iteration();
+                      });
+}
+
+void Cluster::add_peer(PeerClient& peer) { peers_.push_back(&peer); }
+
+void Cluster::register_expected(const JobSpec& spec) {
+  COSCHED_CHECK(spec.is_paired());
+  auto [it, inserted] = group_to_job_.emplace(spec.group, spec.id);
+  COSCHED_CHECK_MSG(inserted || it->second == spec.id,
+                    "group " << spec.group << " already has local member "
+                             << it->second << " on " << name_);
+  expected_.emplace(spec.id, spec);
+}
+
+void Cluster::load_trace(const Trace& trace) {
+  for (const JobSpec& spec : trace.jobs()) {
+    if (spec.is_paired()) register_expected(spec);
+    engine_.schedule_at(spec.submit, EventPriority::kJobSubmit, [this, spec] {
+      expected_.erase(spec.id);
+      sched_.submit(spec, engine_.now());
+      track_dependency(spec);
+      arm_periodic_iteration();
+      if (const RuntimeJob* j = sched_.find(spec.id))
+        log_event(JobEventKind::kSubmit, *j);
+      request_iteration();
+    });
+  }
+}
+
+void Cluster::submit_now(const JobSpec& spec) {
+  if (spec.is_paired() && !group_to_job_.count(spec.group))
+    group_to_job_.emplace(spec.group, spec.id);
+  expected_.erase(spec.id);
+  sched_.submit(spec, engine_.now());
+  track_dependency(spec);
+  arm_periodic_iteration();
+  if (const RuntimeJob* j = sched_.find(spec.id))
+    log_event(JobEventKind::kSubmit, *j);
+  request_iteration();
+}
+
+void Cluster::kill_job(JobId id) {
+  const RuntimeJob* j = sched_.find(id);
+  if (j == nullptr || j->state == JobState::kFinished) return;
+  sched_.kill(id, engine_.now());
+  if (const RuntimeJob* killed = sched_.find(id))
+    log_event(JobEventKind::kFinish, *killed);
+  request_iteration();
+}
+
+void Cluster::request_iteration() {
+  if (iteration_pending_) return;
+  iteration_pending_ = true;
+  engine_.schedule_at(engine_.now(), EventPriority::kSchedule, [this] {
+    iteration_pending_ = false;
+    ++iterations_run_;
+    sched_.iterate(engine_.now(), [this](RuntimeJob& job) {
+      return run_job_hook(job, /*try_context=*/false);
+    });
+  });
+}
+
+// -- CoschedService ---------------------------------------------------------
+
+std::optional<JobId> Cluster::get_mate_job(GroupId group, JobId asking) {
+  (void)asking;
+  auto it = group_to_job_.find(group);
+  if (it == group_to_job_.end()) return std::nullopt;
+  return it->second;
+}
+
+MateStatus Cluster::get_mate_status(JobId job) {
+  if (committing_.count(job)) return MateStatus::kStarting;
+  const RuntimeJob* j = sched_.find(job);
+  if (!j)
+    return expected_.count(job) ? MateStatus::kUnsubmitted
+                                : MateStatus::kUnknown;
+  switch (j->state) {
+    case JobState::kQueued: return MateStatus::kQueuing;
+    case JobState::kHolding: return MateStatus::kHolding;
+    case JobState::kRunning: return MateStatus::kRunning;
+    case JobState::kFinished: return MateStatus::kFinished;
+  }
+  return MateStatus::kUnknown;
+}
+
+bool Cluster::try_start_mate(JobId job) {
+  ++try_start_requests_;
+  if (!sched_.find(job)) return false;  // unsubmitted or unknown: cannot start
+  return sched_.try_start_specific(job, engine_.now(), [this](RuntimeJob& j) {
+    return run_job_hook(j, /*try_context=*/true);
+  });
+}
+
+bool Cluster::start_job(JobId job) {
+  const RuntimeJob* j = sched_.find(job);
+  if (!j || j->state != JobState::kHolding) return false;
+  sched_.start_holding(job, engine_.now());
+  return true;
+}
+
+// -- Algorithm 1 --------------------------------------------------------------
+
+RunDecision Cluster::run_job_hook(RuntimeJob& job, bool try_context) {
+  if (event_log_ != nullptr && ready_logged_.insert(job.spec.id).second)
+    log_event(JobEventKind::kReady, job);
+
+  // Lines 33-36: coscheduling disabled, or a regular job: start normally.
+  if (!cfg_.enabled || !job.spec.is_paired()) return RunDecision::kStart;
+
+  // Line 2: locate the mate on each peer.  A peer that is down, or has no
+  // member of this group, does not constrain the job (lines 30-31).
+  struct MateRef {
+    PeerClient* peer;
+    JobId id;
+  };
+  std::vector<MateRef> mates;
+  for (PeerClient* peer : peers_) {
+    const auto found = peer->get_mate_job(job.spec.group, job.spec.id);
+    if (!found || !*found) continue;
+    mates.push_back(MateRef{peer, **found});
+  }
+  if (mates.empty()) return RunDecision::kStart;
+
+  CommitGuard commit(committing_, job.spec.id);
+
+  // Lines 4-27: classify each mate.
+  std::vector<MateRef> holding, not_ready;
+  for (const MateRef& m : mates) {
+    const MateStatus status =
+        m.peer->get_mate_status(m.id).value_or(MateStatus::kUnknown);
+    switch (status) {
+      case MateStatus::kHolding:
+        holding.push_back(m);
+        break;
+      case MateStatus::kStarting:
+        break;  // committed by its own Run_Job; it will start with us
+      case MateStatus::kQueuing:
+      case MateStatus::kUnsubmitted:
+        not_ready.push_back(m);
+        break;
+      case MateStatus::kRunning:
+      case MateStatus::kFinished:
+      case MateStatus::kUnknown:
+        // Line 25-26: mate failed/unknowable — start the local job normally
+        // rather than wait forever.
+        break;
+    }
+  }
+
+  if (!not_ready.empty()) {
+    // Lines 10-23: ask the first unready mate's domain to run an additional
+    // scheduling iteration.  Its own Run_Job (seeing us as `starting`)
+    // recursively extends the chain to any further domains, so one call
+    // suffices; `false` means the mate could not start now.
+    const auto started = not_ready.front().peer->try_start_mate(
+        not_ready.front().id);
+    if (started.has_value() && !*started)
+      return scheme_decision(job, try_context);
+    // Transport failure counts as unknown: do not block the local job.
+  }
+
+  // Lines 6-8: everyone is ready; wake the holding mates and start.
+  for (const MateRef& m : holding) {
+    if (!m.peer->start_job(m.id))
+      COSCHED_LOG(kDebug) << name_ << ": mate " << m.id
+                          << " was no longer holding at start";
+  }
+  return RunDecision::kStart;
+}
+
+RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
+  // Under a remote tryStartMate the job must start or decline; holding or
+  // yielding inside someone else's iteration would corrupt their queue pass.
+  if (try_context) return RunDecision::kSkip;
+
+  Scheme scheme = cfg_.scheme;
+
+  // §IV-E2: a job that yielded too many times escalates to hold.
+  if (scheme == Scheme::kYield && cfg_.max_yield_before_hold > 0 &&
+      job.yield_count >= cfg_.max_yield_before_hold)
+    scheme = Scheme::kHold;
+
+  // §IV-E2: cap the fraction of the machine allowed to sit in hold state.
+  if (scheme == Scheme::kHold) {
+    const auto& pool = sched_.pool();
+    const double would_hold =
+        static_cast<double>(pool.held() + job.allocated);
+    if (would_hold >
+        cfg_.max_hold_fraction * static_cast<double>(pool.capacity()))
+      scheme = Scheme::kYield;
+  }
+
+  if (scheme == Scheme::kHold) {
+    schedule_hold_release(job.spec.id);
+    log_event(JobEventKind::kHold, job);
+    return RunDecision::kHold;
+  }
+  job.priority_boost += cfg_.yield_priority_boost;
+  schedule_yield_retry(job.spec.id);
+  log_event(JobEventKind::kYield, job);
+  return RunDecision::kYield;
+}
+
+// -- events -------------------------------------------------------------------
+
+void Cluster::on_job_started(const RuntimeJob& job) {
+  log_event(JobEventKind::kStart, job);
+  const JobId id = job.spec.id;
+  engine_.schedule_in(job.spec.runtime, EventPriority::kJobEnd,
+                      [this, id] { on_job_finished(id); });
+}
+
+void Cluster::on_job_finished(JobId id) {
+  // The job may have been killed between its start and this completion
+  // event; a second finish would corrupt the pool accounting.
+  const RuntimeJob* cur = sched_.find(id);
+  if (cur == nullptr || cur->state != JobState::kRunning) return;
+  sched_.finish(id, engine_.now());
+  if (const RuntimeJob* j = sched_.find(id))
+    log_event(JobEventKind::kFinish, *j);
+  request_iteration();
+  // Dependents gated by a think-time delay become eligible later than this
+  // finish-triggered iteration; wake the scheduler when the gap elapses.
+  auto [begin, end] = dependents_.equal_range(id);
+  for (auto it = begin; it != end; ++it) {
+    const Duration delay = it->second.second;
+    if (delay > 0)
+      engine_.schedule_in(delay, EventPriority::kSchedule,
+                          [this] { request_iteration(); });
+  }
+  dependents_.erase(id);
+}
+
+void Cluster::log_event(JobEventKind kind, const RuntimeJob& job) {
+  if (event_log_ == nullptr) return;
+  JobEvent e;
+  e.time = engine_.now();
+  e.system = name_;
+  e.kind = kind;
+  e.job = job.spec.id;
+  e.group = job.spec.group;
+  e.nodes = job.spec.nodes;
+  event_log_->record(std::move(e));
+}
+
+void Cluster::schedule_yield_retry(JobId id) {
+  if (cfg_.yield_retry_period <= 0) return;
+  engine_.schedule_in(cfg_.yield_retry_period, EventPriority::kSchedule,
+                      [this, id] {
+                        const RuntimeJob* j = sched_.find(id);
+                        if (!j || j->state != JobState::kQueued) return;
+                        request_iteration();
+                      });
+}
+
+void Cluster::schedule_hold_release(JobId id) {
+  (void)id;
+  if (cfg_.hold_release_period <= 0) return;  // deadlock breaker disabled
+  if (release_tick_pending_) return;
+  // One synchronized tick per domain, not per-job timers: the paper's
+  // enhancement "force[s] the holding jobs to release their resources
+  // periodically".  Releasing all holders at the same instant matters —
+  // with staggered per-job releases, a blocked job larger than any single
+  // hold can never see enough simultaneous free nodes, and every released
+  // holder immediately re-holds (cross-machine livelock).
+  release_tick_pending_ = true;
+  engine_.schedule_in(cfg_.hold_release_period, EventPriority::kHoldRelease,
+                      [this] {
+                        release_tick_pending_ = false;
+                        const std::vector<JobId> holders =
+                            sched_.holding_ids();
+                        if (holders.empty()) return;
+                        for (JobId h : holders) {
+                          sched_.release_hold(h, engine_.now());
+                          ++forced_releases_;
+                          if (const RuntimeJob* j = sched_.find(h))
+                            log_event(JobEventKind::kHoldRelease, *j);
+                        }
+                        request_iteration();
+                      });
+}
+
+}  // namespace cosched

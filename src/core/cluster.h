@@ -1,0 +1,132 @@
+// One scheduling domain of a coupled HEC system.
+//
+// A Cluster binds together a Scheduler (queue + policy + backfilling), the
+// discrete-event engine, and the coscheduling agent implementing the paper's
+// Algorithm 1.  It is both a protocol *client* (through PeerClient stubs to
+// its peers) and a protocol *server* (it implements CoschedService for its
+// peers' remote.* calls).
+//
+// The implementation generalizes Algorithm 1 to N scheduling domains (the
+// paper's future-work extension): a ready paired job asks every peer for the
+// group member it owns; when a mate is not ready, a single tryStartMate is
+// issued and the commit marker (`starting` status) lets the remote side's own
+// Run_Job recursively complete the chain across all remaining domains.  With
+// two domains this reduces exactly to the published algorithm.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/event_log.h"
+#include "proto/peer.h"
+#include "proto/service.h"
+#include "sched/scheduler.h"
+#include "sim/engine.h"
+#include "workload/trace.h"
+
+namespace cosched {
+
+class Cluster final : public CoschedService {
+ public:
+  Cluster(Engine& engine, std::string name, NodeCount capacity,
+          std::unique_ptr<PriorityPolicy> policy, CoschedConfig cosched = {},
+          SchedulerConfig sched_config = {},
+          std::shared_ptr<const AllocationModel> alloc = nullptr);
+
+  // Non-copyable, non-movable: peers hold references to the service.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Registers a remote scheduling domain.  Not owned.  Order is the order
+  /// mates are queried in.
+  void add_peer(PeerClient& peer);
+
+  /// Loads a trace: pre-registers paired-job associations (the paper's
+  /// equivalent of users declaring associated jobs at submission) and
+  /// schedules one submit event per job.
+  void load_trace(const Trace& trace);
+
+  /// Submits one job at the current engine time (examples/tests).
+  void submit_now(const JobSpec& spec);
+
+  /// Kills a job wherever it is (fault injection): queued jobs vanish from
+  /// the queue, holding jobs free their nodes, running jobs stop early.
+  /// Safe against the job's pending completion event.  No-op for unknown or
+  /// finished jobs.
+  void kill_job(JobId id);
+
+  /// Pre-registers a paired job expected to arrive later, so peers querying
+  /// before its submission see status `unsubmitted`.
+  void register_expected(const JobSpec& spec);
+
+  // -- CoschedService (the four remote calls) ---------------------------
+  std::optional<JobId> get_mate_job(GroupId group, JobId asking) override;
+  MateStatus get_mate_status(JobId job) override;
+  bool try_start_mate(JobId job) override;
+  bool start_job(JobId job) override;
+
+  // -- accessors ---------------------------------------------------------
+  Scheduler& scheduler() { return sched_; }
+  const Scheduler& scheduler() const { return sched_; }
+  Engine& engine() { return engine_; }
+  const std::string& name() const { return name_; }
+  const CoschedConfig& config() const { return cfg_; }
+  void set_config(const CoschedConfig& cfg) { cfg_ = cfg; }
+
+  std::uint64_t iterations_run() const { return iterations_run_; }
+  std::uint64_t try_start_requests() const { return try_start_requests_; }
+  std::uint64_t forced_releases() const { return forced_releases_; }
+
+  /// Attaches a lifecycle event log (not owned; may be shared across
+  /// domains).  Pass nullptr to detach.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
+  /// Schedules a scheduling iteration at the current time (coalesced).
+  void request_iteration();
+
+ private:
+  /// The paper's Run_Job coscheduling logic (Algorithm 1).  `try_context`
+  /// is true when invoked underneath a remote tryStartMate: the job must
+  /// either start or decline without side effects (no hold/yield).
+  RunDecision run_job_hook(RuntimeJob& job, bool try_context);
+
+  /// Applies the local scheme + enhancement thresholds (§IV-E2).
+  RunDecision scheme_decision(RuntimeJob& job, bool try_context);
+
+  void track_dependency(const JobSpec& spec);
+  void arm_periodic_iteration();
+  void on_job_started(const RuntimeJob& job);
+  void on_job_finished(JobId id);
+  void schedule_hold_release(JobId id);
+  void schedule_yield_retry(JobId id);
+  void log_event(JobEventKind kind, const RuntimeJob& job);
+
+  Engine& engine_;
+  std::string name_;
+  CoschedConfig cfg_;
+  SchedulerConfig sched_cfg_;
+  Scheduler sched_;
+
+  std::vector<PeerClient*> peers_;
+  std::unordered_map<GroupId, JobId> group_to_job_;
+  std::unordered_map<JobId, JobSpec> expected_;   ///< registered, unsubmitted
+  /// dependency -> (dependent job, think-time delay); drained at finish.
+  std::unordered_multimap<JobId, std::pair<JobId, Duration>> dependents_;
+  std::unordered_set<JobId> committing_;          ///< report kStarting
+  bool iteration_pending_ = false;
+  bool release_tick_pending_ = false;
+  bool periodic_armed_ = false;
+  EventLog* event_log_ = nullptr;
+  std::unordered_set<JobId> ready_logged_;
+
+  std::uint64_t iterations_run_ = 0;
+  std::uint64_t try_start_requests_ = 0;
+  std::uint64_t forced_releases_ = 0;
+};
+
+}  // namespace cosched

@@ -1,0 +1,21 @@
+#include "core/config.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kHold: return "hold";
+    case Scheme::kYield: return "yield";
+  }
+  return "?";
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "hold" || name == "H" || name == "h") return Scheme::kHold;
+  if (name == "yield" || name == "Y" || name == "y") return Scheme::kYield;
+  throw ParseError("unknown coscheduling scheme: " + name);
+}
+
+}  // namespace cosched

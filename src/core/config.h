@@ -1,0 +1,71 @@
+// Per-domain coscheduling configuration (paper §IV-B, §IV-D, §IV-E).
+//
+// Each machine is configured *locally* — a domain never needs to know its
+// peers' schemes; this is the property that makes the mechanism practical
+// across administrative boundaries (§IV-E1, last paragraph).
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace cosched {
+
+/// The two basic coscheduling schemes (§IV-B).
+enum class Scheme {
+  kHold,   ///< occupy assigned nodes until the mate is ready
+  kYield,  ///< give up the turn; retry at a later scheduling iteration
+};
+
+const char* to_string(Scheme s);
+
+/// Parses "hold"/"yield".  Throws ParseError on anything else.
+Scheme parse_scheme(const std::string& name);
+
+struct CoschedConfig {
+  /// Master switch: when false, Run_Job starts every ready job (line 35).
+  bool enabled = true;
+
+  /// Local scheme applied when the mate is not ready.
+  Scheme scheme = Scheme::kHold;
+
+  /// Deadlock breaker (§IV-E1): a holding job releases its nodes after this
+  /// period and re-queues at lowest priority for one iteration.  The paper
+  /// uses 20 minutes.  0 disables forced release (deadlock-prone for
+  /// hold-hold; exposed for the validation experiment).
+  Duration hold_release_period = 20 * kMinute;
+
+  /// Max fraction of machine nodes allowed in hold state (§IV-E2).  A job
+  /// that would push held nodes above this yields instead.  1.0 = whole
+  /// machine may hold (the paper found this acceptable in simulation).
+  double max_hold_fraction = 1.0;
+
+  /// Yield-count threshold after which a yielding job holds instead
+  /// (§IV-E2, "maximum yielding threshold").  0 disables.
+  int max_yield_before_hold = 0;
+
+  /// A yielded job is re-examined no later than this after yielding, even if
+  /// no local submit/end event triggers a scheduling iteration.  Event-driven
+  /// simulators otherwise leave a yielded job stranded on a quiet machine
+  /// (production Cobalt iterates periodically).  0 disables the timer.
+  Duration yield_retry_period = 5 * kMinute;
+
+  /// Additive priority boost per yield (§IV-E2's alternative to the yield
+  /// threshold).  0 disables.
+  double yield_priority_boost = 0.0;
+};
+
+/// Named scheme combination for bench tables: HH, HY, YH, YY.
+struct SchemeCombo {
+  Scheme first;   ///< scheme on the first (compute) machine
+  Scheme second;  ///< scheme on the second (analysis) machine
+  const char* label;
+};
+
+inline constexpr SchemeCombo kHH{Scheme::kHold, Scheme::kHold, "HH"};
+inline constexpr SchemeCombo kHY{Scheme::kHold, Scheme::kYield, "HY"};
+inline constexpr SchemeCombo kYH{Scheme::kYield, Scheme::kHold, "YH"};
+inline constexpr SchemeCombo kYY{Scheme::kYield, Scheme::kYield, "YY"};
+inline constexpr SchemeCombo kAllCombos[] = {kHH, kHY, kYH, kYY};
+
+}  // namespace cosched

@@ -1,0 +1,50 @@
+// Configuration-file support for coupled simulations.
+//
+// A deployment-style INI format describes each scheduling domain — what a
+// site administrator would write rather than C++ — consumed by the
+// `cosched_sim` CLI and usable by any embedder:
+//
+//   [domain intrepid]
+//   capacity = 40960
+//   policy = wfp                  # fcfs | wfp | sjf | lxf
+//   scheme = hold                 # hold | yield
+//   enabled = true
+//   hold-release-min = 20         # 0 disables the deadlock breaker
+//   max-hold-fraction = 1.0
+//   max-yield-before-hold = 0
+//   yield-boost = 0
+//   yield-retry-min = 5
+//   backfill = easy               # easy | conservative | none
+//   allocation = bgp-partitions   # plain | bgp-partitions
+//   trace = intrepid.swf          # SWF path, or synth spec:
+//                                 # synth:eureka?load=0.5&days=30&seed=1
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/coupled_sim.h"
+#include "workload/trace.h"
+
+namespace cosched {
+
+/// One parsed [domain ...] section.
+struct DomainConfig {
+  DomainSpec spec;
+  /// Raw `trace =` value: an SWF path or a "synth:<model>?k=v&..." spec.
+  std::string trace_source;
+};
+
+/// Parses the INI stream.  Throws ParseError with line numbers on errors.
+std::vector<DomainConfig> parse_domain_configs(std::istream& in);
+
+/// Reads a config file from disk.  Throws Error if unreadable.
+std::vector<DomainConfig> read_domain_configs(const std::string& path);
+
+/// Materializes a domain's trace: loads the SWF file, or generates the
+/// synthetic workload described by a "synth:" spec ("intrepid" or "eureka"
+/// models; parameters load, days, jobs, seed).
+Trace load_trace_source(const std::string& source, const DomainSpec& spec);
+
+}  // namespace cosched

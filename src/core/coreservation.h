@@ -1,0 +1,35 @@
+// Advance co-reservation baseline (related work the paper argues against,
+// §III: HARC, GARA, GUR).
+//
+// Every paired group receives a co-reservation: the earliest instant at
+// which *every* domain can fit its member for its full requested walltime.
+// Unpaired jobs are placed conservatively on their own domain's timeline.
+// Because reservations are made against walltime (not actual runtime) and
+// are never re-packed, this scheme exhibits the temporal fragmentation the
+// paper cites as the reason co-reservation is unsuitable: reserved-but-
+// unused node-hours and inflated waits for regular jobs.
+#pragma once
+
+#include <vector>
+
+#include "core/coupled_sim.h"
+#include "metrics/report.h"
+#include "workload/trace.h"
+
+namespace cosched {
+
+struct CoReservationResult {
+  std::vector<SystemMetrics> systems;
+  /// Node-hours reserved but never used (walltime minus runtime), per run —
+  /// the fragmentation analogue of the coscheduling service-unit loss.
+  std::vector<double> fragmentation_node_hours;
+};
+
+/// Simulates co-reservation scheduling on the given domains/traces.
+/// `lead_time` is the minimum notice between submission and the earliest
+/// reservable start (manual negotiation latency; 0 = instant).
+CoReservationResult simulate_co_reservation(
+    const std::vector<DomainSpec>& specs, const std::vector<Trace>& traces,
+    Duration lead_time = 0);
+
+}  // namespace cosched

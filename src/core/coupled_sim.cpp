@@ -1,0 +1,136 @@
+#include "core/coupled_sim.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace cosched {
+
+CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
+                       const std::vector<Trace>& traces) {
+  COSCHED_CHECK_MSG(specs.size() == traces.size(),
+                    "specs/traces arity mismatch");
+  COSCHED_CHECK(!specs.empty());
+
+  clusters_.reserve(specs.size());
+  for (const DomainSpec& spec : specs) {
+    clusters_.push_back(std::make_unique<Cluster>(
+        engine_, spec.name, spec.capacity, make_policy(spec.policy),
+        spec.cosched, spec.sched, spec.alloc));
+  }
+
+  // All-to-all protocol links: every call crosses the full encode/dispatch/
+  // decode path through a loopback peer, wrapped in a fault injector.
+  links_.resize(specs.size());
+  for (std::size_t from = 0; from < specs.size(); ++from) {
+    links_[from].resize(specs.size());
+    for (std::size_t to = 0; to < specs.size(); ++to) {
+      if (from == to) continue;
+      links_[from][to] = std::make_unique<FaultInjectingPeer>(
+          std::make_unique<LoopbackPeer>(*clusters_[to]));
+      clusters_[from]->add_peer(*links_[from][to]);
+    }
+  }
+
+  for (std::size_t i = 0; i < traces.size(); ++i)
+    clusters_[i]->load_trace(traces[i]);
+}
+
+FaultInjectingPeer& CoupledSim::link(std::size_t from, std::size_t to) {
+  COSCHED_CHECK(from != to);
+  return *links_.at(from).at(to);
+}
+
+CoupledSim::ProtocolStats CoupledSim::protocol_stats() const {
+  ProtocolStats s;
+  for (const auto& row : links_) {
+    for (const auto& link : row) {
+      if (!link) continue;
+      const auto* lb = dynamic_cast<const LoopbackPeer*>(&link->inner());
+      if (lb == nullptr) continue;
+      s.calls += lb->calls();
+      s.request_bytes += lb->request_bytes();
+      s.response_bytes += lb->response_bytes();
+    }
+  }
+  return s;
+}
+
+EventLog& CoupledSim::enable_event_log() {
+  if (!event_log_) {
+    event_log_ = std::make_unique<EventLog>();
+    for (auto& c : clusters_) c->set_event_log(event_log_.get());
+  }
+  return *event_log_;
+}
+
+SimResult CoupledSim::run(Time max_time) {
+  while (engine_.step()) {
+    if (max_time > 0 && engine_.now() > max_time) {
+      COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
+                         << " (max_time exceeded)";
+      break;
+    }
+  }
+
+  SimResult result;
+  result.end_time = engine_.now();
+
+  bool all_finished = true;
+  std::map<GroupId, std::vector<Time>> group_starts;
+  for (const auto& cluster : clusters_) {
+    result.systems.push_back(collect_metrics(
+        cluster->scheduler(), result.end_time, cluster->name()));
+    for (const auto& [id, job] : cluster->scheduler().jobs()) {
+      (void)id;
+      if (job.state != JobState::kFinished) all_finished = false;
+      if (job.spec.is_paired())
+        group_starts[job.spec.group].push_back(job.start);
+    }
+  }
+  result.completed = all_finished;
+  result.deadlocked = !all_finished;
+
+  for (const auto& [group, starts] : group_starts) {
+    (void)group;
+    ++result.pairs.groups_total;
+    if (std::any_of(starts.begin(), starts.end(),
+                    [](Time t) { return t == kNoTime; })) {
+      ++result.pairs.groups_unstarted;
+      continue;
+    }
+    const auto [lo, hi] = std::minmax_element(starts.begin(), starts.end());
+    const Duration skew = *hi - *lo;
+    result.pairs.max_start_skew = std::max(result.pairs.max_start_skew, skew);
+    if (skew == 0) ++result.pairs.groups_started_together;
+  }
+  return result;
+}
+
+std::vector<DomainSpec> make_coupled_specs(const std::string& name_a,
+                                           NodeCount capacity_a,
+                                           const std::string& name_b,
+                                           NodeCount capacity_b,
+                                           SchemeCombo combo,
+                                           bool cosched_enabled,
+                                           Duration hold_release_period) {
+  DomainSpec a;
+  a.name = name_a;
+  a.capacity = capacity_a;
+  a.cosched.enabled = cosched_enabled;
+  a.cosched.scheme = combo.first;
+  a.cosched.hold_release_period = hold_release_period;
+
+  DomainSpec b;
+  b.name = name_b;
+  b.capacity = capacity_b;
+  b.cosched.enabled = cosched_enabled;
+  b.cosched.scheme = combo.second;
+  b.cosched.hold_release_period = hold_release_period;
+
+  return {a, b};
+}
+
+}  // namespace cosched

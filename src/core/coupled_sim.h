@@ -1,0 +1,99 @@
+// Multi-domain coscheduling simulation — the repo's top-level API.
+//
+// CoupledSim wires N Cluster domains onto one event engine, connects every
+// ordered pair of domains with a protocol peer (loopback + fault injection),
+// loads each domain's trace, runs to completion, and extracts the paper's
+// metrics plus pair-start consistency checks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "metrics/report.h"
+#include "sim/engine.h"
+#include "workload/trace.h"
+
+namespace cosched {
+
+/// Static description of one scheduling domain.
+struct DomainSpec {
+  std::string name;
+  NodeCount capacity = 0;
+  /// Priority policy name: "wfp" (production default) or "fcfs".
+  std::string policy = "wfp";
+  CoschedConfig cosched;
+  SchedulerConfig sched;
+  /// Optional request→charge model (e.g. PartitionAllocation::intrepid()).
+  std::shared_ptr<const AllocationModel> alloc;
+};
+
+/// Pair/group start synchronization outcome (the §V-B capability check).
+struct PairStartStats {
+  std::size_t groups_total = 0;
+  /// Groups in which every member started at the identical instant.
+  std::size_t groups_started_together = 0;
+  /// Groups with at least one member that never started.
+  std::size_t groups_unstarted = 0;
+  /// Largest start-time skew among fully started groups (0 = perfect).
+  Duration max_start_skew = 0;
+};
+
+struct SimResult {
+  std::vector<SystemMetrics> systems;
+  PairStartStats pairs;
+  /// All jobs finished.
+  bool completed = false;
+  /// Simulation drained (or hit max_time) with unfinished jobs — for
+  /// hold-hold without the release enhancement this is the deadlock signal.
+  bool deadlocked = false;
+  Time end_time = 0;
+};
+
+class CoupledSim {
+ public:
+  /// `specs[i]` hosts `traces[i]`.  Traces and specs must align.
+  CoupledSim(std::vector<DomainSpec> specs, const std::vector<Trace>& traces);
+
+  /// Runs to completion.  `max_time` (0 = unlimited) aborts runaway
+  /// simulations and reports them as deadlocked.
+  SimResult run(Time max_time = 0);
+
+  std::size_t size() const { return clusters_.size(); }
+  Cluster& cluster(std::size_t i) { return *clusters_.at(i); }
+  Engine& engine() { return engine_; }
+
+  /// The fault injector on the peer link domain `from` uses to reach
+  /// domain `to` (from != to).  Lets tests take a remote "down".
+  FaultInjectingPeer& link(std::size_t from, std::size_t to);
+
+  /// Enables per-job lifecycle logging into the returned shared log
+  /// (idempotent).  Call before run().
+  EventLog& enable_event_log();
+
+  /// Aggregate coordination-protocol traffic over all inter-domain links.
+  struct ProtocolStats {
+    std::uint64_t calls = 0;
+    std::uint64_t request_bytes = 0;
+    std::uint64_t response_bytes = 0;
+  };
+  ProtocolStats protocol_stats() const;
+
+ private:
+  Engine engine_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  /// links_[from][to] (nullptr on the diagonal).
+  std::vector<std::vector<std::unique_ptr<FaultInjectingPeer>>> links_;
+  std::unique_ptr<EventLog> event_log_;
+};
+
+/// Convenience for the common two-domain experiments: builds DomainSpecs for
+/// a compute machine and an analysis machine with the given scheme combo.
+std::vector<DomainSpec> make_coupled_specs(
+    const std::string& name_a, NodeCount capacity_a, const std::string& name_b,
+    NodeCount capacity_b, SchemeCombo combo, bool cosched_enabled = true,
+    Duration hold_release_period = 20 * kMinute);
+
+}  // namespace cosched

@@ -1,0 +1,59 @@
+#include "core/deadlock.h"
+
+#include <functional>
+
+#include "util/error.h"
+
+namespace cosched {
+
+std::vector<WaitEdge> build_wait_graph(
+    const std::vector<const Cluster*>& clusters) {
+  std::vector<WaitEdge> edges;
+  for (std::size_t x = 0; x < clusters.size(); ++x) {
+    const Cluster* cx = clusters[x];
+    for (const auto& [id, job] : cx->scheduler().jobs()) {
+      if (job.state != JobState::kHolding || !job.spec.is_paired()) continue;
+      // Find the domain holding this group's unready member.
+      for (std::size_t y = 0; y < clusters.size(); ++y) {
+        if (y == x) continue;
+        const Cluster* cy = clusters[y];
+        // const_cast is safe: get_mate_job only reads the registry.
+        auto mate = const_cast<Cluster*>(cy)->get_mate_job(job.spec.group, id);
+        if (!mate) continue;
+        const RuntimeJob* mj = cy->scheduler().find(*mate);
+        const bool queued_blocked =
+            mj != nullptr && mj->state == JobState::kQueued &&
+            !cy->scheduler().pool().can_allocate(
+                cy->scheduler().pool().charged(mj->spec.nodes));
+        const bool unsubmitted = mj == nullptr;
+        if (queued_blocked || unsubmitted)
+          edges.push_back(WaitEdge{x, y, id});
+      }
+    }
+  }
+  return edges;
+}
+
+bool has_hold_wait_cycle(const std::vector<const Cluster*>& clusters) {
+  const auto edges = build_wait_graph(clusters);
+  const std::size_t n = clusters.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const WaitEdge& e : edges) adj[e.from].push_back(e.to);
+
+  enum class Mark { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(n, Mark::kWhite);
+  std::function<bool(std::size_t)> dfs = [&](std::size_t u) {
+    mark[u] = Mark::kGray;
+    for (std::size_t v : adj[u]) {
+      if (mark[v] == Mark::kGray) return true;
+      if (mark[v] == Mark::kWhite && dfs(v)) return true;
+    }
+    mark[u] = Mark::kBlack;
+    return false;
+  };
+  for (std::size_t u = 0; u < n; ++u)
+    if (mark[u] == Mark::kWhite && dfs(u)) return true;
+  return false;
+}
+
+}  // namespace cosched

@@ -1,0 +1,31 @@
+// Deadlock witnesses for hold-hold coscheduling (paper §IV-D1, Fig. 2).
+//
+// Hold-hold satisfies all four Coffman conditions; this module detects the
+// circular-wait witness at runtime so the validation experiment can show
+// deadlocks appearing without the release enhancement and vanishing with it.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace cosched {
+
+/// An edge of the domain-level wait-for graph: some job holding on `from`
+/// waits for its mate on `to`, and that mate cannot currently be allocated.
+struct WaitEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  JobId holding_job = kNoJob;
+};
+
+/// Builds the wait-for graph among domains.  A job holding on X whose group
+/// has a member queued (or expected) on Y, where Y lacks free nodes for that
+/// member, contributes edge X -> Y.
+std::vector<WaitEdge> build_wait_graph(
+    const std::vector<const Cluster*>& clusters);
+
+/// True when the wait-for graph contains a cycle — the Fig. 2 situation.
+bool has_hold_wait_cycle(const std::vector<const Cluster*>& clusters);
+
+}  // namespace cosched

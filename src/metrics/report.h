@@ -1,0 +1,60 @@
+// Metric extraction — the paper's four evaluation metrics (§V-C):
+//   wait        : start - submit
+//   slowdown    : (wait + runtime) / runtime
+//   sync time   : extra wait a paired job spends on coscheduling
+//                 (start - first_ready)
+//   service unit loss : node-hours spent in hold state, and the equivalent
+//                 lost system-utilization rate
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/types.h"
+
+namespace cosched {
+
+struct SystemMetrics {
+  std::string system;
+
+  std::size_t jobs_total = 0;
+  std::size_t jobs_finished = 0;
+  std::size_t paired_jobs = 0;
+
+  double avg_wait_minutes = 0.0;
+  double max_wait_minutes = 0.0;
+  double avg_slowdown = 0.0;
+  /// Bounded slowdown: max(response / max(runtime, 10 min), 1); standard
+  /// companion metric that damps the influence of very short jobs.
+  double avg_bounded_slowdown = 0.0;
+
+  /// Average/max synchronization time over *paired* jobs only.
+  double avg_sync_minutes = 0.0;
+  double max_sync_minutes = 0.0;
+
+  /// Service unit loss: node-hours spent holding.
+  double held_node_hours = 0.0;
+  /// Held node-time as a fraction of total capacity-time ("lost sys. util").
+  double held_fraction = 0.0;
+
+  /// Delivered utilization (busy node-time / capacity-time).
+  double utilization = 0.0;
+
+  Time makespan = 0;
+  long long total_yields = 0;
+  long long total_forced_releases = 0;
+};
+
+/// Collects metrics from a scheduler after a simulation ran to `end_time`.
+SystemMetrics collect_metrics(const Scheduler& sched, Time end_time,
+                              std::string system_name);
+
+/// Per-run difference helper for the figures' "difference" series.
+struct Delta {
+  double base;
+  double value;
+  double difference() const { return value - base; }
+};
+
+}  // namespace cosched

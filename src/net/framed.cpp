@@ -1,0 +1,33 @@
+#include "net/framed.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace cosched {
+
+void FramedChannel::write_frame(std::span<const std::uint8_t> payload) {
+  COSCHED_CHECK_MSG(payload.size() <= kMaxFrame, "frame too large");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  const std::array<std::uint8_t, 4> header = {
+      static_cast<std::uint8_t>(n >> 24), static_cast<std::uint8_t>(n >> 16),
+      static_cast<std::uint8_t>(n >> 8), static_cast<std::uint8_t>(n)};
+  socket_.send_all(header);
+  socket_.send_all(payload);
+}
+
+std::optional<std::vector<std::uint8_t>> FramedChannel::read_frame() {
+  std::array<std::uint8_t, 4> header;
+  if (!socket_.recv_exact(header)) return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |
+                          (static_cast<std::uint32_t>(header[1]) << 16) |
+                          (static_cast<std::uint32_t>(header[2]) << 8) |
+                          static_cast<std::uint32_t>(header[3]);
+  if (n > kMaxFrame) throw Error("framed: oversize frame");
+  std::vector<std::uint8_t> payload(n);
+  if (n > 0 && !socket_.recv_exact(payload))
+    throw Error("framed: EOF inside frame");
+  return payload;
+}
+
+}  // namespace cosched

@@ -1,0 +1,35 @@
+// Length-prefixed message framing over a stream socket.
+//
+// Frame layout: 4-byte big-endian payload length, then the payload.
+// A length above kMaxFrame is rejected — a corrupted peer must not make a
+// daemon allocate gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace cosched {
+
+class FramedChannel {
+ public:
+  static constexpr std::size_t kMaxFrame = 1 << 20;  // 1 MiB
+
+  explicit FramedChannel(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends one frame.  Throws Error on transport failure.
+  void write_frame(std::span<const std::uint8_t> payload);
+
+  /// Receives one frame; nullopt on clean EOF.  Throws Error on transport
+  /// failure or oversize frames.
+  std::optional<std::vector<std::uint8_t>> read_frame();
+
+  Socket& socket() { return socket_; }
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace cosched

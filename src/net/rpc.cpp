@@ -1,0 +1,83 @@
+#include "net/rpc.h"
+
+#include "util/log.h"
+
+namespace cosched {
+
+std::optional<Message> WirePeer::round_trip(const Message& req,
+                                            MsgType expect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!healthy_.load()) return std::nullopt;
+  try {
+    channel_.write_frame(req.encode());
+    const auto frame = channel_.read_frame();
+    if (!frame) {
+      healthy_ = false;
+      return std::nullopt;
+    }
+    Message resp = Message::decode(*frame);
+    if (resp.type != expect || resp.request_id != req.request_id) {
+      COSCHED_LOG(kWarn) << "wire peer: unexpected response";
+      return std::nullopt;
+    }
+    return resp;
+  } catch (const std::exception& e) {
+    COSCHED_LOG(kWarn) << "wire peer: transport failure: " << e.what();
+    healthy_ = false;
+    return std::nullopt;
+  }
+}
+
+std::optional<std::optional<JobId>> WirePeer::get_mate_job(GroupId group,
+                                                           JobId asking) {
+  const auto resp = round_trip(make_get_mate_job_req(next_rid_++, group, asking),
+                               MsgType::kGetMateJobResp);
+  if (!resp) return std::nullopt;
+  // in_place distinguishes "reachable, no mate" from transport failure.
+  if (!resp->found)
+    return std::optional<std::optional<JobId>>(std::in_place, std::nullopt);
+  return std::optional<std::optional<JobId>>(std::in_place, resp->job);
+}
+
+std::optional<MateStatus> WirePeer::get_mate_status(JobId mate) {
+  const auto resp = round_trip(make_get_mate_status_req(next_rid_++, mate),
+                               MsgType::kGetMateStatusResp);
+  if (!resp) return std::nullopt;
+  return resp->status;
+}
+
+std::optional<bool> WirePeer::try_start_mate(JobId mate) {
+  const auto resp = round_trip(make_try_start_mate_req(next_rid_++, mate),
+                               MsgType::kTryStartMateResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> WirePeer::start_job(JobId job) {
+  const auto resp = round_trip(make_start_job_req(next_rid_++, job),
+                               MsgType::kStartJobResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+void serve_channel(FramedChannel& channel, CoschedService& service) {
+  ServiceDispatcher dispatcher(service);
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = channel.read_frame();
+    } catch (const std::exception& e) {
+      COSCHED_LOG(kWarn) << "serve_channel: read failure: " << e.what();
+      return;
+    }
+    if (!frame) return;  // clean EOF
+    try {
+      channel.write_frame(dispatcher.dispatch(*frame));
+    } catch (const std::exception& e) {
+      COSCHED_LOG(kWarn) << "serve_channel: write failure: " << e.what();
+      return;
+    }
+  }
+}
+
+}  // namespace cosched

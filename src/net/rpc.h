@@ -1,0 +1,44 @@
+// Blocking request/response endpoints binding the coordination protocol to
+// a framed stream channel — the live-daemon transport.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "net/framed.h"
+#include "proto/peer.h"
+#include "proto/service.h"
+
+namespace cosched {
+
+/// Socket-backed PeerClient: one request in flight at a time (the protocol
+/// is strictly call/response).  Thread-safe; transport errors report as
+/// nullopt ("remote unknown") and mark the peer down, matching the paper's
+/// fault-tolerance rule that a job never waits on a dead remote.
+class WirePeer final : public PeerClient {
+ public:
+  explicit WirePeer(FramedChannel channel) : channel_(std::move(channel)) {}
+
+  std::optional<std::optional<JobId>> get_mate_job(GroupId group,
+                                                   JobId asking) override;
+  std::optional<MateStatus> get_mate_status(JobId mate) override;
+  std::optional<bool> try_start_mate(JobId mate) override;
+  std::optional<bool> start_job(JobId job) override;
+
+  bool healthy() const { return healthy_.load(); }
+
+ private:
+  std::optional<Message> round_trip(const Message& req, MsgType expect);
+
+  std::mutex mutex_;
+  FramedChannel channel_;
+  std::uint64_t next_rid_ = 1;
+  std::atomic<bool> healthy_{true};
+};
+
+/// Serves protocol requests from one channel until EOF or error.
+/// Runs on the caller's thread; intended for a dedicated server thread.
+void serve_channel(FramedChannel& channel, CoschedService& service);
+
+}  // namespace cosched

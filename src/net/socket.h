@@ -1,0 +1,69 @@
+// RAII POSIX sockets for the live (non-simulated) coscheduling daemons.
+//
+// Scope is deliberately small: local stream sockets (socketpair) and
+// localhost TCP — enough to run two real resource-manager daemons speaking
+// the coordination protocol on one machine, which is what the examples and
+// tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cosched {
+
+/// Owning wrapper around a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Creates a connected pair of local stream sockets.
+  static std::pair<Socket, Socket> pair();
+
+  /// Sends the whole buffer; throws Error on failure.
+  void send_all(std::span<const std::uint8_t> data);
+
+  /// Receives exactly n bytes into out.  Returns false on clean EOF at a
+  /// message boundary (0 bytes read); throws Error on partial EOF or error.
+  bool recv_exact(std::span<std::uint8_t> out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds to 127.0.0.1:port (port 0 = ephemeral).  Throws Error on failure.
+  explicit TcpListener(std::uint16_t port);
+
+  /// The actually bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  Socket accept();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port.  Throws Error on failure.
+Socket tcp_connect(std::uint16_t port);
+
+}  // namespace cosched

@@ -1,0 +1,175 @@
+#include "proto/message.h"
+
+#include "proto/wire.h"
+
+namespace cosched {
+
+const char* to_string(MateStatus s) {
+  switch (s) {
+    case MateStatus::kHolding: return "holding";
+    case MateStatus::kQueuing: return "queuing";
+    case MateStatus::kUnsubmitted: return "unsubmitted";
+    case MateStatus::kStarting: return "starting";
+    case MateStatus::kRunning: return "running";
+    case MateStatus::kFinished: return "finished";
+    case MateStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  WireWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u64(request_id);
+  switch (type) {
+    case MsgType::kGetMateJobReq:
+      w.put_i64(group);
+      w.put_i64(job);
+      break;
+    case MsgType::kGetMateJobResp:
+      w.put_bool(found);
+      w.put_i64(job);
+      break;
+    case MsgType::kGetMateStatusReq:
+      w.put_i64(job);
+      break;
+    case MsgType::kGetMateStatusResp:
+      w.put_u8(static_cast<std::uint8_t>(status));
+      break;
+    case MsgType::kTryStartMateReq:
+    case MsgType::kStartJobReq:
+      w.put_i64(job);
+      break;
+    case MsgType::kTryStartMateResp:
+    case MsgType::kStartJobResp:
+      w.put_bool(ok);
+      break;
+    case MsgType::kErrorResp:
+      w.put_string(error);
+      break;
+  }
+  return w.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> data) {
+  WireReader r(data);
+  Message m;
+  const std::uint8_t t = r.get_u8();
+  switch (t) {
+    case 1: case 2: case 3: case 4: case 5: case 6: case 7: case 8: case 15:
+      m.type = static_cast<MsgType>(t);
+      break;
+    default:
+      throw ParseError("message: unknown type " + std::to_string(t));
+  }
+  m.request_id = r.get_u64();
+  switch (m.type) {
+    case MsgType::kGetMateJobReq:
+      m.group = r.get_i64();
+      m.job = r.get_i64();
+      break;
+    case MsgType::kGetMateJobResp:
+      m.found = r.get_bool();
+      m.job = r.get_i64();
+      break;
+    case MsgType::kGetMateStatusReq:
+      m.job = r.get_i64();
+      break;
+    case MsgType::kGetMateStatusResp: {
+      const std::uint8_t s = r.get_u8();
+      if (s > static_cast<std::uint8_t>(MateStatus::kUnknown))
+        throw ParseError("message: bad mate status " + std::to_string(s));
+      m.status = static_cast<MateStatus>(s);
+      break;
+    }
+    case MsgType::kTryStartMateReq:
+    case MsgType::kStartJobReq:
+      m.job = r.get_i64();
+      break;
+    case MsgType::kTryStartMateResp:
+    case MsgType::kStartJobResp:
+      m.ok = r.get_bool();
+      break;
+    case MsgType::kErrorResp:
+      m.error = r.get_string();
+      break;
+  }
+  if (!r.exhausted()) throw ParseError("message: trailing bytes");
+  return m;
+}
+
+Message make_get_mate_job_req(std::uint64_t rid, GroupId group, JobId asking) {
+  Message m;
+  m.type = MsgType::kGetMateJobReq;
+  m.request_id = rid;
+  m.group = group;
+  m.job = asking;
+  return m;
+}
+
+Message make_get_mate_job_resp(std::uint64_t rid, std::optional<JobId> mate) {
+  Message m;
+  m.type = MsgType::kGetMateJobResp;
+  m.request_id = rid;
+  m.found = mate.has_value();
+  m.job = mate.value_or(kNoJob);
+  return m;
+}
+
+Message make_get_mate_status_req(std::uint64_t rid, JobId mate) {
+  Message m;
+  m.type = MsgType::kGetMateStatusReq;
+  m.request_id = rid;
+  m.job = mate;
+  return m;
+}
+
+Message make_get_mate_status_resp(std::uint64_t rid, MateStatus status) {
+  Message m;
+  m.type = MsgType::kGetMateStatusResp;
+  m.request_id = rid;
+  m.status = status;
+  return m;
+}
+
+Message make_try_start_mate_req(std::uint64_t rid, JobId mate) {
+  Message m;
+  m.type = MsgType::kTryStartMateReq;
+  m.request_id = rid;
+  m.job = mate;
+  return m;
+}
+
+Message make_try_start_mate_resp(std::uint64_t rid, bool started) {
+  Message m;
+  m.type = MsgType::kTryStartMateResp;
+  m.request_id = rid;
+  m.ok = started;
+  return m;
+}
+
+Message make_start_job_req(std::uint64_t rid, JobId job) {
+  Message m;
+  m.type = MsgType::kStartJobReq;
+  m.request_id = rid;
+  m.job = job;
+  return m;
+}
+
+Message make_start_job_resp(std::uint64_t rid, bool ok) {
+  Message m;
+  m.type = MsgType::kStartJobResp;
+  m.request_id = rid;
+  m.ok = ok;
+  return m;
+}
+
+Message make_error_resp(std::uint64_t rid, std::string error) {
+  Message m;
+  m.type = MsgType::kErrorResp;
+  m.request_id = rid;
+  m.error = std::move(error);
+  return m;
+}
+
+}  // namespace cosched

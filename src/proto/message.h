@@ -1,0 +1,84 @@
+// The coscheduling coordination protocol (paper §IV-C, Algorithm 1).
+//
+// Exactly the four remote calls of the paper:
+//   getMateJob(group, asking_job) -> mate job id (or none)
+//   getMateStatus(mate)           -> holding | queuing | unsubmitted |
+//                                    starting | running | finished | unknown
+//   tryStartMate(mate)            -> did the remote scheduling iteration
+//                                    start the mate?
+//   startJob(job)                 -> start a remote *holding* mate
+//
+// `starting` is the commit marker a domain reports for a job that initiated
+// tryStartMate and is waiting for the answer: the remote Run_Job sees the
+// asking job as ready, preventing mutual-query recursion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+#include "workload/job.h"
+
+namespace cosched {
+
+enum class MateStatus : std::uint8_t {
+  kHolding = 0,      ///< occupying nodes, waiting for the asking job
+  kQueuing = 1,      ///< submitted, waiting in queue
+  kUnsubmitted = 2,  ///< not yet submitted on the remote domain
+  kStarting = 3,     ///< committed to start right now (treated like holding)
+  kRunning = 4,      ///< already running (treated as unknown by Algorithm 1)
+  kFinished = 5,     ///< already done (treated as unknown by Algorithm 1)
+  kUnknown = 6,      ///< remote cannot answer (job failed / not tracked)
+};
+
+const char* to_string(MateStatus s);
+
+enum class MsgType : std::uint8_t {
+  kGetMateJobReq = 1,
+  kGetMateJobResp = 2,
+  kGetMateStatusReq = 3,
+  kGetMateStatusResp = 4,
+  kTryStartMateReq = 5,
+  kTryStartMateResp = 6,
+  kStartJobReq = 7,
+  kStartJobResp = 8,
+  kErrorResp = 15,
+};
+
+/// A protocol message; the union of all request/response payload fields.
+/// Encoded fields are selected by `type`.
+struct Message {
+  MsgType type = MsgType::kErrorResp;
+  std::uint64_t request_id = 0;
+
+  GroupId group = kNoGroup;     // GetMateJobReq
+  JobId job = kNoJob;           // asking/mate/target job id
+  bool found = false;           // GetMateJobResp
+  MateStatus status = MateStatus::kUnknown;  // GetMateStatusResp
+  bool ok = false;              // TryStartMateResp / StartJobResp
+  std::string error;            // kErrorResp
+
+  /// Serializes to the compact wire form.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses a wire message.  Throws ParseError on malformed input.
+  static Message decode(std::span<const std::uint8_t> data);
+
+  bool operator==(const Message&) const = default;
+};
+
+// Convenience constructors for each call.
+Message make_get_mate_job_req(std::uint64_t rid, GroupId group, JobId asking);
+Message make_get_mate_job_resp(std::uint64_t rid, std::optional<JobId> mate);
+Message make_get_mate_status_req(std::uint64_t rid, JobId mate);
+Message make_get_mate_status_resp(std::uint64_t rid, MateStatus status);
+Message make_try_start_mate_req(std::uint64_t rid, JobId mate);
+Message make_try_start_mate_resp(std::uint64_t rid, bool started);
+Message make_start_job_req(std::uint64_t rid, JobId job);
+Message make_start_job_resp(std::uint64_t rid, bool ok);
+Message make_error_resp(std::uint64_t rid, std::string error);
+
+}  // namespace cosched

@@ -1,0 +1,67 @@
+#include "proto/peer.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace cosched {
+
+std::optional<Message> LoopbackPeer::round_trip(const Message& req,
+                                                MsgType expect) {
+  ++calls_;
+  const auto req_bytes = req.encode();
+  request_bytes_ += req_bytes.size();
+  const auto resp_bytes = dispatcher_.dispatch(req_bytes);
+  response_bytes_ += resp_bytes.size();
+  Message resp;
+  try {
+    resp = Message::decode(resp_bytes);
+  } catch (const ParseError& e) {
+    COSCHED_LOG(kError) << "loopback peer: bad response: " << e.what();
+    return std::nullopt;
+  }
+  if (resp.type != expect) {
+    if (resp.type == MsgType::kErrorResp)
+      COSCHED_LOG(kWarn) << "loopback peer: remote error: " << resp.error;
+    return std::nullopt;
+  }
+  if (resp.request_id != req.request_id) {
+    COSCHED_LOG(kError) << "loopback peer: response id mismatch";
+    return std::nullopt;
+  }
+  return resp;
+}
+
+std::optional<std::optional<JobId>> LoopbackPeer::get_mate_job(GroupId group,
+                                                               JobId asking) {
+  const auto resp = round_trip(make_get_mate_job_req(next_rid_++, group, asking),
+                               MsgType::kGetMateJobResp);
+  if (!resp) return std::nullopt;
+  // in_place distinguishes "reachable, no mate" from transport failure:
+  // optional<optional<T>>(nullopt) would construct an *empty outer*.
+  if (!resp->found)
+    return std::optional<std::optional<JobId>>(std::in_place, std::nullopt);
+  return std::optional<std::optional<JobId>>(std::in_place, resp->job);
+}
+
+std::optional<MateStatus> LoopbackPeer::get_mate_status(JobId mate) {
+  const auto resp = round_trip(make_get_mate_status_req(next_rid_++, mate),
+                               MsgType::kGetMateStatusResp);
+  if (!resp) return std::nullopt;
+  return resp->status;
+}
+
+std::optional<bool> LoopbackPeer::try_start_mate(JobId mate) {
+  const auto resp = round_trip(make_try_start_mate_req(next_rid_++, mate),
+                               MsgType::kTryStartMateResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> LoopbackPeer::start_job(JobId job) {
+  const auto resp = round_trip(make_start_job_req(next_rid_++, job),
+                               MsgType::kStartJobResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+}  // namespace cosched

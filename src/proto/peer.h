@@ -1,0 +1,101 @@
+// Client side of the coordination protocol.
+//
+// The coscheduling agent talks to each remote domain through PeerClient.
+// Every method returns nullopt on *transport* failure — the condition
+// Algorithm 1 maps to mate status "unknown" (start the local job normally;
+// a job never waits forever for a dead peer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "proto/message.h"
+#include "proto/service.h"
+
+namespace cosched {
+
+class PeerClient {
+ public:
+  virtual ~PeerClient() = default;
+
+  /// nullopt = remote unreachable.  An unreachable remote means "no mate
+  /// found" at line 2 of Algorithm 1: the ready job starts immediately.
+  virtual std::optional<std::optional<JobId>> get_mate_job(GroupId group,
+                                                           JobId asking) = 0;
+  virtual std::optional<MateStatus> get_mate_status(JobId mate) = 0;
+  virtual std::optional<bool> try_start_mate(JobId mate) = 0;
+  virtual std::optional<bool> start_job(JobId job) = 0;
+};
+
+/// In-process peer: encodes each call, runs it through a ServiceDispatcher,
+/// and decodes the response — the full wire path without a socket, so every
+/// simulation exercises the protocol encoding.
+class LoopbackPeer final : public PeerClient {
+ public:
+  explicit LoopbackPeer(CoschedService& service) : dispatcher_(service) {}
+
+  std::optional<std::optional<JobId>> get_mate_job(GroupId group,
+                                                   JobId asking) override;
+  std::optional<MateStatus> get_mate_status(JobId mate) override;
+  std::optional<bool> try_start_mate(JobId mate) override;
+  std::optional<bool> start_job(JobId job) override;
+
+  /// Total protocol round-trips performed (for the overhead accounting).
+  std::uint64_t calls() const { return calls_; }
+
+  /// Total encoded request/response bytes — quantifies the paper's
+  /// "lightweight protocol" claim.
+  std::uint64_t request_bytes() const { return request_bytes_; }
+  std::uint64_t response_bytes() const { return response_bytes_; }
+
+ private:
+  std::optional<Message> round_trip(const Message& req, MsgType expect);
+
+  ServiceDispatcher dispatcher_;
+  std::uint64_t next_rid_ = 1;
+  std::uint64_t calls_ = 0;
+  std::uint64_t request_bytes_ = 0;
+  std::uint64_t response_bytes_ = 0;
+};
+
+/// Wraps another peer and injects failures: while `down` (or with probability
+/// `failure_rate`), every call reports transport failure.  Models the paper's
+/// fault-tolerance scenarios: remote system down, mate job failed.
+class FaultInjectingPeer final : public PeerClient {
+ public:
+  explicit FaultInjectingPeer(std::unique_ptr<PeerClient> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  /// The wrapped transport (for statistics inspection).
+  PeerClient& inner() { return *inner_; }
+  const PeerClient& inner() const { return *inner_; }
+
+  std::optional<std::optional<JobId>> get_mate_job(GroupId group,
+                                                   JobId asking) override {
+    if (down_) return std::nullopt;
+    return inner_->get_mate_job(group, asking);
+  }
+  std::optional<MateStatus> get_mate_status(JobId mate) override {
+    if (down_) return std::nullopt;
+    return inner_->get_mate_status(mate);
+  }
+  std::optional<bool> try_start_mate(JobId mate) override {
+    if (down_) return std::nullopt;
+    return inner_->try_start_mate(mate);
+  }
+  std::optional<bool> start_job(JobId job) override {
+    if (down_) return std::nullopt;
+    return inner_->start_job(job);
+  }
+
+ private:
+  std::unique_ptr<PeerClient> inner_;
+  bool down_ = false;
+};
+
+}  // namespace cosched

@@ -1,0 +1,45 @@
+#include "proto/service.h"
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace cosched {
+
+std::vector<std::uint8_t> ServiceDispatcher::dispatch(
+    std::span<const std::uint8_t> request) {
+  Message req;
+  try {
+    req = Message::decode(request);
+  } catch (const ParseError& e) {
+    COSCHED_LOG(kWarn) << "dispatcher: malformed request: " << e.what();
+    return make_error_resp(0, e.what()).encode();
+  }
+
+  try {
+    switch (req.type) {
+      case MsgType::kGetMateJobReq:
+        return make_get_mate_job_resp(
+                   req.request_id, service_.get_mate_job(req.group, req.job))
+            .encode();
+      case MsgType::kGetMateStatusReq:
+        return make_get_mate_status_resp(req.request_id,
+                                         service_.get_mate_status(req.job))
+            .encode();
+      case MsgType::kTryStartMateReq:
+        return make_try_start_mate_resp(req.request_id,
+                                        service_.try_start_mate(req.job))
+            .encode();
+      case MsgType::kStartJobReq:
+        return make_start_job_resp(req.request_id, service_.start_job(req.job))
+            .encode();
+      default:
+        return make_error_resp(req.request_id, "unexpected message type")
+            .encode();
+    }
+  } catch (const std::exception& e) {
+    COSCHED_LOG(kError) << "dispatcher: service error: " << e.what();
+    return make_error_resp(req.request_id, e.what()).encode();
+  }
+}
+
+}  // namespace cosched

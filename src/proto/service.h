@@ -1,0 +1,52 @@
+// Server side of the coordination protocol.
+//
+// A scheduling domain implements CoschedService; ServiceDispatcher turns
+// encoded request bytes into service calls and encoded responses.  The same
+// dispatcher backs the in-process loopback peer and the socket daemons.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/message.h"
+
+namespace cosched {
+
+/// The operations a domain must answer for its peers (paper Algorithm 1's
+/// remote.* calls, seen from the receiving side).
+class CoschedService {
+ public:
+  virtual ~CoschedService() = default;
+
+  /// Finds the local member of coscheduling group `group`.  `asking` is the
+  /// remote job that asks (for logging/validation).  nullopt = not found,
+  /// which the asker treats as "no mate; start normally".
+  virtual std::optional<JobId> get_mate_job(GroupId group, JobId asking) = 0;
+
+  /// Reports the scheduling status of a local job.
+  virtual MateStatus get_mate_status(JobId job) = 0;
+
+  /// Runs an additional scheduling iteration trying to start `job`;
+  /// true only if the job actually started (paper line 12).
+  virtual bool try_start_mate(JobId job) = 0;
+
+  /// Starts a local *holding* job whose mate is now ready (paper line 8).
+  virtual bool start_job(JobId job) = 0;
+};
+
+/// Decodes a request, invokes the service, encodes the response.
+/// Malformed requests produce a kErrorResp rather than an exception so a
+/// bad peer cannot crash a daemon.
+class ServiceDispatcher {
+ public:
+  explicit ServiceDispatcher(CoschedService& service) : service_(service) {}
+
+  std::vector<std::uint8_t> dispatch(std::span<const std::uint8_t> request);
+
+ private:
+  CoschedService& service_;
+};
+
+}  // namespace cosched

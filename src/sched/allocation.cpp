@@ -1,0 +1,28 @@
+#include "sched/allocation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cosched {
+
+PartitionAllocation::PartitionAllocation(std::vector<NodeCount> sizes)
+    : sizes_(std::move(sizes)) {
+  COSCHED_CHECK(!sizes_.empty());
+  std::sort(sizes_.begin(), sizes_.end());
+  COSCHED_CHECK(sizes_.front() > 0);
+}
+
+NodeCount PartitionAllocation::charged(NodeCount requested) const {
+  COSCHED_CHECK(requested > 0);
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), requested);
+  if (it == sizes_.end()) return sizes_.back();
+  return *it;
+}
+
+PartitionAllocation PartitionAllocation::intrepid() {
+  return PartitionAllocation({512, 1024, 2048, 4096, 8192, 16384, 32768,
+                              40960});
+}
+
+}  // namespace cosched

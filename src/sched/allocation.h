@@ -1,0 +1,47 @@
+// Node allocation models.
+//
+// Blue Gene/P machines allocate whole partitions: a 600-node request is
+// charged a 1,024-node partition.  The paper's Intrepid traces contain
+// partition-sized jobs already, but real archive traces do not, so the pool
+// supports a charging model.  The default model charges exactly the request.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/types.h"
+
+namespace cosched {
+
+/// Maps a requested node count to the number of nodes actually consumed.
+class AllocationModel {
+ public:
+  virtual ~AllocationModel() = default;
+
+  /// Nodes charged for a request; always >= requested.
+  virtual NodeCount charged(NodeCount requested) const = 0;
+};
+
+/// Charges exactly what was requested.
+class PlainAllocation final : public AllocationModel {
+ public:
+  NodeCount charged(NodeCount requested) const override { return requested; }
+};
+
+/// Rounds requests up to the smallest containing partition size.
+/// Requests above the largest partition are charged the largest partition.
+class PartitionAllocation final : public AllocationModel {
+ public:
+  /// `sizes` must be non-empty; it is sorted internally.
+  explicit PartitionAllocation(std::vector<NodeCount> sizes);
+
+  NodeCount charged(NodeCount requested) const override;
+
+  /// The Intrepid (BG/P, 40,960-node) partition ladder.
+  static PartitionAllocation intrepid();
+
+ private:
+  std::vector<NodeCount> sizes_;
+};
+
+}  // namespace cosched

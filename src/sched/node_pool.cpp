@@ -1,0 +1,84 @@
+#include "sched/node_pool.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+NodePool::NodePool(NodeCount capacity,
+                   std::shared_ptr<const AllocationModel> model)
+    : capacity_(capacity), model_(std::move(model)) {
+  COSCHED_CHECK(capacity_ > 0);
+}
+
+NodeCount NodePool::charged(NodeCount requested) const {
+  COSCHED_CHECK_MSG(requested > 0 && requested <= capacity_,
+                    "request of " << requested << " nodes on a " << capacity_
+                                  << "-node machine");
+  // A partition model may round above capacity (e.g. a 33K-node request on
+  // the 40,960-node ladder); the full machine is the correct charge then.
+  const NodeCount c = model_ ? model_->charged(requested) : requested;
+  return c <= capacity_ ? c : capacity_;
+}
+
+void NodePool::advance_to(Time now) {
+  COSCHED_CHECK_MSG(now >= last_update_, "pool accounting went backwards");
+  const auto dt = static_cast<double>(now - last_update_);
+  busy_ns_ += dt * static_cast<double>(busy_);
+  held_ns_ += dt * static_cast<double>(held_);
+  last_update_ = now;
+}
+
+void NodePool::allocate(NodeCount n, Time now) {
+  advance_to(now);
+  COSCHED_CHECK_MSG(n > 0 && n <= free(),
+                    "allocate " << n << " with only " << free() << " free");
+  busy_ += n;
+}
+
+void NodePool::release(NodeCount n, Time now) {
+  advance_to(now);
+  COSCHED_CHECK_MSG(n > 0 && n <= busy_,
+                    "release " << n << " with only " << busy_ << " busy");
+  busy_ -= n;
+}
+
+void NodePool::hold(NodeCount n, Time now) {
+  advance_to(now);
+  COSCHED_CHECK_MSG(n > 0 && n <= free(),
+                    "hold " << n << " with only " << free() << " free");
+  held_ += n;
+}
+
+void NodePool::unhold(NodeCount n, Time now) {
+  advance_to(now);
+  COSCHED_CHECK_MSG(n > 0 && n <= held_,
+                    "unhold " << n << " with only " << held_ << " held");
+  held_ -= n;
+}
+
+void NodePool::hold_to_busy(NodeCount n, Time now) {
+  advance_to(now);
+  COSCHED_CHECK_MSG(n > 0 && n <= held_,
+                    "promote " << n << " with only " << held_ << " held");
+  held_ -= n;
+  busy_ += n;
+}
+
+double NodePool::utilization(Time now) const {
+  if (now <= 0) return 0.0;
+  // Include un-integrated time since the last state change.
+  const double extra =
+      static_cast<double>(now - last_update_) * static_cast<double>(busy_);
+  return (busy_ns_ + extra) /
+         (static_cast<double>(capacity_) * static_cast<double>(now));
+}
+
+double NodePool::held_fraction(Time now) const {
+  if (now <= 0) return 0.0;
+  const double extra =
+      static_cast<double>(now - last_update_) * static_cast<double>(held_);
+  return (held_ns_ + extra) /
+         (static_cast<double>(capacity_) * static_cast<double>(now));
+}
+
+}  // namespace cosched

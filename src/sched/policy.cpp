@@ -1,0 +1,56 @@
+#include "sched/policy.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cosched {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kHolding: return "holding";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+double FcfsPolicy::score(const RuntimeJob& job, Time now) const {
+  (void)now;
+  // Earlier submit = higher score; boost breaks FCFS ties upward.
+  return -static_cast<double>(job.spec.submit) + job.priority_boost;
+}
+
+double WfpPolicy::score(const RuntimeJob& job, Time now) const {
+  const double wait =
+      static_cast<double>(now > job.spec.submit ? now - job.spec.submit : 0);
+  const double wall = static_cast<double>(
+      job.spec.walltime > 0 ? job.spec.walltime : 1);
+  return std::pow(wait / wall, exponent_) *
+             static_cast<double>(job.spec.nodes) +
+         job.priority_boost;
+}
+
+double SjfPolicy::score(const RuntimeJob& job, Time now) const {
+  (void)now;
+  return -static_cast<double>(job.spec.walltime) + job.priority_boost;
+}
+
+double LxfPolicy::score(const RuntimeJob& job, Time now) const {
+  const double wait =
+      static_cast<double>(now > job.spec.submit ? now - job.spec.submit : 0);
+  const double wall =
+      static_cast<double>(job.spec.walltime > 0 ? job.spec.walltime : 1);
+  return (wait + wall) / wall + job.priority_boost;
+}
+
+std::unique_ptr<PriorityPolicy> make_policy(const std::string& name) {
+  if (name == "fcfs") return std::make_unique<FcfsPolicy>();
+  if (name == "wfp") return std::make_unique<WfpPolicy>();
+  if (name == "sjf") return std::make_unique<SjfPolicy>();
+  if (name == "lxf") return std::make_unique<LxfPolicy>();
+  throw ParseError("unknown scheduling policy: " + name);
+}
+
+}  // namespace cosched

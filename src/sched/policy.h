@@ -1,0 +1,72 @@
+// Queue priority policies.
+//
+// The paper's production systems both run WFP plus backfilling; FCFS is the
+// common baseline it cites as sufficient for yield-yield progress (§IV-D2).
+// Higher scores run first.  Policies must be monotone in waiting time so a
+// yielding job eventually reaches the top (starvation freedom).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sched/runtime_job.h"
+#include "util/types.h"
+
+namespace cosched {
+
+class PriorityPolicy {
+ public:
+  virtual ~PriorityPolicy() = default;
+
+  /// Priority score of a queued job at time `now`; higher runs first.
+  /// Implementations should incorporate job.priority_boost.
+  virtual double score(const RuntimeJob& job, Time now) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// First-come first-served: earlier submission = higher score.
+class FcfsPolicy final : public PriorityPolicy {
+ public:
+  double score(const RuntimeJob& job, Time now) const override;
+  std::string name() const override { return "fcfs"; }
+};
+
+/// WFP, the utility function used by Cobalt on Intrepid (see [28] in the
+/// paper): score grows with (waiting time / requested walltime)^3 and with
+/// job size, favoring old and large jobs while normalizing by job length.
+class WfpPolicy final : public PriorityPolicy {
+ public:
+  /// `exponent` is the wait/walltime power (3 in production).
+  explicit WfpPolicy(double exponent = 3.0) : exponent_(exponent) {}
+
+  double score(const RuntimeJob& job, Time now) const override;
+  std::string name() const override { return "wfp"; }
+
+ private:
+  double exponent_;
+};
+
+/// Shortest job first (by requested walltime); classic turnaround-time
+/// optimizer.  Starvation-prone on its own — the boost term (fed by the
+/// yield-boost enhancement) is its only aging mechanism.
+class SjfPolicy final : public PriorityPolicy {
+ public:
+  double score(const RuntimeJob& job, Time now) const override;
+  std::string name() const override { return "sjf"; }
+};
+
+/// Largest expansion factor first: score = (wait + walltime) / walltime —
+/// the job whose relative delay is currently worst runs first.  A
+/// starvation-free middle ground between FCFS and WFP.
+class LxfPolicy final : public PriorityPolicy {
+ public:
+  double score(const RuntimeJob& job, Time now) const override;
+  std::string name() const override { return "lxf"; }
+};
+
+/// Constructs a policy by name ("fcfs", "wfp", "sjf", "lxf");
+/// throws ParseError otherwise.
+std::unique_ptr<PriorityPolicy> make_policy(const std::string& name);
+
+}  // namespace cosched

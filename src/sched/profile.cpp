@@ -1,0 +1,72 @@
+#include "sched/profile.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+TimelineProfile::TimelineProfile(NodeCount capacity) : capacity_(capacity) {
+  COSCHED_CHECK(capacity_ > 0);
+}
+
+NodeCount TimelineProfile::free_at(Time t) const {
+  NodeCount used = 0;
+  for (const auto& [when, delta] : deltas_) {
+    if (when > t) break;
+    used += delta;
+  }
+  return capacity_ - used;
+}
+
+bool TimelineProfile::can_reserve(Time start, Duration dur, NodeCount n) const {
+  COSCHED_CHECK(dur > 0 && n > 0);
+  if (n > capacity_) return false;
+  const Time end = start + dur;
+  NodeCount used = 0;
+  auto it = deltas_.begin();
+  // Usage entering the window.
+  for (; it != deltas_.end() && it->first <= start; ++it) used += it->second;
+  if (capacity_ - used < n) return false;
+  // Usage at each change point inside the window.
+  for (; it != deltas_.end() && it->first < end; ++it) {
+    used += it->second;
+    if (capacity_ - used < n) return false;
+  }
+  return true;
+}
+
+void TimelineProfile::reserve(Time start, Duration dur, NodeCount n) {
+  COSCHED_CHECK_MSG(can_reserve(start, dur, n),
+                    "reserve " << n << "@[" << start << "," << start + dur
+                               << ") exceeds capacity");
+  deltas_[start] += n;
+  deltas_[start + dur] -= n;
+  // Drop zero entries to keep the map compact.
+  if (deltas_[start] == 0) deltas_.erase(start);
+  if (deltas_[start + dur] == 0) deltas_.erase(start + dur);
+}
+
+void TimelineProfile::release(Time start, Duration dur, NodeCount n) {
+  COSCHED_CHECK(dur > 0 && n > 0);
+  deltas_[start] -= n;
+  deltas_[start + dur] += n;
+  if (deltas_[start] == 0) deltas_.erase(start);
+  if (deltas_[start + dur] == 0) deltas_.erase(start + dur);
+}
+
+Time TimelineProfile::earliest_fit(Time after, Duration dur,
+                                   NodeCount n) const {
+  COSCHED_CHECK(dur > 0 && n > 0);
+  COSCHED_CHECK_MSG(n <= capacity_, "request exceeds machine capacity");
+  if (can_reserve(after, dur, n)) return after;
+  for (const auto& [when, delta] : deltas_) {
+    (void)delta;
+    if (when <= after) continue;
+    if (can_reserve(when, dur, n)) return when;
+  }
+  // After the last change point everything is free.
+  Time last = after;
+  if (!deltas_.empty()) last = std::max(after, deltas_.rbegin()->first);
+  return last;
+}
+
+}  // namespace cosched

@@ -1,0 +1,43 @@
+// Availability timeline: free-node capacity as a step function of time.
+//
+// Used by the advance co-reservation baseline (HARC/GARA-style, §III of the
+// paper) to find the earliest slot with capacity on both machines, and by
+// tests as an oracle for backfill legality.
+#pragma once
+
+#include <map>
+
+#include "util/types.h"
+
+namespace cosched {
+
+class TimelineProfile {
+ public:
+  explicit TimelineProfile(NodeCount capacity);
+
+  NodeCount capacity() const { return capacity_; }
+
+  /// Free nodes at time `t`.
+  NodeCount free_at(Time t) const;
+
+  /// True when `n` nodes are free over the whole window [start, start+dur).
+  bool can_reserve(Time start, Duration dur, NodeCount n) const;
+
+  /// Subtracts `n` nodes over [start, start+dur).
+  /// Throws InvariantError if the window lacks capacity.
+  void reserve(Time start, Duration dur, NodeCount n);
+
+  /// Returns `n` nodes over [start, start+dur) (cancel a reservation).
+  void release(Time start, Duration dur, NodeCount n);
+
+  /// Earliest start >= `after` such that `n` nodes are free for `dur`.
+  /// Candidate starts are `after` and capacity-change points after it.
+  Time earliest_fit(Time after, Duration dur, NodeCount n) const;
+
+ private:
+  NodeCount capacity_;
+  /// Net node-usage deltas: usage at t = prefix sum of deltas_ up to t.
+  std::map<Time, NodeCount> deltas_;
+};
+
+}  // namespace cosched

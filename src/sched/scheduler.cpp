@@ -1,0 +1,355 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "sched/profile.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace cosched {
+
+Scheduler::Scheduler(NodeCount capacity, std::unique_ptr<PriorityPolicy> policy,
+                     SchedulerConfig config,
+                     std::shared_ptr<const AllocationModel> alloc)
+    : pool_(capacity, std::move(alloc)),
+      policy_(std::move(policy)),
+      config_(config) {
+  COSCHED_CHECK(policy_ != nullptr);
+}
+
+void Scheduler::submit(const JobSpec& spec, Time now) {
+  COSCHED_CHECK_MSG(spec.id != kNoJob, "job must have an id");
+  COSCHED_CHECK_MSG(!jobs_.count(spec.id),
+                    "duplicate submit of job " << spec.id);
+  COSCHED_CHECK_MSG(pool_.charged(spec.nodes) <= pool_.capacity(),
+                    "job " << spec.id << " cannot fit the machine");
+  (void)now;
+  RuntimeJob job;
+  job.spec = spec;
+  job.state = JobState::kQueued;
+  jobs_.emplace(spec.id, job);
+  queued_.push_back(spec.id);
+}
+
+bool Scheduler::eligible(const RuntimeJob& job, Time now) const {
+  if (!job.spec.has_dependency()) return true;
+  auto it = jobs_.find(job.spec.after);
+  if (it == jobs_.end()) return false;  // dependency not yet submitted
+  const RuntimeJob& dep = it->second;
+  if (dep.state != JobState::kFinished) return false;
+  return now >= dep.end + job.spec.after_delay;
+}
+
+std::vector<JobId> Scheduler::priority_order(Time now) const {
+  struct Key {
+    JobId id;
+    bool demoted;
+    double score;
+    Time submit;
+  };
+  std::vector<Key> keys;
+  keys.reserve(queued_.size());
+  for (JobId id : queued_) {
+    const RuntimeJob& j = jobs_.at(id);
+    if (!eligible(j, now)) continue;  // waiting on a dependency
+    keys.push_back(Key{id, j.demoted, policy_->score(j, now), j.spec.submit});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.demoted != b.demoted) return !a.demoted;  // demoted sort last
+    if (a.score != b.score) return a.score > b.score;
+    if (a.submit != b.submit) return a.submit < b.submit;
+    return a.id < b.id;
+  });
+  std::vector<JobId> order;
+  order.reserve(keys.size());
+  for (const Key& k : keys) order.push_back(k.id);
+  return order;
+}
+
+Scheduler::Shadow Scheduler::compute_shadow(const RuntimeJob& head,
+                                            Time now) const {
+  Shadow s;
+  const NodeCount need = pool_.charged(head.spec.nodes);
+  NodeCount cum = pool_.free();
+  // Running jobs free their charged nodes no later than start + walltime.
+  // Holding jobs have no bounded end; they contribute nothing (conservative).
+  struct End {
+    Time t;
+    NodeCount n;
+  };
+  std::vector<End> ends;
+  for (const auto& [id, j] : jobs_) {
+    (void)id;
+    if (j.state == JobState::kRunning)
+      ends.push_back(End{j.start + j.spec.walltime, j.allocated});
+  }
+  std::sort(ends.begin(), ends.end(),
+            [](const End& a, const End& b) { return a.t < b.t; });
+  for (const End& e : ends) {
+    cum += e.n;
+    if (cum >= need) {
+      s.time = std::max(e.t, now);
+      s.extra = cum - need;
+      return s;
+    }
+  }
+  // Head can never fit from running-job completions alone (held nodes block
+  // it).  No reservation is possible; allow free backfilling.
+  s.time = kNoTime;
+  s.extra = pool_.free();
+  return s;
+}
+
+RunDecision Scheduler::decide(RuntimeJob& job, NodeCount charged, Time now,
+                              const RunJobHook& hook) {
+  job.allocated = charged;
+  if (job.first_ready == kNoTime) job.first_ready = now;
+  const RunDecision d = hook ? hook(job) : RunDecision::kStart;
+  switch (d) {
+    case RunDecision::kStart:
+      pool_.allocate(charged, now);
+      do_start(job, now);
+      break;
+    case RunDecision::kHold:
+      pool_.hold(charged, now);
+      job.state = JobState::kHolding;
+      job.hold_since = now;
+      remove_from_queue(job.spec.id);
+      break;
+    case RunDecision::kYield:
+      job.allocated = 0;
+      ++job.yield_count;
+      break;
+    case RunDecision::kSkip:
+      job.allocated = 0;
+      break;
+  }
+  return d;
+}
+
+void Scheduler::do_start(RuntimeJob& job, Time now) {
+  job.state = JobState::kRunning;
+  job.start = now;
+  if (job.first_ready == kNoTime) job.first_ready = now;
+  job.hold_since = kNoTime;
+  job.demoted = false;
+  remove_from_queue(job.spec.id);
+  ++running_;
+  if (on_start_) on_start_(job);
+}
+
+std::vector<JobId> Scheduler::iterate_conservative(Time now,
+                                                   const RunJobHook& hook) {
+  std::vector<JobId> started;
+  // Rebuild the availability timeline: running jobs free their nodes at
+  // start + walltime; holding jobs have no bounded end and occupy their
+  // nodes out to the planning horizon.
+  constexpr Duration kHorizon = 10LL * 365 * kDay;
+  TimelineProfile profile(pool_.capacity());
+  for (const auto& [id, j] : jobs_) {
+    (void)id;
+    if (j.state == JobState::kRunning) {
+      const Time end = j.start + j.spec.walltime;
+      if (end > now) profile.reserve(now, end - now, j.allocated);
+    } else if (j.state == JobState::kHolding) {
+      profile.reserve(now, kHorizon, j.allocated);
+    }
+  }
+
+  for (JobId id : priority_order(now)) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    RuntimeJob& job = it->second;
+    if (job.state != JobState::kQueued) continue;
+    const NodeCount charged = pool_.charged(job.spec.nodes);
+    const Time planned = profile.earliest_fit(now, job.spec.walltime, charged);
+    if (planned > now) {
+      // Reserved for later; no later job may take these nodes first.
+      profile.reserve(planned, job.spec.walltime, charged);
+      continue;
+    }
+    const RunDecision d = decide(job, charged, now, hook);
+    switch (d) {
+      case RunDecision::kStart:
+        started.push_back(id);
+        profile.reserve(now, job.spec.walltime, charged);
+        break;
+      case RunDecision::kHold:
+        profile.reserve(now, kHorizon, charged);
+        break;
+      case RunDecision::kYield:
+      case RunDecision::kSkip:
+        break;  // slot released; later jobs may claim it
+    }
+  }
+  for (JobId id : queued_) jobs_.at(id).demoted = false;
+  return started;
+}
+
+std::vector<JobId> Scheduler::iterate(Time now, const RunJobHook& hook) {
+  if (config_.backfill && config_.conservative)
+    return iterate_conservative(now, hook);
+  std::vector<JobId> started;
+  const std::vector<JobId> order = priority_order(now);
+
+  bool blocked = false;
+  Shadow shadow;
+  for (JobId id : order) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    RuntimeJob& job = it->second;
+    if (job.state != JobState::kQueued) continue;  // held/started via hook side effects
+
+    const NodeCount charged = pool_.charged(job.spec.nodes);
+    const bool fits = pool_.can_allocate(charged);
+
+    if (!blocked) {
+      if (fits) {
+        if (decide(job, charged, now, hook) == RunDecision::kStart)
+          started.push_back(id);
+        continue;
+      }
+      // Head job blocks: reserve its shadow window, then backfill.
+      blocked = true;
+      if (!config_.backfill) break;
+      shadow = compute_shadow(job, now);
+      continue;
+    }
+
+    // Backfill phase.
+    if (!fits) continue;
+    const bool ends_before_shadow =
+        shadow.time != kNoTime && now + job.spec.walltime <= shadow.time;
+    const bool within_extra = charged <= shadow.extra;
+    if (shadow.time != kNoTime && !ends_before_shadow && !within_extra)
+      continue;
+    const RunDecision d = decide(job, charged, now, hook);
+    if (d == RunDecision::kStart) started.push_back(id);
+    // Consuming nodes past the shadow (or holding, whose end is unknown)
+    // draws down the extra-node budget.
+    if ((d == RunDecision::kStart || d == RunDecision::kHold) &&
+        (!ends_before_shadow || d == RunDecision::kHold))
+      shadow.extra = std::max<NodeCount>(0, shadow.extra - charged);
+  }
+
+  // Demotion lasts exactly one iteration (paper §IV-E1).
+  for (JobId id : queued_) jobs_.at(id).demoted = false;
+  return started;
+}
+
+bool Scheduler::try_start_specific(JobId id, Time now, const RunJobHook& hook) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  RuntimeJob& job = it->second;
+  if (job.state != JobState::kQueued) return false;
+  if (!eligible(job, now)) return false;
+
+  const NodeCount charged = pool_.charged(job.spec.nodes);
+  if (!pool_.can_allocate(charged)) return false;
+
+  if (config_.backfill && config_.respect_reservation_on_try) {
+    // Find the blocked queue head; starting `id` must not delay it.
+    const std::vector<JobId> order = priority_order(now);
+    for (JobId hid : order) {
+      if (hid == id) break;  // `id` outranks everything unfitting before it
+      const RuntimeJob& head = jobs_.at(hid);
+      if (head.state != JobState::kQueued) continue;
+      if (pool_.can_allocate(pool_.charged(head.spec.nodes))) continue;
+      const Shadow shadow = compute_shadow(head, now);
+      const bool ends_before =
+          shadow.time != kNoTime && now + job.spec.walltime <= shadow.time;
+      const bool within_extra = charged <= shadow.extra;
+      if (shadow.time != kNoTime && !ends_before && !within_extra)
+        return false;
+      break;
+    }
+  }
+
+  return decide(job, charged, now, hook) == RunDecision::kStart;
+}
+
+void Scheduler::start_holding(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kHolding,
+                    "job " << id << " is not holding");
+  pool_.hold_to_busy(job.allocated, now);
+  do_start(job, now);
+}
+
+void Scheduler::release_hold(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kHolding,
+                    "job " << id << " is not holding");
+  pool_.unhold(job.allocated, now);
+  job.allocated = 0;
+  job.hold_since = kNoTime;
+  job.state = JobState::kQueued;
+  job.demoted = true;  // lowest priority for the next iteration
+  ++job.forced_releases;
+  queued_.push_back(id);
+}
+
+void Scheduler::finish(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kRunning,
+                    "job " << id << " is not running");
+  pool_.release(job.allocated, now);
+  job.state = JobState::kFinished;
+  job.end = now;
+  --running_;
+  ++finished_;
+}
+
+void Scheduler::kill(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  RuntimeJob& job = it->second;
+  switch (job.state) {
+    case JobState::kQueued:
+      remove_from_queue(id);
+      break;
+    case JobState::kHolding:
+      pool_.unhold(job.allocated, now);
+      break;
+    case JobState::kRunning:
+      pool_.release(job.allocated, now);
+      --running_;
+      break;
+    case JobState::kFinished:
+      return;
+  }
+  job.state = JobState::kFinished;
+  job.end = now;
+  ++finished_;
+}
+
+const RuntimeJob* Scheduler::find(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+RuntimeJob* Scheduler::find_mut(JobId id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobId> Scheduler::holding_ids() const {
+  std::vector<JobId> out;
+  for (const auto& [id, j] : jobs_)
+    if (j.state == JobState::kHolding) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Scheduler::remove_from_queue(JobId id) {
+  queued_.erase(std::remove(queued_.begin(), queued_.end(), id),
+                queued_.end());
+}
+
+}  // namespace cosched

@@ -1,0 +1,160 @@
+// Single-domain job scheduler: queue + priority policy + EASY backfilling,
+// with the paper's coscheduling hook at the moment a job becomes "ready".
+//
+// The paper (§IV-C) extends the resource manager's Run_Job function: when the
+// scheduler selects a job and assigns nodes, additional logic decides whether
+// the job starts, holds its nodes, or yields its turn.  We model that as the
+// RunJobHook: the scheduler is entirely coscheduling-agnostic, and the
+// coscheduling agent (core/agent.h) supplies Algorithm 1 as the hook — the
+// same separation the authors used between Cobalt and their extension.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/node_pool.h"
+#include "sched/policy.h"
+#include "sched/runtime_job.h"
+#include "util/types.h"
+
+namespace cosched {
+
+/// Outcome of the Run_Job decision for a ready job.
+enum class RunDecision {
+  kStart,  ///< start now on the assigned nodes
+  kHold,   ///< occupy the nodes, wait for the remote mate
+  kYield,  ///< give the turn up; scheduler proceeds with other jobs
+  kSkip,   ///< decline without side effects (used by tryStartMate contexts;
+           ///< not counted as a yield)
+};
+
+/// Decides what a ready job does.  Called with the job in kQueued state and
+/// job.allocated set to the charged node count.  A null hook means kStart.
+using RunJobHook = std::function<RunDecision(RuntimeJob&)>;
+
+struct SchedulerConfig {
+  /// Enable backfilling.  When false, scheduling is strict priority order:
+  /// nothing may pass a blocked queue head.
+  bool backfill = true;
+
+  /// Conservative backfilling: every queued job receives a reservation on a
+  /// rebuilt availability timeline each iteration, and a job may start only
+  /// at its planned time — no queued job can be delayed by a later one.
+  /// When false (default), EASY backfilling is used (only the head job is
+  /// protected by a shadow-time reservation).
+  bool conservative = false;
+
+  /// When tryStartMate-style targeted starts must obey the head job's
+  /// backfill reservation (recommended; prevents mate starts from starving
+  /// the local queue head).
+  bool respect_reservation_on_try = true;
+
+  /// Periodic scheduling cadence, used by the Cluster event driver (the
+  /// Scheduler itself is clockless).  0 = purely event-driven iterations
+  /// (submit/end/release); > 0 additionally runs an iteration every period
+  /// while unfinished jobs exist, as production Cobalt does.
+  Duration iteration_period = 0;
+};
+
+/// One scheduling domain's job scheduler.
+class Scheduler {
+ public:
+  Scheduler(NodeCount capacity, std::unique_ptr<PriorityPolicy> policy,
+            SchedulerConfig config = {},
+            std::shared_ptr<const AllocationModel> alloc = nullptr);
+
+  /// Invoked whenever any job transitions to running (from any path);
+  /// the owner uses it to schedule the completion event.
+  void set_on_start(std::function<void(const RuntimeJob&)> cb) {
+    on_start_ = std::move(cb);
+  }
+
+  /// Adds a job to the queue.
+  void submit(const JobSpec& spec, Time now);
+
+  /// Runs one scheduling iteration: walk the queue in priority order,
+  /// start/hold/backfill jobs per the policy and the hook.
+  /// Returns ids of jobs started during this pass.
+  std::vector<JobId> iterate(Time now, const RunJobHook& hook = nullptr);
+
+  /// Targeted start of one queued job (the remote side's tryStartMate).
+  /// Starts it iff it fits and (optionally) does not violate the queue
+  /// head's backfill reservation, and the hook agrees.  Returns true iff
+  /// the job started.
+  bool try_start_specific(JobId id, Time now, const RunJobHook& hook = nullptr);
+
+  /// Starts a holding job (its mate became ready): held -> busy.
+  void start_holding(JobId id, Time now);
+
+  /// Forcibly releases a holding job's nodes (deadlock breaker): the job
+  /// re-queues demoted to lowest priority for the next iteration.
+  void release_hold(JobId id, Time now);
+
+  /// Completes a running job, freeing its nodes.
+  void finish(JobId id, Time now);
+
+  /// Kills a job wherever it is (fault injection).  Queued jobs leave the
+  /// queue; running/holding jobs free their nodes.  end = now.
+  void kill(JobId id, Time now);
+
+  /// Dependency eligibility: true when the job has no `after` constraint or
+  /// the constraint is satisfied (dependency finished, delay elapsed).
+  /// Ineligible jobs are invisible to iterations and targeted starts.
+  bool eligible(const RuntimeJob& job, Time now) const;
+
+  // -- introspection ---------------------------------------------------
+
+  const RuntimeJob* find(JobId id) const;
+  RuntimeJob* find_mut(JobId id);
+
+  NodePool& pool() { return pool_; }
+  const NodePool& pool() const { return pool_; }
+
+  std::size_t queue_length() const { return queued_.size(); }
+  const std::vector<JobId>& queued_ids() const { return queued_; }
+  std::vector<JobId> holding_ids() const;
+  std::size_t running_count() const { return running_; }
+  std::size_t finished_count() const { return finished_; }
+
+  /// All jobs this scheduler has seen (for metric extraction).
+  const std::unordered_map<JobId, RuntimeJob>& jobs() const { return jobs_; }
+
+  const PriorityPolicy& policy() const { return *policy_; }
+
+ private:
+  // Queue order for one iteration: demoted jobs last, then score desc,
+  // submit asc, id asc.
+  std::vector<JobId> priority_order(Time now) const;
+
+  // EASY reservation for a blocked head job.
+  struct Shadow {
+    Time time = kNoTime;      // when the head is guaranteed to fit (kNoTime = never)
+    NodeCount extra = 0;      // nodes usable past the shadow without delaying it
+  };
+  Shadow compute_shadow(const RuntimeJob& head, Time now) const;
+
+  // Conservative-backfill iteration (config_.conservative).
+  std::vector<JobId> iterate_conservative(Time now, const RunJobHook& hook);
+
+  // Applies the hook decision to a fitting job.  Returns the decision.
+  RunDecision decide(RuntimeJob& job, NodeCount charged, Time now,
+                     const RunJobHook& hook);
+
+  void do_start(RuntimeJob& job, Time now);
+  void remove_from_queue(JobId id);
+
+  NodePool pool_;
+  std::unique_ptr<PriorityPolicy> policy_;
+  SchedulerConfig config_;
+  std::function<void(const RuntimeJob&)> on_start_;
+
+  std::unordered_map<JobId, RuntimeJob> jobs_;
+  std::vector<JobId> queued_;
+  std::size_t running_ = 0;
+  std::size_t finished_ = 0;
+};
+
+}  // namespace cosched

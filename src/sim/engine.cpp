@@ -1,0 +1,56 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace cosched {
+
+EventId Engine::schedule_at(Time t, int priority, Handler fn) {
+  COSCHED_CHECK_MSG(t >= now_, "cannot schedule event in the past: t=" << t
+                                                                      << " now="
+                                                                      << now_);
+  COSCHED_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, priority, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(e.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    Handler fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Time t) {
+  COSCHED_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing the clock.
+    const Entry e = queue_.top();
+    if (!handlers_.count(e.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (e.time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace cosched

@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw Error("cannot open CSV output file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+  write_row(std::vector<std::string>(cells));
+}
+
+}  // namespace cosched

@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting bench series to plotting tools.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+/// Writes RFC-4180-style CSV rows, quoting cells that need it.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the given file.  Throws Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+  /// Escapes one cell per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,61 @@
+// Error handling helpers: a library exception type and invariant checks.
+//
+// Following the C++ Core Guidelines (E.2, I.6) we throw on contract
+// violations that indicate programmer error, carrying a formatted message.
+// COSCHED_CHECK is active in all build types: scheduler invariants guard
+// results we publish, so silently corrupt runs are worse than aborts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosched {
+
+/// Base exception for all cosched library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file or wire message cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace cosched
+
+/// Checks a scheduler/simulator invariant; throws InvariantError on failure.
+#define COSCHED_CHECK(expr)                                               \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+/// Checks an invariant with a formatted explanation.
+#define COSCHED_CHECK_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                      os_.str());                         \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace cosched {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex; empty = default stderr sink
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  }
+}
+}  // namespace detail
+
+}  // namespace cosched

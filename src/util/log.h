@@ -1,0 +1,66 @@
+// Leveled logging.
+//
+// The simulator and daemons log through a single global sink so tests can
+// silence output and the live-daemon example can prefix per-process tags.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace cosched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global minimum level (default kWarn, so library
+/// consumers see problems but not chatter).
+LogLevel log_level();
+
+/// Sets the global minimum level.
+void set_log_level(LogLevel level);
+
+/// Replaces the log sink.  Passing nullptr restores the default stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+struct Voidify;
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+/// Swallows the LogLine stream so COSCHED_LOG is a single expression and is
+/// safe inside unbraced if/else.
+struct Voidify {
+  void operator&(LogLine&&) const {}
+  void operator&(LogLine&) const {}
+};
+}  // namespace detail
+
+const char* to_string(LogLevel level);
+
+}  // namespace cosched
+
+#define COSCHED_LOG(level)                                        \
+  (static_cast<int>(::cosched::LogLevel::level) <                 \
+   static_cast<int>(::cosched::log_level()))                      \
+      ? (void)0                                                   \
+      : ::cosched::detail::Voidify() &                            \
+            ::cosched::detail::LogLine(::cosched::LogLevel::level)

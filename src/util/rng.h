@@ -1,0 +1,127 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** seeded via splitmix64 rather than relying on
+// std::mt19937 + std::*_distribution, because the standard distributions are
+// implementation-defined: identical seeds would give different workloads on
+// different standard libraries, breaking reproducibility of the experiment
+// tables.  All distribution transforms here are written out explicitly.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace cosched {
+
+/// splitmix64 — used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.  Uses rejection to avoid bias.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    COSCHED_CHECK(lo <= hi);
+    // Width computed in unsigned space: hi - lo would overflow int64 when
+    // the bounds span more than half the domain.
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());  // full range
+    const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+    std::uint64_t v;
+    do {
+      v = next();
+    } while (v >= limit);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     v % range);
+  }
+
+  /// Exponential with the given mean (inverse-CDF transform).
+  double exponential(double mean) {
+    COSCHED_CHECK(mean > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal() {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Forks an independent stream (for per-component substreams).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cosched

@@ -1,0 +1,45 @@
+// Streaming and batch statistics used by the metric collectors and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cosched {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) by linear interpolation.
+/// The input vector is copied; an empty input yields 0.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace cosched

@@ -1,0 +1,59 @@
+// ASCII table rendering for bench output.
+//
+// The bench binaries print the same rows/series the paper's figures report;
+// this small formatter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosched {
+
+/// A simple left/right-aligned ASCII table.
+///
+/// Usage:
+///   Table t({"scheme", "avg wait (min)"});
+///   t.add_row({"HH", format_double(12.3)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table.  The first column is left-aligned, the rest right.
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+  /// Emits the header and data rows (separators skipped) as CSV.
+  void write_csv(class CsvWriter& csv) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string format_double(double v, int decimals = 2);
+
+/// Formats an integer with thousands separators (e.g. 1,234,567).
+std::string format_count(long long v);
+
+/// Formats a ratio as a percentage string, e.g. 0.0457 -> "4.57%".
+std::string format_percent(double ratio, int decimals = 2);
+
+}  // namespace cosched

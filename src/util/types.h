@@ -1,0 +1,47 @@
+// Core scalar types shared across the cosched libraries.
+//
+// Simulation time is an integer number of seconds since the start of the
+// simulated epoch.  Integer time keeps the discrete-event engine fully
+// deterministic (no floating-point tie ambiguity) and matches the resolution
+// of the Standard Workload Format used by the Parallel Workloads Archive.
+#pragma once
+
+#include <cstdint>
+
+namespace cosched {
+
+/// Simulated time in seconds since the simulation epoch.
+using Time = std::int64_t;
+
+/// A span of simulated time, in seconds.
+using Duration = std::int64_t;
+
+/// Number of compute nodes.
+using NodeCount = std::int64_t;
+
+/// Unique job identifier, unique within one scheduling domain.
+using JobId = std::int64_t;
+
+/// Identifies one scheduling domain (machine) in a coupled system.
+using SystemId = std::int32_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+
+/// Sentinel for "no time" / "never".
+inline constexpr Time kNoTime = -1;
+
+/// Sentinel job id meaning "no job".
+inline constexpr JobId kNoJob = -1;
+
+/// Converts seconds to fractional hours (for node-hour reporting).
+constexpr double to_hours(Duration d) { return static_cast<double>(d) / kHour; }
+
+/// Converts seconds to fractional minutes (for wait-time reporting).
+constexpr double to_minutes(Duration d) {
+  return static_cast<double>(d) / kMinute;
+}
+
+}  // namespace cosched

@@ -1,0 +1,29 @@
+// Trace load scaling — the paper's method for producing the 0.25/0.50/0.75
+// Eureka workloads: "we multiplied a same fraction to each job arrival
+// interval in the real Eureka trace, so that the shape of job arrival
+// distribution was the same with the real trace" (§V-D).
+#pragma once
+
+#include "util/types.h"
+#include "workload/trace.h"
+
+namespace cosched {
+
+/// Returns the offered load of `trace` against a system of `capacity` nodes,
+/// measured over the submission span.
+double offered_load(const Trace& trace, NodeCount capacity);
+
+/// Multiplies every interarrival interval by `factor` (> 0), preserving the
+/// arrival-distribution shape.  factor < 1 compresses (raises load).
+void scale_arrival_intervals(Trace& trace, double factor);
+
+/// Scales arrival intervals by one constant factor so the trace's offered
+/// load against `capacity` equals `target_load`.  Returns the factor used.
+/// Throws Error if the trace is empty or has zero work.
+double scale_to_offered_load(Trace& trace, NodeCount capacity,
+                             double target_load);
+
+/// Truncates the trace to jobs submitted in [0, span), renumbering nothing.
+void truncate_to_span(Trace& trace, Duration span);
+
+}  // namespace cosched

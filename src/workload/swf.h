@@ -1,0 +1,57 @@
+// Standard Workload Format (SWF) v2 reader/writer.
+//
+// The paper evaluates on the 2010 Intrepid and Eureka traces, which are not
+// public; the Parallel Workloads Archive distributes comparable traces (e.g.
+// "ANL Intrepid 2009") in SWF.  This module lets real archive traces be
+// dropped into every bench in place of our calibrated synthetic traces.
+//
+// SWF is a line-oriented text format: comment/header lines start with ';',
+// data lines have 18 whitespace-separated fields:
+//   1 job number          7 used memory         13 user id
+//   2 submit time         8 requested procs     14 group id
+//   3 wait time           9 requested time      15 executable
+//   4 run time           10 requested memory    16 queue
+//   5 allocated procs    11 status              17 partition
+//   6 avg cpu time       12 (unused here)       18 preceding job / think time
+// Missing values are -1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace cosched {
+
+struct SwfReadOptions {
+  /// Treat "processors" in the file as nodes after dividing by this factor
+  /// (e.g. 4 for a quad-core-per-node system whose trace counts cores).
+  int procs_per_node = 1;
+
+  /// Jobs with missing runtime (-1) are dropped when true, else rejected.
+  bool drop_invalid = true;
+
+  /// When the requested-procs field is missing, fall back to allocated procs.
+  bool fallback_to_allocated = true;
+
+  /// Clamp runtime to walltime (real systems kill jobs at the limit).
+  bool clamp_runtime_to_walltime = true;
+};
+
+/// Parses an SWF stream into a trace.  Throws ParseError on malformed lines.
+Trace read_swf(std::istream& in, const std::string& system_name,
+               const SwfReadOptions& options = {});
+
+/// Reads an SWF file from disk.  Throws Error if the file cannot be opened.
+Trace read_swf_file(const std::string& path, const std::string& system_name,
+                    const SwfReadOptions& options = {});
+
+/// Writes a trace as SWF (submit/run/requested fields; wait and status are
+/// emitted as -1/1 since a trace is pre-scheduling input here).
+/// Paired-group ids are preserved in a `; cosched-group:` header extension
+/// so write/read round-trips keep associations.
+void write_swf(std::ostream& out, const Trace& trace);
+
+void write_swf_file(const std::string& path, const Trace& trace);
+
+}  // namespace cosched

@@ -1,0 +1,167 @@
+#include "workload/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cosched {
+
+namespace {
+
+// Draws a size from the discrete weighted distribution.
+NodeCount draw_size(const std::vector<SizeBucket>& sizes, Rng& rng) {
+  double total = 0;
+  for (const auto& b : sizes) total += b.weight;
+  double r = rng.uniform() * total;
+  for (const auto& b : sizes) {
+    r -= b.weight;
+    if (r <= 0) return b.nodes;
+  }
+  return sizes.back().nodes;
+}
+
+Duration draw_runtime(const SystemModel& m, Rng& rng) {
+  const double r = rng.lognormal(m.runtime_log_mean, m.runtime_log_sigma);
+  const auto clamped = static_cast<Duration>(std::llround(r));
+  return std::clamp(clamped, m.runtime_min, m.runtime_max);
+}
+
+}  // namespace
+
+double SystemModel::mean_runtime_seconds() const {
+  // Numeric expectation of clamp(LogNormal(mu, sigma), min, max) using
+  // midpoint integration over the standard normal in [-6, 6] sigma.
+  const int kSteps = 2000;
+  double acc = 0, wacc = 0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double z = -6.0 + 12.0 * (i + 0.5) / kSteps;
+    const double w = std::exp(-0.5 * z * z);
+    const double r = std::exp(runtime_log_mean + runtime_log_sigma * z);
+    const double clamped =
+        std::clamp(r, static_cast<double>(runtime_min),
+                   static_cast<double>(runtime_max));
+    acc += w * clamped;
+    wacc += w;
+  }
+  return acc / wacc;
+}
+
+double SystemModel::mean_job_node_seconds() const {
+  COSCHED_CHECK(!sizes.empty());
+  double total_w = 0, mean_nodes = 0;
+  for (const auto& b : sizes) {
+    total_w += b.weight;
+    mean_nodes += b.weight * static_cast<double>(b.nodes);
+  }
+  mean_nodes /= total_w;
+  return mean_nodes * mean_runtime_seconds();
+}
+
+SystemModel intrepid_model() {
+  SystemModel m;
+  m.name = "intrepid";
+  m.capacity = 40960;
+  // BG/P partition sizes; weights shaped like production Intrepid histograms:
+  // most jobs are 512-2048 nodes, capability jobs (>=8K) are rare but carry
+  // much of the node-hour volume.  The paper reports Intrepid job sizes of
+  // 512..32,768 nodes — no full-machine (40,960) jobs appear in the trace.
+  m.sizes = {
+      {512, 0.40}, {1024, 0.25}, {2048, 0.15}, {4096, 0.10},
+      {8192, 0.06}, {16384, 0.025}, {32768, 0.015},
+  };
+  // Median runtime ~35 min, heavy tail up to 12 h (INCITE jobs).
+  m.runtime_log_mean = std::log(2100.0);
+  m.runtime_log_sigma = 1.15;
+  m.runtime_min = 2 * kMinute;
+  m.runtime_max = 12 * kHour;
+  m.walltime_slack = 2.0;
+  return m;
+}
+
+SystemModel eureka_model() {
+  SystemModel m;
+  m.name = "eureka";
+  m.capacity = 100;
+  // Visualization jobs: mostly a handful of nodes, occasionally the full
+  // cluster.
+  m.sizes = {
+      {1, 0.30}, {2, 0.15}, {4, 0.15}, {8, 0.12}, {16, 0.10},
+      {32, 0.08}, {64, 0.06}, {100, 0.04},
+  };
+  // Shorter interactive-analysis runtimes, median ~20 min.
+  m.runtime_log_mean = std::log(1200.0);
+  m.runtime_log_sigma = 1.0;
+  m.runtime_min = 1 * kMinute;
+  m.runtime_max = 8 * kHour;
+  m.walltime_slack = 2.0;
+  return m;
+}
+
+Trace generate_trace(const SystemModel& model, const SynthParams& params) {
+  COSCHED_CHECK(model.capacity > 0);
+  COSCHED_CHECK(params.span > 0);
+  COSCHED_CHECK(params.offered_load > 0);
+  Rng rng(params.seed);
+
+  const double mean_job_work = model.mean_job_node_seconds();
+  const double target_node_seconds = params.offered_load *
+                                     static_cast<double>(model.capacity) *
+                                     static_cast<double>(params.span);
+  std::size_t count = params.job_count;
+  if (count == 0)
+    count = static_cast<std::size_t>(std::max<long long>(
+        1, std::llround(target_node_seconds / mean_job_work)));
+
+  // Poisson arrivals across the span.
+  const double mean_interarrival =
+      static_cast<double>(params.span) / static_cast<double>(count);
+
+  Trace trace;
+  trace.set_system_name(model.name);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(mean_interarrival);
+    JobSpec j;
+    j.id = static_cast<JobId>(i + 1);
+    j.submit = static_cast<Time>(std::llround(t));
+    j.nodes = draw_size(model.sizes, rng);
+    j.runtime = draw_runtime(model, rng);
+    const double slack = rng.uniform(1.0, 1.0 + model.walltime_slack);
+    Duration wall = static_cast<Duration>(
+        std::llround(static_cast<double>(j.runtime) * slack));
+    // Round walltime up to 5-minute granularity, as users do.
+    wall = ((wall + 5 * kMinute - 1) / (5 * kMinute)) * (5 * kMinute);
+    j.walltime = std::max<Duration>(wall, j.runtime);
+    j.user = static_cast<std::int32_t>(rng.uniform_int(1, 200));
+    trace.add(j);
+  }
+
+  // Calibrate: rescale arrival intervals so the realized offered load over
+  // the realized span equals the target (the paper's scaling method), then
+  // rescale the span back to the requested window.
+  trace.sort_by_submit();
+  TraceStats s = trace.stats();
+  if (s.span > 0 && s.total_node_seconds > 0) {
+    // First stretch submissions to exactly fill the requested span.
+    const double span_scale =
+        static_cast<double>(params.span) / static_cast<double>(s.span);
+    for (JobSpec& j : trace.jobs())
+      j.submit = static_cast<Time>(std::llround(
+          static_cast<double>(j.submit - s.first_submit) * span_scale));
+    // Offered load is then total_work / (capacity * span); stretch again by
+    // the remaining load ratio.
+    s = trace.stats();
+    const double load = s.offered_load(model.capacity);
+    if (load > 0) {
+      const double load_scale = load / params.offered_load;
+      for (JobSpec& j : trace.jobs())
+        j.submit = static_cast<Time>(
+            std::llround(static_cast<double>(j.submit) * load_scale));
+    }
+  }
+  trace.sort_by_submit();
+  return trace;
+}
+
+}  // namespace cosched

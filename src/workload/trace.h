@@ -1,0 +1,63 @@
+// A workload trace: an ordered collection of jobs destined for one system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace cosched {
+
+/// Aggregate statistics over a trace (see Trace::stats()).
+struct TraceStats {
+  std::size_t job_count = 0;
+  std::size_t paired_count = 0;
+  Time first_submit = 0;
+  Time last_submit = 0;
+  Duration span = 0;             ///< last_submit - first_submit
+  double total_node_seconds = 0; ///< sum over jobs of nodes * runtime
+  NodeCount min_nodes = 0;
+  NodeCount max_nodes = 0;
+  double mean_nodes = 0;
+  double mean_runtime = 0;
+  /// Offered load against `capacity` over `span`: total_node_seconds /
+  /// (capacity * span).  This is the quantity the paper's "system utilization
+  /// rate" knobs (0.25/0.50/0.75) control.
+  double offered_load(NodeCount capacity) const;
+};
+
+/// Jobs submitted to one scheduling domain, sorted by submit time.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string system_name, std::vector<JobSpec> jobs);
+
+  const std::string& system_name() const { return name_; }
+  void set_system_name(std::string n) { name_ = std::move(n); }
+
+  const std::vector<JobSpec>& jobs() const { return jobs_; }
+  std::vector<JobSpec>& jobs() { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  /// Appends a job (call sort_by_submit() afterwards if out of order).
+  void add(JobSpec job) { jobs_.push_back(job); }
+
+  /// Sorts by (submit, id); schedulers require non-decreasing submit order.
+  void sort_by_submit();
+
+  /// True if jobs are sorted by submit time.
+  bool is_sorted() const;
+
+  /// Validates every job (positive nodes/walltime, runtime <= walltime,
+  /// unique ids).  Throws ParseError describing the first offending job.
+  void validate(NodeCount capacity) const;
+
+  TraceStats stats() const;
+
+ private:
+  std::string name_;
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace cosched

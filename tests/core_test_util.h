@@ -1,0 +1,40 @@
+// Shared builders for core coscheduling tests.
+#pragma once
+
+#include "core/coupled_sim.h"
+#include "workload/trace.h"
+
+namespace cosched::testutil {
+
+inline JobSpec job(JobId id, Time submit, Duration runtime, NodeCount nodes,
+                   GroupId group = kNoGroup, Duration walltime = 0) {
+  JobSpec j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = walltime > 0 ? walltime : runtime;
+  j.nodes = nodes;
+  j.group = group;
+  return j;
+}
+
+/// Two 100-node domains "alpha"/"beta" with the given scheme combo.
+inline std::vector<DomainSpec> two_domains(
+    SchemeCombo combo, Duration release = 20 * kMinute,
+    const std::string& policy = "fcfs") {
+  auto specs = make_coupled_specs("alpha", 100, "beta", 100, combo,
+                                  /*cosched_enabled=*/true, release);
+  specs[0].policy = policy;
+  specs[1].policy = policy;
+  return specs;
+}
+
+/// Finds a job's runtime record in a cluster (asserts it exists).
+inline const RuntimeJob& find_job(CoupledSim& sim, std::size_t domain,
+                                  JobId id) {
+  const RuntimeJob* j = sim.cluster(domain).scheduler().find(id);
+  if (j == nullptr) throw Error("test: job not found");
+  return *j;
+}
+
+}  // namespace cosched::testutil

@@ -1,0 +1,189 @@
+// Behavioural tests of Algorithm 1 (Run_Job with coscheduling), exercising
+// each branch of the published pseudocode through a real two-domain sim.
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace cosched {
+namespace {
+
+using testutil::find_job;
+using testutil::job;
+using testutil::two_domains;
+
+// Lines 30-31: a paired job whose group has no member registered remotely
+// starts normally.
+TEST(Algorithm1, NoMateFoundStartsNormally) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, /*group=*/7));
+  CoupledSim sim({specs[0], specs[1]}, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);
+  EXPECT_EQ(find_job(sim, 0, 1).sync_time(), 0);
+}
+
+// Lines 33-36: coscheduling disabled means pairing is ignored entirely.
+TEST(Algorithm1, DisabledIgnoresPairs) {
+  auto specs = two_domains(kHH);
+  specs[0].cosched.enabled = false;
+  specs[1].cosched.enabled = false;
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 3000, 600, 50, 7));  // mate arrives much later
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);       // did not wait
+  EXPECT_EQ(find_job(sim, 1, 10).start, 3000);
+  EXPECT_EQ(r.pairs.groups_started_together, 0u);
+}
+
+// Lines 10-14: mate queued and startable -> tryStartMate starts it and both
+// run at the same instant.
+TEST(Algorithm1, QueuedMateStartedViaTryStartMate) {
+  // beta uses yield, so its paired job sits *queued* (not holding) when the
+  // alpha side becomes ready — the exact precondition for tryStartMate.
+  auto specs = two_domains(kHY);
+  Trace a, b;
+  a.add(job(1, 100, 600, 50, 7));
+  b.add(job(10, 50, 900, 20, 7));  // yields at 50, queued thereafter
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  const RuntimeJob& ja = find_job(sim, 0, 1);
+  const RuntimeJob& jb = find_job(sim, 1, 10);
+  EXPECT_GE(jb.yield_count, 1);
+  EXPECT_EQ(ja.start, 100);             // tryStartMate succeeded immediately
+  EXPECT_EQ(jb.start, 100);
+  EXPECT_GT(sim.cluster(0).try_start_requests() +
+                sim.cluster(1).try_start_requests(),
+            0u);
+  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.pairs.max_start_skew, 0);
+}
+
+// Lines 6-8: mate holding -> both start immediately when the second becomes
+// ready.
+TEST(Algorithm1, HoldingMateWokenOnReady) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  // alpha's member ready immediately; beta's member blocked behind a filler
+  // until t=500.
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(11, 0, 500, 100));
+  b.add(job(10, 10, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  const RuntimeJob& ja = find_job(sim, 0, 1);
+  const RuntimeJob& jb = find_job(sim, 1, 10);
+  EXPECT_EQ(ja.start, jb.start);
+  EXPECT_EQ(ja.start, 500);          // both start when beta frees up
+  EXPECT_EQ(ja.sync_time(), 500);    // alpha's member was ready at 0
+  EXPECT_EQ(jb.sync_time(), 0);      // beta's member never waited once ready
+  EXPECT_GT(sim.cluster(0).scheduler().pool().held_node_seconds(), 0.0);
+}
+
+// Unsubmitted mate: local job holds (hold scheme) until the mate arrives.
+TEST(Algorithm1, UnsubmittedMateHolds) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 400, 600, 30, 7));  // arrives at 400
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 0, 1).start, 400);
+  EXPECT_EQ(find_job(sim, 1, 10).start, 400);
+  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+}
+
+// Yield scheme: the local job gives up its slot, letting others run, and the
+// pair synchronizes at a later iteration.
+TEST(Algorithm1, YieldAllowsOthersToRun) {
+  auto specs = two_domains(kYY);
+  Trace a, b;
+  a.add(job(1, 0, 600, 80, 7));    // paired, will yield
+  a.add(job(2, 5, 300, 80));       // regular job behind it
+  b.add(job(10, 700, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  const RuntimeJob& ja1 = find_job(sim, 0, 1);
+  const RuntimeJob& ja2 = find_job(sim, 0, 2);
+  // The regular job ran while the paired job yielded.
+  EXPECT_EQ(ja2.start, 5);
+  EXPECT_GE(ja1.yield_count, 1);
+  EXPECT_EQ(ja1.start, find_job(sim, 1, 10).start);
+  // Yield never held nodes.
+  EXPECT_DOUBLE_EQ(sim.cluster(0).scheduler().pool().held_node_seconds(), 0.0);
+}
+
+// Both ready in the same scheduling instant (mate already holding when the
+// local job is selected) start at identical times in every combo.
+TEST(Algorithm1, AllCombosSynchronize) {
+  for (const SchemeCombo& combo : kAllCombos) {
+    auto specs = two_domains(combo);
+    Trace a, b;
+    a.add(job(1, 0, 600, 50, 7));
+    b.add(job(11, 0, 450, 100));     // beta busy until 450
+    b.add(job(10, 10, 600, 30, 7));
+    a.add(job(2, 20, 300, 40));      // background load on alpha
+    CoupledSim sim(specs, {a, b});
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.completed) << combo.label;
+    EXPECT_EQ(r.pairs.groups_total, 1u) << combo.label;
+    EXPECT_EQ(r.pairs.groups_started_together, 1u) << combo.label;
+  }
+}
+
+// The paper's fault rule at line 25-26: an unknown mate status must not
+// block the ready job (here: mate killed before the local job gets ready).
+TEST(Algorithm1, FinishedMateDoesNotBlock) {
+  auto specs = two_domains(kHH);
+  specs[1].cosched.enabled = false;  // beta ignores pairing entirely
+  Trace a, b;
+  a.add(job(1, 1000, 600, 50, 7));
+  b.add(job(10, 0, 100, 30, 7));  // starts alone at 0, finishes at 100
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 1, 10).start, 0);
+  // By t=1000 the mate is finished: status `finished` must not block the
+  // local job (paper's unknown-status rule).
+  EXPECT_EQ(find_job(sim, 0, 1).start, 1000);
+  EXPECT_EQ(find_job(sim, 0, 1).sync_time(), 0);
+}
+
+// A mate already *running* (started independently) likewise does not block.
+TEST(Algorithm1, RunningMateDoesNotBlock) {
+  auto specs = two_domains(kHH);
+  specs[1].cosched.enabled = false;
+  Trace a, b;
+  a.add(job(1, 500, 600, 50, 7));
+  b.add(job(10, 0, 5000, 30, 7));  // running from 0 to 5000
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 0, 1).start, 500);
+}
+
+// Yield counts accumulate while the mate is missing, and the sync time of
+// the eventually-started pair is measured from first readiness.
+TEST(Algorithm1, SyncTimeMeasuredFromFirstReady) {
+  auto specs = two_domains(kYY);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 900, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  sim.run();
+  const RuntimeJob& ja = find_job(sim, 0, 1);
+  EXPECT_EQ(ja.first_ready, 0);
+  EXPECT_EQ(ja.start, 900);
+  EXPECT_EQ(ja.sync_time(), 900);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,51 @@
+#include "sched/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(PlainAllocation, ChargesExactly) {
+  PlainAllocation a;
+  EXPECT_EQ(a.charged(1), 1);
+  EXPECT_EQ(a.charged(777), 777);
+}
+
+TEST(PartitionAllocation, RoundsUp) {
+  PartitionAllocation a({512, 1024, 2048});
+  EXPECT_EQ(a.charged(1), 512);
+  EXPECT_EQ(a.charged(512), 512);
+  EXPECT_EQ(a.charged(513), 1024);
+  EXPECT_EQ(a.charged(1024), 1024);
+  EXPECT_EQ(a.charged(2000), 2048);
+}
+
+TEST(PartitionAllocation, ClampsToLargest) {
+  PartitionAllocation a({512, 1024});
+  EXPECT_EQ(a.charged(5000), 1024);
+}
+
+TEST(PartitionAllocation, SortsInputSizes) {
+  PartitionAllocation a({2048, 512, 1024});
+  EXPECT_EQ(a.charged(600), 1024);
+}
+
+TEST(PartitionAllocation, IntrepidLadder) {
+  const PartitionAllocation a = PartitionAllocation::intrepid();
+  EXPECT_EQ(a.charged(512), 512);
+  EXPECT_EQ(a.charged(600), 1024);
+  EXPECT_EQ(a.charged(33000), 40960);
+  EXPECT_EQ(a.charged(40960), 40960);
+}
+
+TEST(PartitionAllocation, RejectsBadInput) {
+  EXPECT_THROW(PartitionAllocation({}), InvariantError);
+  EXPECT_THROW(PartitionAllocation({0, 512}), InvariantError);
+  PartitionAllocation a({512});
+  EXPECT_THROW(a.charged(0), InvariantError);
+}
+
+}  // namespace
+}  // namespace cosched

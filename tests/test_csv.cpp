@@ -1,0 +1,44 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(Csv, EscapePassthrough) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("12.5"), "12.5");
+}
+
+TEST(Csv, EscapeQuotesCommasAndNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "/cosched_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"scheme", "wait,min"});
+    w.write_row({"HH", "61.0"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "scheme,\"wait,min\"\nHH,61.0\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,118 @@
+// The paper's Fig. 2 deadlock: hold-hold circular wait, and its resolution
+// by periodic hold release (§IV-E1).
+#include <gtest/gtest.h>
+
+#include "core/deadlock.h"
+#include "core_test_util.h"
+
+namespace cosched {
+namespace {
+
+using testutil::job;
+
+// Builds the exact Fig. 2 situation: machine A holds a1 (waiting on b1
+// queued on B), machine B holds b2 (waiting on a2 queued on A); every job
+// needs the whole 6-node machine.
+struct Fig2 {
+  Trace a, b;
+  Fig2() {
+    a.add(job(1, 0, 600, 6, /*group=*/1));    // a1
+    a.add(job(2, 10, 600, 6, /*group=*/2));   // a2
+    b.add(job(20, 0, 600, 6, /*group=*/2));   // b2
+    b.add(job(10, 10, 600, 6, /*group=*/1));  // b1
+  }
+  std::vector<DomainSpec> specs(Duration release_period) {
+    return make_coupled_specs("A", 6, "B", 6, kHH, true, release_period);
+  }
+};
+
+TEST(Deadlock, HoldHoldWithoutReleaseDeadlocks) {
+  Fig2 f;
+  CoupledSim sim(f.specs(/*release_period=*/0), {f.a, f.b});
+  const SimResult r = sim.run(/*max_time=*/30 * kDay);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.completed);
+  // No paired job ever started.
+  EXPECT_EQ(r.pairs.groups_unstarted, 2u);
+  // The circular-wait witness is present post-mortem.
+  EXPECT_TRUE(has_hold_wait_cycle(
+      {&sim.cluster(0), &sim.cluster(1)}));
+}
+
+TEST(Deadlock, ReleaseEnhancementBreaksDeadlock) {
+  Fig2 f;
+  CoupledSim sim(f.specs(/*release_period=*/20 * kMinute), {f.a, f.b});
+  const SimResult r = sim.run(/*max_time=*/30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.pairs.groups_total, 2u);
+  EXPECT_EQ(r.pairs.groups_started_together, 2u);
+  EXPECT_GT(sim.cluster(0).forced_releases() +
+                sim.cluster(1).forced_releases(),
+            0u);
+}
+
+TEST(Deadlock, WaitGraphEdgesPointAtBlockingDomain) {
+  Fig2 f;
+  CoupledSim sim(f.specs(0), {f.a, f.b});
+  sim.run(30 * kDay);
+  const auto edges =
+      build_wait_graph({&sim.cluster(0), &sim.cluster(1)});
+  ASSERT_EQ(edges.size(), 2u);
+  // One edge each way: A waits on B (a1->b1) and B waits on A (b2->a2).
+  EXPECT_NE(edges[0].from, edges[1].from);
+}
+
+TEST(Deadlock, NoCycleWithoutMutualHold) {
+  // Single pair: A holds waiting on B, but B holds nothing -> no cycle.
+  Trace a, b;
+  a.add(job(1, 0, 600, 6, 1));
+  b.add(job(10, 0, 9000, 6));      // regular job occupying B
+  b.add(job(11, 10, 600, 6, 1));   // mate queued behind it
+  CoupledSim sim(make_coupled_specs("A", 6, "B", 6, kHH, true, 0), {a, b});
+  // Run only until the hold is established, not to completion.
+  sim.engine().run_until(100);
+  EXPECT_FALSE(has_hold_wait_cycle({&sim.cluster(0), &sim.cluster(1)}));
+}
+
+// Regression for the staggered-release livelock: multiple small holders on
+// each machine block a large mate on the other.  Releasing holders one at a
+// time never frees enough simultaneous nodes (each re-holds immediately);
+// only the synchronized per-domain release tick makes progress.
+TEST(Deadlock, SynchronizedReleaseBreaksMultiHolderKnot) {
+  Trace a, b;
+  // Two 4-node holders per machine whose mates each need the whole remote
+  // 10-node machine.
+  a.add(job(1, 0, 600, 4, /*group=*/1));    // holds on A
+  a.add(job(2, 0, 600, 4, /*group=*/2));    // holds on A
+  b.add(job(10, 10, 600, 10, 1));           // blocked on B (needs all 10)
+  b.add(job(20, 10, 600, 10, 2));
+  b.add(job(30, 0, 600, 4, /*group=*/3));   // holds on B
+  b.add(job(40, 0, 600, 4, /*group=*/4));   // holds on B
+  a.add(job(3, 10, 600, 10, 3));            // blocked on A
+  a.add(job(4, 10, 600, 10, 4));
+  a.sort_by_submit();
+  b.sort_by_submit();
+
+  CoupledSim sim(make_coupled_specs("A", 10, "B", 10, kHH, true,
+                                    20 * kMinute),
+                 {a, b});
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed) << "multi-holder knot must resolve";
+  EXPECT_EQ(r.pairs.groups_started_together, 4u);
+}
+
+TEST(Deadlock, YieldOnEitherSideAvoidsDeadlock) {
+  for (const SchemeCombo& combo : {kHY, kYH, kYY}) {
+    Fig2 f;
+    auto specs = make_coupled_specs("A", 6, "B", 6, combo, true,
+                                    /*release=*/0);  // no breaker needed
+    CoupledSim sim(specs, {f.a, f.b});
+    const SimResult r = sim.run(30 * kDay);
+    EXPECT_TRUE(r.completed) << combo.label;
+    EXPECT_EQ(r.pairs.groups_started_together, 2u) << combo.label;
+  }
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,154 @@
+// Fault tolerance (paper §IV-C, last paragraph): "a job will not wait
+// forever when the remote machine or its mate job is down."
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace cosched {
+namespace {
+
+using testutil::find_job;
+using testutil::job;
+using testutil::two_domains;
+
+TEST(Fault, RemoteDownMeansImmediateStart) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 0, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  sim.link(0, 1).set_down(true);  // alpha cannot reach beta
+  sim.link(1, 0).set_down(true);  // beta cannot reach alpha
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  // Line 2 returns nothing -> both start immediately, unsynchronized.
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);
+  EXPECT_EQ(find_job(sim, 1, 10).start, 0);
+  EXPECT_DOUBLE_EQ(sim.cluster(0).scheduler().pool().held_node_seconds(), 0.0);
+}
+
+TEST(Fault, OneWayLinkFailureStillCompletes) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 300, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  sim.link(0, 1).set_down(true);  // alpha -> beta broken; beta -> alpha fine
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  // alpha's job started without coordination at 0.
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);
+  // beta's job sees alpha's mate already running -> starts normally too.
+  EXPECT_EQ(find_job(sim, 1, 10).start, 300);
+}
+
+TEST(Fault, LinkRecoveryRestoresCoscheduling) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 300, 50, 7));          // while link down
+  b.add(job(10, 0, 300, 30, 7));
+  a.add(job(2, 5000, 600, 50, 8));       // after recovery
+  b.add(job(20, 5400, 600, 30, 8));
+  CoupledSim sim(specs, {a, b});
+  sim.link(0, 1).set_down(true);
+  sim.link(1, 0).set_down(true);
+  sim.engine().run_until(4000);
+  sim.link(0, 1).set_down(false);
+  sim.link(1, 0).set_down(false);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  // Group 7 ran uncoordinated; group 8 synchronized after recovery.
+  EXPECT_EQ(find_job(sim, 0, 2).start, find_job(sim, 1, 20).start);
+  EXPECT_EQ(find_job(sim, 0, 2).start, 5400);
+}
+
+TEST(Fault, MateKilledUnblocksHolder) {
+  // alpha holds for a mate that then dies; the next forced release plus the
+  // now-unknown status lets the job start normally.
+  auto specs = two_domains(kHH);
+  specs[0].cosched.hold_release_period = 10 * kMinute;
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 50, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  // Kill the mate right after its submission event (priority kMessage runs
+  // between the submit and the scheduling iteration at t=50), so it dies
+  // while queued and never starts.
+  sim.engine().schedule_at(50, EventPriority::kMessage, [&] {
+    sim.cluster(1).scheduler().kill(10, sim.engine().now());
+  });
+  const SimResult r = sim.run(30 * kDay);
+  // Job 1 finishes despite its mate never running: at the first forced
+  // release the mate's status reads `finished`, which does not block.
+  EXPECT_EQ(find_job(sim, 0, 1).state, JobState::kFinished);
+  EXPECT_EQ(find_job(sim, 0, 1).start, 600);  // one release period
+  EXPECT_FALSE(r.systems.empty());
+}
+
+TEST(Fault, KillRunningJobTwiceSafe) {
+  // The completion event of a killed job must not double-free its nodes.
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50));
+  CoupledSim sim(specs, {a, b});
+  sim.engine().schedule_at(100, EventPriority::kMessage,
+                           [&] { sim.cluster(0).kill_job(1); });
+  const SimResult r = sim.run(kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(find_job(sim, 0, 1).end, 100);
+  EXPECT_EQ(sim.cluster(0).scheduler().pool().busy(), 0);
+}
+
+TEST(Fault, FailureStormLeavesSystemConsistent) {
+  // Kill 20% of all jobs (including paired ones) at random points in their
+  // lives; every surviving job must still finish and accounting must
+  // balance.  Survivor pairs whose mates died start via the unknown rule.
+  auto specs = two_domains(kHY);
+  Trace a, b;
+  GroupId g = 1;
+  for (int i = 1; i <= 120; ++i) {
+    const bool paired = i % 4 == 0;
+    a.add(job(i, i * 200, 900, 10 + (i % 5) * 10, paired ? g : kNoGroup));
+    if (paired) {
+      b.add(job(10000 + i, i * 200 + 60, 600, 5 + (i % 3) * 10, g));
+      ++g;
+    }
+  }
+  b.sort_by_submit();
+  CoupledSim sim(specs, {a, b});
+
+  // Schedule kills at scattered times over the workload's life.
+  std::vector<std::pair<std::size_t, JobId>> victims;
+  for (int i = 1; i <= 120; i += 5) victims.push_back({0, i});
+  for (int i = 4; i <= 120; i += 20) victims.push_back({1, 10000 + i});
+  for (std::size_t k = 0; k < victims.size(); ++k) {
+    const auto [domain, id] = victims[k];
+    sim.engine().schedule_at(
+        static_cast<Time>(100 + 400 * k), EventPriority::kMessage,
+        [&sim, domain = domain, id = id] { sim.cluster(domain).kill_job(id); });
+  }
+
+  const SimResult r = sim.run(60 * kDay);
+  EXPECT_TRUE(r.completed) << "survivors must all finish";
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(sim.cluster(d).scheduler().pool().busy(), 0);
+    EXPECT_EQ(sim.cluster(d).scheduler().pool().held(), 0);
+  }
+}
+
+TEST(Fault, ProtocolFailureDuringTryStartIsNonFatal) {
+  // Link goes down between the status query and later interactions; the
+  // pair still completes once the link is back (or runs uncoordinated).
+  auto specs = two_domains(kYY);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 2000, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  sim.engine().schedule_at(1000, EventPriority::kMessage,
+                           [&] { sim.link(1, 0).set_down(true); });
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace cosched

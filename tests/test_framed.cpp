@@ -1,0 +1,83 @@
+#include "net/framed.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(Framed, RoundTripsFrames) {
+  auto [a, b] = Socket::pair();
+  FramedChannel ca(std::move(a)), cb(std::move(b));
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ca.write_frame(payload);
+  const auto got = cb.read_frame();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(Framed, EmptyFrameAllowed) {
+  auto [a, b] = Socket::pair();
+  FramedChannel ca(std::move(a)), cb(std::move(b));
+  ca.write_frame(std::vector<std::uint8_t>{});
+  const auto got = cb.read_frame();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Framed, MultipleFramesPreserveBoundaries) {
+  auto [a, b] = Socket::pair();
+  FramedChannel ca(std::move(a)), cb(std::move(b));
+  const std::vector<std::uint8_t> f1 = {10}, f2 = {20, 21}, f3 = {30, 31, 32};
+  ca.write_frame(f1);
+  ca.write_frame(f2);
+  ca.write_frame(f3);
+  EXPECT_EQ(cb.read_frame()->size(), 1u);
+  EXPECT_EQ(cb.read_frame()->size(), 2u);
+  EXPECT_EQ(cb.read_frame()->size(), 3u);
+}
+
+TEST(Framed, EofReturnsNullopt) {
+  auto [a, b] = Socket::pair();
+  FramedChannel cb(std::move(b));
+  a.close();
+  EXPECT_EQ(cb.read_frame(), std::nullopt);
+}
+
+TEST(Framed, OversizeFrameRejected) {
+  auto [a, b] = Socket::pair();
+  FramedChannel cb(std::move(b));
+  // Handcraft a header claiming a 2 MiB payload.
+  const std::uint32_t n = 2 << 20;
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(n >> 24), static_cast<std::uint8_t>(n >> 16),
+      static_cast<std::uint8_t>(n >> 8), static_cast<std::uint8_t>(n)};
+  a.send_all(header);
+  EXPECT_THROW(cb.read_frame(), Error);
+}
+
+TEST(Framed, OversizeWriteRejected) {
+  auto [a, b] = Socket::pair();
+  FramedChannel ca(std::move(a));
+  std::vector<std::uint8_t> huge(FramedChannel::kMaxFrame + 1);
+  EXPECT_THROW(ca.write_frame(huge), InvariantError);
+}
+
+TEST(Framed, LargeFrameWithinLimit) {
+  auto [a, b] = Socket::pair();
+  FramedChannel ca(std::move(a)), cb(std::move(b));
+  std::vector<std::uint8_t> big(256 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  std::thread writer([&] { ca.write_frame(big); });
+  const auto got = cb.read_frame();
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,61 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cosched {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel lvl, const std::string& msg) {
+      capture_.lines.emplace_back(lvl, msg);
+    });
+    set_log_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  SinkCapture capture_;
+};
+
+TEST_F(LogTest, EmitsFormattedMessage) {
+  COSCHED_LOG(kInfo) << "job " << 42 << " started";
+  ASSERT_EQ(capture_.lines.size(), 1u);
+  EXPECT_EQ(capture_.lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(capture_.lines[0].second, "job 42 started");
+}
+
+TEST_F(LogTest, FiltersBelowLevel) {
+  set_log_level(LogLevel::kError);
+  COSCHED_LOG(kDebug) << "hidden";
+  COSCHED_LOG(kWarn) << "hidden too";
+  COSCHED_LOG(kError) << "visible";
+  ASSERT_EQ(capture_.lines.size(), 1u);
+  EXPECT_EQ(capture_.lines[0].second, "visible");
+}
+
+TEST_F(LogTest, SafeInUnbracedIf) {
+  const bool cond = true;
+  if (cond)
+    COSCHED_LOG(kInfo) << "then-branch";
+  else
+    COSCHED_LOG(kError) << "else-branch";
+  ASSERT_EQ(capture_.lines.size(), 1u);
+  EXPECT_EQ(capture_.lines[0].second, "then-branch");
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,91 @@
+#include "proto/message.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+void expect_round_trip(const Message& m) {
+  const auto bytes = m.encode();
+  const Message back = Message::decode(bytes);
+  EXPECT_EQ(back, m);
+}
+
+TEST(Message, GetMateJobReqRoundTrip) {
+  expect_round_trip(make_get_mate_job_req(7, 42, 1001));
+}
+
+TEST(Message, GetMateJobRespRoundTrip) {
+  expect_round_trip(make_get_mate_job_resp(7, JobId{55}));
+  expect_round_trip(make_get_mate_job_resp(8, std::nullopt));
+}
+
+TEST(Message, GetMateStatusRoundTrip) {
+  expect_round_trip(make_get_mate_status_req(1, 99));
+  for (auto s : {MateStatus::kHolding, MateStatus::kQueuing,
+                 MateStatus::kUnsubmitted, MateStatus::kStarting,
+                 MateStatus::kRunning, MateStatus::kFinished,
+                 MateStatus::kUnknown})
+    expect_round_trip(make_get_mate_status_resp(2, s));
+}
+
+TEST(Message, TryStartMateRoundTrip) {
+  expect_round_trip(make_try_start_mate_req(3, 12));
+  expect_round_trip(make_try_start_mate_resp(3, true));
+  expect_round_trip(make_try_start_mate_resp(4, false));
+}
+
+TEST(Message, StartJobRoundTrip) {
+  expect_round_trip(make_start_job_req(5, 77));
+  expect_round_trip(make_start_job_resp(5, true));
+}
+
+TEST(Message, ErrorRespRoundTrip) {
+  expect_round_trip(make_error_resp(6, "no such job"));
+}
+
+TEST(Message, NegativeIdsSurvive) {
+  expect_round_trip(make_get_mate_job_req(1, kNoGroup, kNoJob));
+}
+
+TEST(Message, UnknownTypeRejected) {
+  std::vector<std::uint8_t> bytes = {99, 0};
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(Message, TrailingBytesRejected) {
+  auto bytes = make_try_start_mate_resp(1, true).encode();
+  bytes.push_back(0);
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(Message, TruncatedPayloadRejected) {
+  auto bytes = make_get_mate_job_req(7, 42, 1001).encode();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(Message, BadStatusValueRejected) {
+  auto bytes = make_get_mate_status_resp(1, MateStatus::kUnknown).encode();
+  bytes.back() = 200;  // not a valid MateStatus
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(Message, StatusNames) {
+  EXPECT_STREQ(to_string(MateStatus::kHolding), "holding");
+  EXPECT_STREQ(to_string(MateStatus::kQueuing), "queuing");
+  EXPECT_STREQ(to_string(MateStatus::kUnsubmitted), "unsubmitted");
+  EXPECT_STREQ(to_string(MateStatus::kStarting), "starting");
+  EXPECT_STREQ(to_string(MateStatus::kUnknown), "unknown");
+}
+
+TEST(Message, EncodingIsCompact) {
+  // A status request is a type byte + small varints: a handful of bytes,
+  // befitting the paper's "lightweight protocol".
+  EXPECT_LE(make_get_mate_status_req(1, 42).encode().size(), 4u);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,103 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace cosched {
+namespace {
+
+using testutil::job;
+
+TEST(Metrics, WaitAndSlowdownFromKnownSchedule) {
+  Scheduler s(100, make_policy("fcfs"));
+  // Job 1: submit 0, starts 0, runtime 600 -> wait 0, slowdown 1.
+  // Job 2: submit 0, 100 nodes -> waits for job 1: start 600, slowdown 2.
+  s.submit(job(1, 0, 600, 100), 0);
+  s.iterate(0);
+  s.submit(job(2, 0, 600, 100), 0);
+  s.iterate(0);
+  s.finish(1, 600);
+  s.iterate(600);
+  s.finish(2, 1200);
+
+  const SystemMetrics m = collect_metrics(s, 1200, "test");
+  EXPECT_EQ(m.jobs_total, 2u);
+  EXPECT_EQ(m.jobs_finished, 2u);
+  EXPECT_NEAR(m.avg_wait_minutes, (0 + 600) / 2.0 / 60.0, 1e-9);
+  EXPECT_NEAR(m.avg_slowdown, (1.0 + 2.0) / 2, 1e-9);
+  EXPECT_NEAR(m.max_wait_minutes, 10.0, 1e-9);
+  // Utilization: 2 jobs * 100 nodes * 600 s over 100 nodes * 1200 s = 1.0.
+  EXPECT_NEAR(m.utilization, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.held_node_hours, 0.0);
+}
+
+TEST(Metrics, BoundedSlowdownFloorsShortJobs) {
+  Scheduler s(100, make_policy("fcfs"));
+  // 10-second job waits 590 s: raw slowdown 60, bounded uses 600 s floor.
+  s.submit(job(1, 0, 590, 100), 0);
+  s.iterate(0);
+  s.submit(job(2, 0, 10, 100), 0);
+  s.finish(1, 590);
+  s.iterate(590);
+  s.finish(2, 600);
+  const SystemMetrics m = collect_metrics(s, 600, "test");
+  // Job 1: slowdown 1 (bounded 1). Job 2: resp 600 / max(10,600) = 1.
+  EXPECT_NEAR(m.avg_bounded_slowdown, 1.0, 1e-9);
+  EXPECT_GT(m.avg_slowdown, 10.0);
+}
+
+TEST(Metrics, SyncTimeOnlyOverPairedJobs) {
+  Scheduler s(100, make_policy("fcfs"));
+  JobSpec paired = job(1, 0, 600, 50, /*group=*/3);
+  s.submit(paired, 0);
+  s.iterate(0, [](RuntimeJob&) { return RunDecision::kHold; });
+  s.start_holding(1, 300);  // sync time 300
+  s.finish(1, 900);
+  s.submit(job(2, 900, 600, 50), 900);
+  s.iterate(900);
+  s.finish(2, 1500);
+  const SystemMetrics m = collect_metrics(s, 1500, "test");
+  EXPECT_EQ(m.paired_jobs, 1u);
+  EXPECT_NEAR(m.avg_sync_minutes, 5.0, 1e-9);
+  EXPECT_NEAR(m.max_sync_minutes, 5.0, 1e-9);
+  // Held 50 nodes for 300 s.
+  EXPECT_NEAR(m.held_node_hours, 50.0 * 300 / 3600, 1e-9);
+  EXPECT_NEAR(m.held_fraction, 50.0 * 300 / (100.0 * 1500), 1e-9);
+}
+
+TEST(Metrics, UnfinishedJobsExcludedFromAverages) {
+  Scheduler s(100, make_policy("fcfs"));
+  s.submit(job(1, 0, 600, 50), 0);
+  s.iterate(0);
+  s.submit(job(2, 0, 600, 100), 0);  // stays queued
+  s.finish(1, 600);
+  const SystemMetrics m = collect_metrics(s, 600, "test");
+  EXPECT_EQ(m.jobs_total, 2u);
+  EXPECT_EQ(m.jobs_finished, 1u);
+  EXPECT_NEAR(m.avg_wait_minutes, 0.0, 1e-9);
+}
+
+TEST(Metrics, YieldAndReleaseCountersSurface) {
+  Scheduler s(100, make_policy("fcfs"));
+  s.submit(job(1, 0, 600, 50, 3), 0);
+  s.iterate(0, [](RuntimeJob&) { return RunDecision::kYield; });
+  s.iterate(1, [](RuntimeJob&) { return RunDecision::kHold; });
+  s.release_hold(1, 100);
+  s.iterate(100);
+  s.finish(1, 700);
+  const SystemMetrics m = collect_metrics(s, 700, "test");
+  EXPECT_EQ(m.total_yields, 1);
+  EXPECT_EQ(m.total_forced_releases, 1);
+}
+
+TEST(Metrics, EmptySchedulerIsAllZero) {
+  Scheduler s(100, make_policy("fcfs"));
+  const SystemMetrics m = collect_metrics(s, 0, "empty");
+  EXPECT_EQ(m.jobs_total, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_wait_minutes, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,128 @@
+#include "sched/node_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(NodePool, InitialState) {
+  NodePool p(100);
+  EXPECT_EQ(p.capacity(), 100);
+  EXPECT_EQ(p.free(), 100);
+  EXPECT_EQ(p.busy(), 0);
+  EXPECT_EQ(p.held(), 0);
+}
+
+TEST(NodePool, AllocateReleaseCycle) {
+  NodePool p(100);
+  p.allocate(60, 0);
+  EXPECT_EQ(p.busy(), 60);
+  EXPECT_EQ(p.free(), 40);
+  p.release(60, 10);
+  EXPECT_EQ(p.busy(), 0);
+  EXPECT_EQ(p.free(), 100);
+}
+
+TEST(NodePool, OverAllocateThrows) {
+  NodePool p(100);
+  p.allocate(80, 0);
+  EXPECT_THROW(p.allocate(30, 0), InvariantError);
+}
+
+TEST(NodePool, OverReleaseThrows) {
+  NodePool p(100);
+  p.allocate(10, 0);
+  EXPECT_THROW(p.release(20, 0), InvariantError);
+}
+
+TEST(NodePool, HoldBlocksFree) {
+  NodePool p(100);
+  p.hold(70, 0);
+  EXPECT_EQ(p.held(), 70);
+  EXPECT_EQ(p.free(), 30);
+  EXPECT_FALSE(p.can_allocate(31));
+  EXPECT_TRUE(p.can_allocate(30));
+}
+
+TEST(NodePool, HoldToBusyPromotion) {
+  NodePool p(100);
+  p.hold(40, 0);
+  p.hold_to_busy(40, 100);
+  EXPECT_EQ(p.held(), 0);
+  EXPECT_EQ(p.busy(), 40);
+}
+
+TEST(NodePool, UnholdReturnsNodes) {
+  NodePool p(100);
+  p.hold(40, 0);
+  p.unhold(40, 100);
+  EXPECT_EQ(p.held(), 0);
+  EXPECT_EQ(p.free(), 100);
+}
+
+TEST(NodePool, BusyNodeSecondsIntegration) {
+  NodePool p(100);
+  p.allocate(50, 0);
+  p.release(50, 100);   // 50 nodes * 100 s
+  EXPECT_DOUBLE_EQ(p.busy_node_seconds(), 5000.0);
+  p.allocate(10, 200);  // idle gap adds nothing
+  p.advance_to(300);
+  EXPECT_DOUBLE_EQ(p.busy_node_seconds(), 5000.0 + 1000.0);
+}
+
+TEST(NodePool, HeldNodeSecondsIsServiceUnitLoss) {
+  NodePool p(100);
+  p.hold(20, 0);
+  p.hold_to_busy(20, 3600);  // held 20 nodes for 1 h
+  p.advance_to(7200);
+  EXPECT_DOUBLE_EQ(p.held_node_seconds(), 20.0 * 3600.0);
+  // Busy time accrues after promotion.
+  EXPECT_DOUBLE_EQ(p.busy_node_seconds(), 20.0 * 3600.0);
+}
+
+TEST(NodePool, UtilizationAndHeldFraction) {
+  NodePool p(100);
+  p.allocate(50, 0);
+  p.hold(25, 0);
+  // At t=100: busy fraction 0.5, held fraction 0.25 (no explicit advance).
+  EXPECT_DOUBLE_EQ(p.utilization(100), 0.5);
+  EXPECT_DOUBLE_EQ(p.held_fraction(100), 0.25);
+}
+
+TEST(NodePool, UtilizationAtZeroTimeIsZero) {
+  NodePool p(100);
+  EXPECT_DOUBLE_EQ(p.utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.held_fraction(0), 0.0);
+}
+
+TEST(NodePool, TimeGoingBackwardsThrows) {
+  NodePool p(100);
+  p.allocate(10, 50);
+  EXPECT_THROW(p.advance_to(40), InvariantError);
+}
+
+TEST(NodePool, ChargedUsesAllocationModel) {
+  auto model = std::make_shared<PartitionAllocation>(
+      std::vector<NodeCount>{512, 1024});
+  NodePool p(1024, model);
+  EXPECT_EQ(p.charged(600), 1024);
+  EXPECT_EQ(p.charged(100), 512);
+}
+
+TEST(NodePool, ChargedClampsModelResultToCapacity) {
+  auto model = std::make_shared<PartitionAllocation>(
+      std::vector<NodeCount>{512, 1024, 2048});
+  NodePool p(1500, model);
+  EXPECT_EQ(p.charged(1200), 1500);  // model rounds to 2048, capacity wins
+}
+
+TEST(NodePool, ChargedRejectsRequestAboveCapacity) {
+  NodePool p(1024);
+  EXPECT_THROW(p.charged(2000), InvariantError);
+  EXPECT_THROW(p.charged(0), InvariantError);
+}
+
+}  // namespace
+}  // namespace cosched

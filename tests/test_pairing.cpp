@@ -1,0 +1,205 @@
+#include "workload/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/synth.h"
+
+namespace cosched {
+namespace {
+
+Trace uniform_trace(int n, Time step, JobId first_id = 1) {
+  Trace t;
+  for (int i = 0; i < n; ++i) {
+    JobSpec j;
+    j.id = first_id + i;
+    j.submit = i * step;
+    j.runtime = 600;
+    j.walltime = 1200;
+    j.nodes = 4;
+    t.add(j);
+  }
+  return t;
+}
+
+// Every group id appears exactly once per trace, and the two members'
+// submits differ by at most `window`.
+void check_valid_pairing(const Trace& a, const Trace& b, Duration window) {
+  std::map<GroupId, const JobSpec*> in_a, in_b;
+  for (const JobSpec& j : a.jobs()) {
+    if (!j.is_paired()) continue;
+    EXPECT_TRUE(in_a.emplace(j.group, &j).second);
+  }
+  for (const JobSpec& j : b.jobs()) {
+    if (!j.is_paired()) continue;
+    EXPECT_TRUE(in_b.emplace(j.group, &j).second);
+  }
+  ASSERT_EQ(in_a.size(), in_b.size());
+  for (const auto& [g, ja] : in_a) {
+    ASSERT_TRUE(in_b.count(g)) << "group " << g << " missing in b";
+    const JobSpec* jb = in_b[g];
+    EXPECT_LE(std::abs(ja->submit - jb->submit), window);
+  }
+}
+
+TEST(PairByProximity, PairsCloseSubmits) {
+  Trace a = uniform_trace(10, 1000);
+  Trace b = uniform_trace(10, 1000);
+  // Same submit times: everything pairs.
+  const PairingResult r = pair_by_submit_proximity(a, b, 2 * kMinute);
+  EXPECT_EQ(r.pairs_made, 10u);
+  EXPECT_DOUBLE_EQ(r.paired_fraction, 1.0);
+  check_valid_pairing(a, b, 2 * kMinute);
+}
+
+TEST(PairByProximity, RespectsWindow) {
+  Trace a = uniform_trace(5, 10000);            // 0, 10000, ...
+  Trace b = uniform_trace(5, 10000);
+  for (auto& j : b.jobs()) j.submit += 5000;    // all 5000s apart
+  const PairingResult r = pair_by_submit_proximity(a, b, 2 * kMinute);
+  EXPECT_EQ(r.pairs_made, 0u);
+}
+
+TEST(PairByProximity, EachJobAtMostOnePair) {
+  Trace a = uniform_trace(3, 10);   // clustered submits
+  Trace b = uniform_trace(6, 10);
+  pair_by_submit_proximity(a, b, kMinute);
+  check_valid_pairing(a, b, kMinute);
+}
+
+TEST(PairByProportion, HitsRequestedProportion) {
+  for (double prop : {0.025, 0.05, 0.10, 0.20, 0.33}) {
+    Trace a = uniform_trace(1000, 60);
+    Trace b = uniform_trace(1000, 60, 5001);
+    const PairingResult r = pair_by_proportion(a, b, prop, 99);
+    const auto expected =
+        static_cast<std::size_t>(std::llround(prop * 1000));
+    EXPECT_EQ(r.pairs_made, expected) << "prop " << prop;
+    check_valid_pairing(a, b, 2 * kMinute);
+  }
+}
+
+TEST(PairByProportion, ZeroProportionPairsNothing) {
+  Trace a = uniform_trace(100, 60);
+  Trace b = uniform_trace(100, 60);
+  const PairingResult r = pair_by_proportion(a, b, 0.0, 1);
+  EXPECT_EQ(r.pairs_made, 0u);
+  for (const JobSpec& j : a.jobs()) EXPECT_FALSE(j.is_paired());
+}
+
+TEST(PairByProportion, FullProportionPairsEverything) {
+  Trace a = uniform_trace(50, 60);
+  Trace b = uniform_trace(50, 60);
+  const PairingResult r = pair_by_proportion(a, b, 1.0, 1);
+  EXPECT_EQ(r.pairs_made, 50u);
+  EXPECT_DOUBLE_EQ(r.paired_fraction, 1.0);
+}
+
+TEST(PairByProportion, ClearsPreviousAssignments) {
+  Trace a = uniform_trace(100, 60);
+  Trace b = uniform_trace(100, 60);
+  pair_by_proportion(a, b, 0.5, 1);
+  const PairingResult r = pair_by_proportion(a, b, 0.1, 2);
+  EXPECT_EQ(r.pairs_made, 10u);
+  std::size_t paired = 0;
+  for (const JobSpec& j : a.jobs())
+    if (j.is_paired()) ++paired;
+  EXPECT_EQ(paired, 10u);
+}
+
+TEST(PairByProportion, MateSubmitAligned) {
+  Trace a = uniform_trace(200, 300);
+  Trace b = uniform_trace(200, 500, 1001);
+  pair_by_proportion(a, b, 0.2, 7);
+  check_valid_pairing(a, b, 2 * kMinute);
+  EXPECT_TRUE(b.is_sorted());
+}
+
+TEST(PairByProportion, DeterministicBySeed) {
+  Trace a1 = uniform_trace(100, 60), b1 = uniform_trace(100, 60);
+  Trace a2 = uniform_trace(100, 60), b2 = uniform_trace(100, 60);
+  pair_by_proportion(a1, b1, 0.3, 42);
+  pair_by_proportion(a2, b2, 0.3, 42);
+  for (std::size_t i = 0; i < a1.size(); ++i)
+    EXPECT_EQ(a1.jobs()[i].group, a2.jobs()[i].group);
+}
+
+TEST(ThinPairs, ReducesToTargetFraction) {
+  Trace a = uniform_trace(500, 60);
+  Trace b = uniform_trace(500, 60, 5001);
+  {
+    const PairingResult r = pair_by_submit_proximity(a, b, kMinute);
+    ASSERT_GT(r.paired_fraction, 0.5);
+  }
+  const double frac = thin_pairs(a, b, 0.075, 3);
+  EXPECT_NEAR(frac, 0.075, 0.01);
+  // Remaining pairs are still consistent.
+  check_valid_pairing(a, b, kMinute);
+  std::size_t paired = 0;
+  for (const JobSpec& j : a.jobs())
+    paired += j.is_paired() ? 1 : 0;
+  for (const JobSpec& j : b.jobs())
+    paired += j.is_paired() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(paired) / 1000.0, 0.075, 0.01);
+}
+
+TEST(ThinPairs, NoopWhenAlreadyBelowTarget) {
+  Trace a = uniform_trace(100, 60);
+  Trace b = uniform_trace(100, 60, 5001);
+  pair_by_proportion(a, b, 0.05, 1);
+  const double frac = thin_pairs(a, b, 0.5, 2);
+  EXPECT_NEAR(frac, 0.05, 0.011);
+  std::size_t pairs = 0;
+  for (const JobSpec& j : a.jobs()) pairs += j.is_paired() ? 1 : 0;
+  EXPECT_EQ(pairs, 5u);
+}
+
+TEST(ThinPairs, ZeroTargetUnpairsEverything) {
+  Trace a = uniform_trace(100, 60);
+  Trace b = uniform_trace(100, 60, 5001);
+  pair_by_proportion(a, b, 0.5, 1);
+  const double frac = thin_pairs(a, b, 0.0, 2);
+  EXPECT_DOUBLE_EQ(frac, 0.0);
+  for (const JobSpec& j : a.jobs()) EXPECT_FALSE(j.is_paired());
+  for (const JobSpec& j : b.jobs()) EXPECT_FALSE(j.is_paired());
+}
+
+TEST(GroupByProportion, ThreeWayGroups) {
+  Trace a = uniform_trace(100, 60);
+  Trace b = uniform_trace(100, 60, 1001);
+  Trace c = uniform_trace(100, 60, 2001);
+  const std::size_t groups =
+      group_by_proportion({&a, &b, &c}, 0.1, 5);
+  EXPECT_EQ(groups, 10u);
+
+  std::map<GroupId, int> members;
+  for (const Trace* t : {&a, &b, &c})
+    for (const JobSpec& j : t->jobs())
+      if (j.is_paired()) ++members[j.group];
+  EXPECT_EQ(members.size(), 10u);
+  for (const auto& [g, count] : members) {
+    (void)g;
+    EXPECT_EQ(count, 3);
+  }
+}
+
+TEST(GroupByProportion, SubmitsAlignedWithinJitter) {
+  Trace a = uniform_trace(60, 500);
+  Trace b = uniform_trace(60, 900, 1001);
+  Trace c = uniform_trace(60, 700, 2001);
+  group_by_proportion({&a, &b, &c}, 0.25, 5, kMinute);
+  std::map<GroupId, Time> anchor;
+  for (const JobSpec& j : a.jobs())
+    if (j.is_paired()) anchor[j.group] = j.submit;
+  for (const Trace* t : {&b, &c})
+    for (const JobSpec& j : t->jobs())
+      if (j.is_paired()) {
+        ASSERT_TRUE(anchor.count(j.group));
+        EXPECT_GE(j.submit, anchor[j.group]);
+        EXPECT_LE(j.submit, anchor[j.group] + kMinute);
+      }
+}
+
+}  // namespace
+}  // namespace cosched

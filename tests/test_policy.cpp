@@ -1,0 +1,112 @@
+#include "sched/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+RuntimeJob make_job(JobId id, Time submit, Duration walltime, NodeCount nodes) {
+  RuntimeJob j;
+  j.spec.id = id;
+  j.spec.submit = submit;
+  j.spec.runtime = walltime / 2;
+  j.spec.walltime = walltime;
+  j.spec.nodes = nodes;
+  return j;
+}
+
+TEST(Fcfs, EarlierSubmitWins) {
+  FcfsPolicy p;
+  const RuntimeJob early = make_job(1, 100, 3600, 4);
+  const RuntimeJob late = make_job(2, 200, 3600, 4);
+  EXPECT_GT(p.score(early, 1000), p.score(late, 1000));
+}
+
+TEST(Fcfs, BoostBreaksTies) {
+  FcfsPolicy p;
+  RuntimeJob a = make_job(1, 100, 3600, 4);
+  RuntimeJob b = make_job(2, 100, 3600, 4);
+  b.priority_boost = 1.0;
+  EXPECT_GT(p.score(b, 1000), p.score(a, 1000));
+}
+
+TEST(Wfp, ScoreGrowsWithWait) {
+  WfpPolicy p;
+  const RuntimeJob j = make_job(1, 0, 3600, 64);
+  EXPECT_LT(p.score(j, 100), p.score(j, 1000));
+  EXPECT_LT(p.score(j, 1000), p.score(j, 10000));
+}
+
+TEST(Wfp, ZeroWaitIsZeroScore) {
+  WfpPolicy p;
+  const RuntimeJob j = make_job(1, 500, 3600, 64);
+  EXPECT_DOUBLE_EQ(p.score(j, 500), 0.0);
+  // Clock before submit clamps to zero, not negative.
+  EXPECT_DOUBLE_EQ(p.score(j, 100), 0.0);
+}
+
+TEST(Wfp, ShorterWalltimeScoresHigherAtEqualWait) {
+  WfpPolicy p;
+  const RuntimeJob short_job = make_job(1, 0, 600, 64);
+  const RuntimeJob long_job = make_job(2, 0, 6000, 64);
+  EXPECT_GT(p.score(short_job, 1000), p.score(long_job, 1000));
+}
+
+TEST(Wfp, LargerJobScoresHigher) {
+  WfpPolicy p;
+  const RuntimeJob small = make_job(1, 0, 3600, 64);
+  const RuntimeJob large = make_job(2, 0, 3600, 4096);
+  EXPECT_GT(p.score(large, 1000), p.score(small, 1000));
+}
+
+TEST(Wfp, CubicInWaitByDefault) {
+  WfpPolicy p;
+  const RuntimeJob j = make_job(1, 0, 1000, 1);
+  // score(2w)/score(w) == 8 for exponent 3.
+  const double r = p.score(j, 2000) / p.score(j, 1000);
+  EXPECT_NEAR(r, 8.0, 1e-9);
+}
+
+TEST(Wfp, ExponentConfigurable) {
+  WfpPolicy p(2.0);
+  const RuntimeJob j = make_job(1, 0, 1000, 1);
+  const double r = p.score(j, 2000) / p.score(j, 1000);
+  EXPECT_NEAR(r, 4.0, 1e-9);
+}
+
+TEST(MakePolicy, ByName) {
+  EXPECT_EQ(make_policy("fcfs")->name(), "fcfs");
+  EXPECT_EQ(make_policy("wfp")->name(), "wfp");
+  EXPECT_THROW(make_policy("random"), ParseError);
+}
+
+TEST(JobStateNames, AllCovered) {
+  EXPECT_STREQ(to_string(JobState::kQueued), "queued");
+  EXPECT_STREQ(to_string(JobState::kHolding), "holding");
+  EXPECT_STREQ(to_string(JobState::kRunning), "running");
+  EXPECT_STREQ(to_string(JobState::kFinished), "finished");
+}
+
+TEST(RuntimeJobDerived, WaitResponseSlowdownSync) {
+  RuntimeJob j = make_job(1, 100, 2000, 4);
+  j.spec.runtime = 1000;
+  j.first_ready = 400;
+  j.start = 600;
+  j.end = 1600;
+  EXPECT_EQ(j.wait_time(), 500);
+  EXPECT_EQ(j.response_time(), 1500);
+  EXPECT_DOUBLE_EQ(j.slowdown(), 1.5);
+  EXPECT_EQ(j.sync_time(), 200);
+}
+
+TEST(RuntimeJobDerived, UnstartedJobIsZero) {
+  const RuntimeJob j = make_job(1, 100, 2000, 4);
+  EXPECT_EQ(j.wait_time(), 0);
+  EXPECT_DOUBLE_EQ(j.slowdown(), 0.0);
+  EXPECT_EQ(j.sync_time(), 0);
+}
+
+}  // namespace
+}  // namespace cosched

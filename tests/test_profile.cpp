@@ -1,0 +1,93 @@
+#include "sched/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(Profile, EmptyIsFullyFree) {
+  TimelineProfile p(100);
+  EXPECT_EQ(p.free_at(0), 100);
+  EXPECT_EQ(p.free_at(1000000), 100);
+  EXPECT_TRUE(p.can_reserve(0, 3600, 100));
+  EXPECT_FALSE(p.can_reserve(0, 3600, 101));
+}
+
+TEST(Profile, ReserveReducesWindowOnly) {
+  TimelineProfile p(100);
+  p.reserve(100, 50, 60);  // [100,150)
+  EXPECT_EQ(p.free_at(99), 100);
+  EXPECT_EQ(p.free_at(100), 40);
+  EXPECT_EQ(p.free_at(149), 40);
+  EXPECT_EQ(p.free_at(150), 100);
+}
+
+TEST(Profile, OverlappingReservationsStack) {
+  TimelineProfile p(100);
+  p.reserve(0, 100, 40);
+  p.reserve(50, 100, 40);
+  EXPECT_EQ(p.free_at(75), 20);
+  EXPECT_FALSE(p.can_reserve(60, 10, 30));
+  EXPECT_TRUE(p.can_reserve(60, 10, 20));
+}
+
+TEST(Profile, ReserveBeyondCapacityThrows) {
+  TimelineProfile p(100);
+  p.reserve(0, 100, 80);
+  EXPECT_THROW(p.reserve(50, 10, 30), InvariantError);
+}
+
+TEST(Profile, ReleaseRestores) {
+  TimelineProfile p(100);
+  p.reserve(0, 100, 80);
+  p.release(0, 100, 80);
+  EXPECT_EQ(p.free_at(50), 100);
+  EXPECT_TRUE(p.can_reserve(0, 100, 100));
+}
+
+TEST(Profile, EarliestFitImmediateWhenFree) {
+  TimelineProfile p(100);
+  EXPECT_EQ(p.earliest_fit(42, 100, 50), 42);
+}
+
+TEST(Profile, EarliestFitSkipsBusyWindow) {
+  TimelineProfile p(100);
+  p.reserve(0, 1000, 80);  // only 20 free until t=1000
+  EXPECT_EQ(p.earliest_fit(0, 100, 50), 1000);
+  EXPECT_EQ(p.earliest_fit(0, 100, 20), 0);
+}
+
+TEST(Profile, EarliestFitFindsGapBetweenReservations) {
+  TimelineProfile p(100);
+  p.reserve(0, 100, 100);
+  p.reserve(500, 100, 100);
+  // 60-second job fits in the [100, 500) gap.
+  EXPECT_EQ(p.earliest_fit(0, 60, 100), 100);
+  // 600-second job cannot use the gap; must wait past the second block.
+  EXPECT_EQ(p.earliest_fit(0, 600, 100), 600);
+}
+
+TEST(Profile, EarliestFitRespectsAfter) {
+  TimelineProfile p(100);
+  EXPECT_EQ(p.earliest_fit(300, 10, 10), 300);
+  p.reserve(300, 50, 100);
+  EXPECT_EQ(p.earliest_fit(300, 10, 10), 350);
+}
+
+TEST(Profile, RequestAboveCapacityThrows) {
+  TimelineProfile p(100);
+  EXPECT_THROW(p.earliest_fit(0, 10, 101), InvariantError);
+}
+
+TEST(Profile, ZeroEntriesCollapse) {
+  TimelineProfile p(100);
+  p.reserve(10, 10, 50);
+  p.release(10, 10, 50);
+  // After cancel, profile accepts a full-capacity reservation everywhere.
+  EXPECT_TRUE(p.can_reserve(10, 10, 100));
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,192 @@
+// Property-based sweeps (TEST_P): invariants that must hold for every
+// scheme combination, load level, pairing proportion, and seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core_test_util.h"
+#include "workload/pairing.h"
+#include "workload/synth.h"
+
+namespace cosched {
+namespace {
+
+struct SweepParam {
+  SchemeCombo combo;
+  double load;
+  double proportion;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& p = info.param;
+  return std::string(p.combo.label) + "_load" +
+         std::to_string(static_cast<int>(p.load * 100)) + "_prop" +
+         std::to_string(static_cast<int>(p.proportion * 100)) + "_seed" +
+         std::to_string(p.seed);
+}
+
+class CoschedSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  struct Built {
+    std::vector<DomainSpec> specs;
+    std::vector<Trace> traces;
+  };
+
+  Built build() const {
+    const SweepParam& p = GetParam();
+    SystemModel compute;
+    compute.name = "compute";
+    compute.capacity = 512;
+    compute.sizes = {{32, 0.5}, {64, 0.3}, {128, 0.15}, {256, 0.05}};
+    compute.runtime_log_mean = std::log(900.0);
+    compute.runtime_log_sigma = 0.9;
+    compute.runtime_min = 60;
+    compute.runtime_max = 3 * kHour;
+
+    SystemModel viz = eureka_model();
+
+    SynthParams pa;
+    pa.span = 2 * kDay;
+    pa.offered_load = 0.6;
+    pa.seed = p.seed;
+    SynthParams pb = pa;
+    pb.offered_load = p.load;
+    pb.seed = p.seed + 555;
+
+    Built w;
+    w.traces.push_back(generate_trace(compute, pa));
+    w.traces.push_back(generate_trace(viz, pb));
+    for (auto& j : w.traces[1].jobs()) j.id += 1000000;
+    pair_by_proportion(w.traces[0], w.traces[1], p.proportion, p.seed + 9);
+    w.specs = make_coupled_specs("compute", 512, "viz", 100, p.combo);
+    return w;
+  }
+};
+
+TEST_P(CoschedSweep, CompletesWithAllPairsSynchronized) {
+  Built w = build();
+  CoupledSim sim(w.specs, w.traces);
+  const SimResult r = sim.run(120 * kDay);
+
+  // §V-B capability validation: every simulation completes and every paired
+  // group starts simultaneously, whichever member got ready first.
+  ASSERT_TRUE(r.completed) << "simulation deadlocked or stalled";
+  EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total);
+  EXPECT_EQ(r.pairs.max_start_skew, 0);
+  EXPECT_EQ(r.pairs.groups_unstarted, 0u);
+
+  for (std::size_t d = 0; d < 2; ++d) {
+    const auto& pool = sim.cluster(d).scheduler().pool();
+    // All nodes returned at the end.
+    EXPECT_EQ(pool.busy(), 0) << "domain " << d;
+    EXPECT_EQ(pool.held(), 0) << "domain " << d;
+    // Physical sanity of the aggregates.
+    EXPECT_GE(r.systems[d].utilization, 0.0);
+    EXPECT_LE(r.systems[d].utilization, 1.0 + 1e-9);
+    EXPECT_GE(r.systems[d].held_fraction, 0.0);
+    EXPECT_LE(r.systems[d].held_fraction, 1.0 + 1e-9);
+    EXPECT_GE(r.systems[d].avg_slowdown, 1.0 - 1e-9)
+        << "slowdown below 1 is impossible";
+    EXPECT_EQ(r.systems[d].jobs_finished, w.traces[d].size());
+  }
+
+  // Scheme-specific invariants.
+  const SweepParam& p = GetParam();
+  const bool any_pairs = r.pairs.groups_total > 0;
+  if (p.combo.first == Scheme::kYield && p.combo.second == Scheme::kYield) {
+    EXPECT_DOUBLE_EQ(
+        r.systems[0].held_node_hours + r.systems[1].held_node_hours, 0.0)
+        << "yield must never hold nodes";
+  }
+  if (!any_pairs) {
+    EXPECT_DOUBLE_EQ(
+        r.systems[0].held_node_hours + r.systems[1].held_node_hours, 0.0);
+    for (const auto& sysm : r.systems) EXPECT_EQ(sysm.total_yields, 0);
+  }
+}
+
+TEST_P(CoschedSweep, SyncTimeZeroForUnpairedJobs) {
+  Built w = build();
+  CoupledSim sim(w.specs, w.traces);
+  const SimResult r = sim.run(120 * kDay);
+  ASSERT_TRUE(r.completed);
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (const auto& [id, rj] : sim.cluster(d).scheduler().jobs()) {
+      (void)id;
+      if (!rj.spec.is_paired()) {
+        EXPECT_EQ(rj.sync_time(), 0)
+            << "unpaired job must start at first readiness";
+      }
+      EXPECT_GE(rj.sync_time(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeLoadProportion, CoschedSweep,
+    ::testing::Values(
+        SweepParam{kHH, 0.25, 0.10, 1}, SweepParam{kHY, 0.25, 0.10, 1},
+        SweepParam{kYH, 0.25, 0.10, 1}, SweepParam{kYY, 0.25, 0.10, 1},
+        SweepParam{kHH, 0.75, 0.10, 2}, SweepParam{kHY, 0.75, 0.10, 2},
+        SweepParam{kYH, 0.75, 0.10, 2}, SweepParam{kYY, 0.75, 0.10, 2},
+        SweepParam{kHH, 0.50, 0.33, 3}, SweepParam{kYY, 0.50, 0.33, 3},
+        SweepParam{kHY, 0.50, 0.02, 4}, SweepParam{kYH, 0.50, 0.02, 4},
+        SweepParam{kHH, 0.50, 0.00, 5}, SweepParam{kYY, 0.50, 0.00, 5}),
+    param_name);
+
+// Enhancement sweeps: thresholds must preserve the synchronization
+// guarantee while changing only the hold/yield mix.
+struct EnhanceParam {
+  double max_hold_fraction;
+  int max_yield_before_hold;
+  double yield_boost;
+  std::uint64_t seed;
+};
+
+class EnhancementSweep : public ::testing::TestWithParam<EnhanceParam> {};
+
+TEST_P(EnhancementSweep, GuaranteeHoldsUnderThresholds) {
+  const EnhanceParam& p = GetParam();
+  SynthParams pa;
+  pa.span = 2 * kDay;
+  pa.offered_load = 0.6;
+  pa.seed = p.seed;
+  Trace a = generate_trace(eureka_model(), pa);
+  pa.seed = p.seed + 3;
+  pa.offered_load = 0.5;
+  Trace b = generate_trace(eureka_model(), pa);
+  for (auto& j : b.jobs()) j.id += 1000000;
+  pair_by_proportion(a, b, 0.15, p.seed + 11);
+
+  auto specs = make_coupled_specs("a", 100, "b", 100, kHY);
+  for (auto& s : specs) {
+    s.cosched.max_hold_fraction = p.max_hold_fraction;
+    s.cosched.max_yield_before_hold = p.max_yield_before_hold;
+    s.cosched.yield_priority_boost = p.yield_boost;
+  }
+  CoupledSim sim(specs, {a, b});
+  const SimResult r = sim.run(120 * kDay);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total);
+  EXPECT_EQ(r.pairs.max_start_skew, 0);
+
+  // The hold-fraction cap bounds held nodes at every instant; verify the
+  // aggregate consequence: held node-time never exceeds the cap's share.
+  if (p.max_hold_fraction < 1.0) {
+    for (const auto& sysm : r.systems)
+      EXPECT_LE(sysm.held_fraction, p.max_hold_fraction + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, EnhancementSweep,
+    ::testing::Values(EnhanceParam{1.0, 0, 0.0, 1},
+                      EnhanceParam{0.5, 0, 0.0, 2},
+                      EnhanceParam{0.2, 0, 0.0, 3},
+                      EnhanceParam{1.0, 3, 0.0, 4},
+                      EnhanceParam{1.0, 0, 10.0, 5},
+                      EnhanceParam{0.5, 5, 5.0, 6}));
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,114 @@
+// End-to-end protocol over real sockets: WirePeer <-> serve_channel.
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+namespace cosched {
+namespace {
+
+class FakeService : public CoschedService {
+ public:
+  std::map<GroupId, JobId> mates;
+  std::map<JobId, MateStatus> statuses;
+  std::map<JobId, bool> try_results;
+
+  std::optional<JobId> get_mate_job(GroupId group, JobId) override {
+    auto it = mates.find(group);
+    if (it == mates.end()) return std::nullopt;
+    return it->second;
+  }
+  MateStatus get_mate_status(JobId job) override {
+    auto it = statuses.find(job);
+    return it == statuses.end() ? MateStatus::kUnknown : it->second;
+  }
+  bool try_start_mate(JobId job) override {
+    auto it = try_results.find(job);
+    return it != try_results.end() && it->second;
+  }
+  bool start_job(JobId) override { return true; }
+};
+
+struct Harness {
+  FakeService service;
+  std::thread server;
+  std::unique_ptr<WirePeer> peer;
+
+  Harness() {
+    auto [client_sock, server_sock] = Socket::pair();
+    peer = std::make_unique<WirePeer>(FramedChannel(std::move(client_sock)));
+    server = std::thread(
+        [this, s = std::make_shared<Socket>(std::move(server_sock))]() mutable {
+          FramedChannel channel(std::move(*s));
+          serve_channel(channel, service);
+        });
+  }
+  ~Harness() {
+    peer.reset();  // closes client socket -> server sees EOF
+    server.join();
+  }
+};
+
+TEST(WireRpc, AllFourCallsOverSocket) {
+  Harness h;
+  h.service.mates[3] = 30;
+  h.service.statuses[30] = MateStatus::kHolding;
+  h.service.try_results[30] = true;
+
+  const auto mate = h.peer->get_mate_job(3, 1);
+  ASSERT_TRUE(mate.has_value());
+  ASSERT_TRUE(mate->has_value());
+  EXPECT_EQ(**mate, 30);
+
+  EXPECT_EQ(h.peer->get_mate_status(30), MateStatus::kHolding);
+  EXPECT_EQ(h.peer->try_start_mate(30), true);
+  EXPECT_EQ(h.peer->start_job(30), true);
+  EXPECT_TRUE(h.peer->healthy());
+}
+
+TEST(WireRpc, MissingMateOverSocket) {
+  Harness h;
+  const auto mate = h.peer->get_mate_job(99, 1);
+  ASSERT_TRUE(mate.has_value());
+  EXPECT_FALSE(mate->has_value());
+}
+
+TEST(WireRpc, ManySequentialCalls) {
+  Harness h;
+  h.service.statuses[7] = MateStatus::kQueuing;
+  for (int i = 0; i < 500; ++i)
+    ASSERT_EQ(h.peer->get_mate_status(7), MateStatus::kQueuing);
+}
+
+TEST(WireRpc, ServerGoneMeansUnknownNotCrash) {
+  FakeService service;
+  std::unique_ptr<WirePeer> peer;
+  {
+    auto [client_sock, server_sock] = Socket::pair();
+    peer = std::make_unique<WirePeer>(FramedChannel(std::move(client_sock)));
+    // server_sock dropped here: connection closed before any reply.
+  }
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);
+  EXPECT_FALSE(peer->healthy());
+  // Subsequent calls short-circuit.
+  EXPECT_EQ(peer->try_start_mate(1), std::nullopt);
+}
+
+TEST(WireRpc, ConcurrentClientsSerialized) {
+  Harness h;
+  h.service.statuses[5] = MateStatus::kQueuing;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i)
+        if (h.peer->get_mate_status(5) != MateStatus::kQueuing) ++failures;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace cosched

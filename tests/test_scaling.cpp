@@ -1,0 +1,89 @@
+#include "workload/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workload/synth.h"
+
+namespace cosched {
+namespace {
+
+Trace small_trace() {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec j;
+    j.id = i + 1;
+    j.submit = i * 100;
+    j.runtime = 500;
+    j.walltime = 1000;
+    j.nodes = 10;
+    t.add(j);
+  }
+  return t;
+}
+
+TEST(Scaling, IntervalScalePreservesShape) {
+  Trace t = small_trace();
+  scale_arrival_intervals(t, 2.0);
+  // Every interval doubled: submits 0,200,400,...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.jobs()[i].submit, i * 200);
+}
+
+TEST(Scaling, CompressionRaisesLoad) {
+  Trace t = small_trace();
+  const double before = offered_load(t, 100);
+  scale_arrival_intervals(t, 0.5);
+  const double after = offered_load(t, 100);
+  EXPECT_NEAR(after, before * 2.0, 1e-9);
+}
+
+TEST(Scaling, ScaleToOfferedLoadHitsTarget) {
+  Trace t = small_trace();
+  scale_to_offered_load(t, 100, 0.25);
+  EXPECT_NEAR(offered_load(t, 100), 0.25, 0.01);
+}
+
+TEST(Scaling, ScaleToOfferedLoadOnSynthetic) {
+  SynthParams p;
+  p.span = 10 * kDay;
+  p.offered_load = 0.4;
+  p.seed = 21;
+  Trace t = generate_trace(eureka_model(), p);
+  for (double target : {0.25, 0.5, 0.75}) {
+    Trace copy = t;
+    scale_to_offered_load(copy, 100, target);
+    EXPECT_NEAR(offered_load(copy, 100), target, 0.02);
+  }
+}
+
+TEST(Scaling, FirstSubmitUnchanged) {
+  Trace t = small_trace();
+  scale_arrival_intervals(t, 3.0);
+  EXPECT_EQ(t.jobs().front().submit, 0);
+}
+
+TEST(Scaling, EmptyTraceThrows) {
+  Trace t;
+  EXPECT_THROW(scale_to_offered_load(t, 100, 0.5), Error);
+}
+
+TEST(Scaling, NonPositiveFactorThrows) {
+  Trace t = small_trace();
+  EXPECT_THROW(scale_arrival_intervals(t, 0.0), InvariantError);
+}
+
+TEST(Scaling, TruncateToSpanDropsLateJobs) {
+  Trace t = small_trace();  // submits 0..900
+  truncate_to_span(t, 500);
+  EXPECT_EQ(t.size(), 5u);
+  for (const JobSpec& j : t.jobs()) EXPECT_LT(j.submit, 500);
+}
+
+TEST(Scaling, TruncateKeepsAllWhenSpanCovers) {
+  Trace t = small_trace();
+  truncate_to_span(t, 10000);
+  EXPECT_EQ(t.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cosched

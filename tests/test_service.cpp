@@ -1,0 +1,150 @@
+#include "proto/service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "proto/peer.h"
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+/// Scripted service used to test dispatch and the loopback peer.
+class FakeService : public CoschedService {
+ public:
+  std::map<GroupId, JobId> mates;
+  std::map<JobId, MateStatus> statuses;
+  std::map<JobId, bool> try_results;
+  std::map<JobId, bool> start_results;
+  bool throw_on_try = false;
+  int try_calls = 0;
+
+  std::optional<JobId> get_mate_job(GroupId group, JobId) override {
+    auto it = mates.find(group);
+    if (it == mates.end()) return std::nullopt;
+    return it->second;
+  }
+  MateStatus get_mate_status(JobId job) override {
+    auto it = statuses.find(job);
+    return it == statuses.end() ? MateStatus::kUnknown : it->second;
+  }
+  bool try_start_mate(JobId job) override {
+    ++try_calls;
+    if (throw_on_try) throw Error("scheduler exploded");
+    auto it = try_results.find(job);
+    return it != try_results.end() && it->second;
+  }
+  bool start_job(JobId job) override {
+    auto it = start_results.find(job);
+    return it != start_results.end() && it->second;
+  }
+};
+
+TEST(Dispatcher, RoutesAllFourCalls) {
+  FakeService svc;
+  svc.mates[5] = 101;
+  svc.statuses[101] = MateStatus::kHolding;
+  svc.try_results[101] = true;
+  svc.start_results[101] = true;
+  ServiceDispatcher d(svc);
+
+  {
+    const auto resp = Message::decode(
+        d.dispatch(make_get_mate_job_req(1, 5, 7).encode()));
+    EXPECT_EQ(resp.type, MsgType::kGetMateJobResp);
+    EXPECT_TRUE(resp.found);
+    EXPECT_EQ(resp.job, 101);
+    EXPECT_EQ(resp.request_id, 1u);
+  }
+  {
+    const auto resp = Message::decode(
+        d.dispatch(make_get_mate_status_req(2, 101).encode()));
+    EXPECT_EQ(resp.status, MateStatus::kHolding);
+  }
+  {
+    const auto resp = Message::decode(
+        d.dispatch(make_try_start_mate_req(3, 101).encode()));
+    EXPECT_TRUE(resp.ok);
+  }
+  {
+    const auto resp =
+        Message::decode(d.dispatch(make_start_job_req(4, 101).encode()));
+    EXPECT_TRUE(resp.ok);
+  }
+}
+
+TEST(Dispatcher, MalformedRequestYieldsErrorResp) {
+  FakeService svc;
+  ServiceDispatcher d(svc);
+  const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+  const auto resp = Message::decode(d.dispatch(garbage));
+  EXPECT_EQ(resp.type, MsgType::kErrorResp);
+}
+
+TEST(Dispatcher, ResponseTypeRequestRejected) {
+  FakeService svc;
+  ServiceDispatcher d(svc);
+  const auto resp = Message::decode(
+      d.dispatch(make_start_job_resp(9, true).encode()));
+  EXPECT_EQ(resp.type, MsgType::kErrorResp);
+}
+
+TEST(Dispatcher, ServiceExceptionBecomesErrorResp) {
+  FakeService svc;
+  svc.throw_on_try = true;
+  ServiceDispatcher d(svc);
+  const auto resp = Message::decode(
+      d.dispatch(make_try_start_mate_req(5, 1).encode()));
+  EXPECT_EQ(resp.type, MsgType::kErrorResp);
+  EXPECT_NE(resp.error.find("exploded"), std::string::npos);
+}
+
+TEST(LoopbackPeer, FullRoundTrips) {
+  FakeService svc;
+  svc.mates[8] = 202;
+  svc.statuses[202] = MateStatus::kQueuing;
+  svc.try_results[202] = false;
+  LoopbackPeer peer(svc);
+
+  const auto mate = peer.get_mate_job(8, 1);
+  ASSERT_TRUE(mate.has_value());
+  ASSERT_TRUE(mate->has_value());
+  EXPECT_EQ(**mate, 202);
+
+  const auto none = peer.get_mate_job(99, 1);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->has_value());
+
+  EXPECT_EQ(peer.get_mate_status(202), MateStatus::kQueuing);
+  EXPECT_EQ(peer.try_start_mate(202), false);
+  EXPECT_EQ(peer.start_job(202), false);
+  EXPECT_EQ(peer.calls(), 5u);
+}
+
+TEST(LoopbackPeer, ServiceErrorMapsToNullopt) {
+  FakeService svc;
+  svc.throw_on_try = true;
+  LoopbackPeer peer(svc);
+  EXPECT_EQ(peer.try_start_mate(1), std::nullopt);
+}
+
+TEST(FaultInjectingPeer, DownMeansNullopt) {
+  FakeService svc;
+  svc.mates[8] = 202;
+  svc.statuses[202] = MateStatus::kQueuing;
+  auto inner = std::make_unique<LoopbackPeer>(svc);
+  FaultInjectingPeer peer(std::move(inner));
+
+  EXPECT_TRUE(peer.get_mate_status(202).has_value());
+  peer.set_down(true);
+  EXPECT_EQ(peer.get_mate_job(8, 1), std::nullopt);
+  EXPECT_EQ(peer.get_mate_status(202), std::nullopt);
+  EXPECT_EQ(peer.try_start_mate(202), std::nullopt);
+  EXPECT_EQ(peer.start_job(202), std::nullopt);
+  peer.set_down(false);
+  EXPECT_EQ(peer.get_mate_status(202), MateStatus::kQueuing);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,98 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Socket, PairExchangesData) {
+  auto [a, b] = Socket::pair();
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  a.send_all(bytes("hello"));
+  std::vector<std::uint8_t> buf(5);
+  ASSERT_TRUE(b.recv_exact(buf));
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "hello");
+}
+
+TEST(Socket, RecvExactAssemblesFragments) {
+  auto [a, b] = Socket::pair();
+  std::thread sender([&a = a] {
+    a.send_all(bytes("12"));
+    a.send_all(bytes("34"));
+    a.send_all(bytes("5"));
+  });
+  std::vector<std::uint8_t> buf(5);
+  ASSERT_TRUE(b.recv_exact(buf));
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "12345");
+  sender.join();
+}
+
+TEST(Socket, CleanEofReturnsFalse) {
+  auto [a, b] = Socket::pair();
+  a.close();
+  std::vector<std::uint8_t> buf(4);
+  EXPECT_FALSE(b.recv_exact(buf));
+}
+
+TEST(Socket, MidMessageEofThrows) {
+  auto [a, b] = Socket::pair();
+  a.send_all(bytes("xy"));
+  a.close();
+  std::vector<std::uint8_t> buf(5);
+  EXPECT_THROW(b.recv_exact(buf), Error);
+}
+
+TEST(Socket, MoveTransfersOwnership) {
+  auto [a, b] = Socket::pair();
+  const int fd = a.fd();
+  Socket c = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_EQ(c.fd(), fd);
+  c.send_all(bytes("ok"));
+  std::vector<std::uint8_t> buf(2);
+  EXPECT_TRUE(b.recv_exact(buf));
+}
+
+TEST(Socket, SendOnInvalidThrows) {
+  Socket s;
+  EXPECT_THROW(s.send_all(bytes("x")), InvariantError);
+}
+
+TEST(Tcp, ListenConnectRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  std::thread client([port = listener.port()] {
+    Socket c = tcp_connect(port);
+    c.send_all(bytes("ping"));
+    std::vector<std::uint8_t> buf(4);
+    ASSERT_TRUE(c.recv_exact(buf));
+    EXPECT_EQ(std::string(buf.begin(), buf.end()), "pong");
+  });
+  Socket server = listener.accept();
+  std::vector<std::uint8_t> buf(4);
+  ASSERT_TRUE(server.recv_exact(buf));
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "ping");
+  server.send_all(bytes("pong"));
+  client.join();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpListener l(0);
+    dead_port = l.port();
+  }  // listener closed
+  EXPECT_THROW(tcp_connect(dead_port), Error);
+}
+
+}  // namespace
+}  // namespace cosched

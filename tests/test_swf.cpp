@@ -1,0 +1,128 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(Swf, ParsesDataLines) {
+  std::istringstream in(
+      "; header comment\n"
+      "1 100 -1 3600 64 -1 -1 64 7200 -1 1 5 -1 -1 -1 -1 -1 -1\n"
+      "2 200 -1 60 1 -1 -1 1 600 -1 1 6 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "test");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.jobs()[0].id, 1);
+  EXPECT_EQ(t.jobs()[0].submit, 100);
+  EXPECT_EQ(t.jobs()[0].runtime, 3600);
+  EXPECT_EQ(t.jobs()[0].walltime, 7200);
+  EXPECT_EQ(t.jobs()[0].nodes, 64);
+  EXPECT_EQ(t.jobs()[1].nodes, 1);
+}
+
+TEST(Swf, ShortLinesPadWithMissing) {
+  // Only 9 fields; requested time present, rest missing.
+  std::istringstream in("1 100 -1 3600 64 -1 -1 64 7200\n");
+  const Trace t = read_swf(in, "test");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].walltime, 7200);
+}
+
+TEST(Swf, FallsBackToAllocatedProcs) {
+  std::istringstream in("1 100 -1 3600 128 -1 -1 -1 7200\n");
+  const Trace t = read_swf(in, "test");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].nodes, 128);
+}
+
+TEST(Swf, ProcsPerNodeDivides) {
+  std::istringstream in("1 100 -1 3600 -1 -1 -1 1024 7200\n");
+  SwfReadOptions opt;
+  opt.procs_per_node = 4;
+  const Trace t = read_swf(in, "test", opt);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].nodes, 256);
+}
+
+TEST(Swf, ProcsPerNodeRoundsUp) {
+  std::istringstream in("1 100 -1 3600 -1 -1 -1 5 7200\n");
+  SwfReadOptions opt;
+  opt.procs_per_node = 4;
+  const Trace t = read_swf(in, "test", opt);
+  EXPECT_EQ(t.jobs()[0].nodes, 2);
+}
+
+TEST(Swf, DropsInvalidJobsByDefault) {
+  std::istringstream in(
+      "1 100 -1 -1 64 -1 -1 64 7200\n"   // missing runtime
+      "2 200 -1 60 1 -1 -1 1 600\n");
+  const Trace t = read_swf(in, "test");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].id, 2);
+}
+
+TEST(Swf, RejectsInvalidWhenConfigured) {
+  std::istringstream in("1 100 -1 -1 64 -1 -1 64 7200\n");
+  SwfReadOptions opt;
+  opt.drop_invalid = false;
+  EXPECT_THROW(read_swf(in, "test", opt), ParseError);
+}
+
+TEST(Swf, ClampsRuntimeToWalltime) {
+  std::istringstream in("1 100 -1 9000 64 -1 -1 64 7200\n");
+  const Trace t = read_swf(in, "test");
+  EXPECT_EQ(t.jobs()[0].runtime, 7200);
+}
+
+TEST(Swf, MissingWalltimeUsesRuntime) {
+  std::istringstream in("1 100 -1 3600 64 -1 -1 64 -1\n");
+  const Trace t = read_swf(in, "test");
+  EXPECT_EQ(t.jobs()[0].walltime, 3600);
+}
+
+TEST(Swf, NonNumericLineThrows) {
+  std::istringstream in("hello world\n");
+  EXPECT_THROW(read_swf(in, "test"), ParseError);
+}
+
+TEST(Swf, RoundTripPreservesJobsAndGroups) {
+  Trace t;
+  t.set_system_name("round");
+  for (int i = 1; i <= 5; ++i) {
+    JobSpec j;
+    j.id = i;
+    j.submit = i * 100;
+    j.runtime = 600 + i;
+    j.walltime = 1200;
+    j.nodes = i * 8;
+    j.user = i;
+    if (i % 2 == 0) j.group = 1000 + i;
+    t.add(j);
+  }
+  std::ostringstream out;
+  write_swf(out, t);
+  std::istringstream in(out.str());
+  const Trace back = read_swf(in, "round");
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.jobs()[i].id, t.jobs()[i].id);
+    EXPECT_EQ(back.jobs()[i].submit, t.jobs()[i].submit);
+    EXPECT_EQ(back.jobs()[i].runtime, t.jobs()[i].runtime);
+    EXPECT_EQ(back.jobs()[i].walltime, t.jobs()[i].walltime);
+    EXPECT_EQ(back.jobs()[i].nodes, t.jobs()[i].nodes);
+    EXPECT_EQ(back.jobs()[i].group, t.jobs()[i].group);
+  }
+}
+
+TEST(Swf, FileErrorsThrow) {
+  EXPECT_THROW(read_swf_file("/no/such/file.swf", "x"), Error);
+  Trace t;
+  EXPECT_THROW(write_swf_file("/no/such/dir/file.swf", t), Error);
+}
+
+}  // namespace
+}  // namespace cosched

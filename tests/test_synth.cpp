@@ -1,0 +1,126 @@
+#include "workload/synth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cosched {
+namespace {
+
+TEST(Synth, IntrepidModelShape) {
+  const SystemModel m = intrepid_model();
+  EXPECT_EQ(m.capacity, 40960);
+  std::set<NodeCount> sizes;
+  for (const auto& b : m.sizes) sizes.insert(b.nodes);
+  EXPECT_TRUE(sizes.count(512));
+  EXPECT_TRUE(sizes.count(32768));
+  // All sizes are valid BG/P partition sizes.
+  for (NodeCount s : sizes) EXPECT_LE(s, m.capacity);
+}
+
+TEST(Synth, EurekaModelShape) {
+  const SystemModel m = eureka_model();
+  EXPECT_EQ(m.capacity, 100);
+  for (const auto& b : m.sizes) {
+    EXPECT_GE(b.nodes, 1);
+    EXPECT_LE(b.nodes, 100);
+  }
+}
+
+TEST(Synth, GeneratedTraceIsValidAndSorted) {
+  SynthParams p;
+  p.span = 5 * kDay;
+  p.offered_load = 0.5;
+  p.seed = 42;
+  const Trace t = generate_trace(eureka_model(), p);
+  EXPECT_GT(t.size(), 10u);
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_NO_THROW(t.validate(eureka_model().capacity));
+}
+
+TEST(Synth, Deterministic) {
+  SynthParams p;
+  p.span = 2 * kDay;
+  p.seed = 7;
+  const Trace a = generate_trace(eureka_model(), p);
+  const Trace b = generate_trace(eureka_model(), p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_EQ(a.jobs()[i].runtime, b.jobs()[i].runtime);
+    EXPECT_EQ(a.jobs()[i].nodes, b.jobs()[i].nodes);
+  }
+}
+
+TEST(Synth, SeedsProduceDifferentTraces) {
+  SynthParams p;
+  p.span = 2 * kDay;
+  p.seed = 1;
+  const Trace a = generate_trace(eureka_model(), p);
+  p.seed = 2;
+  const Trace b = generate_trace(eureka_model(), p);
+  bool any_diff = a.size() != b.size();
+  for (std::size_t i = 0; !any_diff && i < std::min(a.size(), b.size()); ++i)
+    any_diff = a.jobs()[i].runtime != b.jobs()[i].runtime;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synth, HitsTargetOfferedLoad) {
+  for (double target : {0.25, 0.5, 0.75}) {
+    SynthParams p;
+    p.span = 30 * kDay;
+    p.offered_load = target;
+    p.seed = 11;
+    const Trace t = generate_trace(eureka_model(), p);
+    EXPECT_NEAR(t.stats().offered_load(100), target, target * 0.05)
+        << "target load " << target;
+  }
+}
+
+TEST(Synth, ExplicitJobCountRespected) {
+  SynthParams p;
+  p.job_count = 500;
+  p.span = 30 * kDay;
+  p.offered_load = 0.5;
+  p.seed = 3;
+  const Trace t = generate_trace(eureka_model(), p);
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_NEAR(t.stats().offered_load(100), 0.5, 0.05);
+}
+
+TEST(Synth, WalltimeAlwaysCoversRuntime) {
+  SynthParams p;
+  p.span = 5 * kDay;
+  p.seed = 5;
+  const Trace t = generate_trace(intrepid_model(), p);
+  for (const JobSpec& j : t.jobs()) {
+    EXPECT_GE(j.walltime, j.runtime);
+    EXPECT_EQ(j.walltime % (5 * kMinute), 0)
+        << "walltime should be 5-minute granular";
+  }
+}
+
+TEST(Synth, RuntimesWithinModelBounds) {
+  SynthParams p;
+  p.span = 5 * kDay;
+  p.seed = 5;
+  const SystemModel m = intrepid_model();
+  const Trace t = generate_trace(m, p);
+  for (const JobSpec& j : t.jobs()) {
+    EXPECT_GE(j.runtime, m.runtime_min);
+    EXPECT_LE(j.runtime, m.runtime_max);
+  }
+}
+
+TEST(Synth, MeanRuntimeEstimateMatchesSamples) {
+  const SystemModel m = eureka_model();
+  SynthParams p;
+  p.span = 60 * kDay;
+  p.seed = 9;
+  const Trace t = generate_trace(m, p);
+  const double analytic = m.mean_runtime_seconds();
+  EXPECT_NEAR(t.stats().mean_runtime, analytic, analytic * 0.1);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"scheme", "wait"});
+  t.add_row({"HH", "61.00"});
+  t.add_row({"YY", "65.10"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("HH"), std::string::npos);
+  EXPECT_NE(out.find("65.10"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"x", "value"});
+  t.add_row({"long-label", "1"});
+  t.add_row({"s", "22"});
+  const std::string out = t.to_string();
+  // Every rendered line has the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // 3 border rules + 1 separator = 4 lines starting with '+'.
+  int rules = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    if (out[pos] == '+') ++rules;
+    pos = out.find('\n', pos) + 1;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FormatDouble, Rounds) {
+  EXPECT_EQ(format_double(1.005, 1), "1.0");
+  EXPECT_EQ(format_double(2.349, 2), "2.35");
+  EXPECT_EQ(format_double(-1.5, 0), "-2");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-1234567), "-1,234,567");
+}
+
+TEST(FormatPercent, Basics) {
+  EXPECT_EQ(format_percent(0.0457), "4.57%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace cosched

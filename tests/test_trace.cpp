@@ -1,0 +1,112 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+JobSpec job(JobId id, Time submit, Duration runtime, NodeCount nodes,
+            GroupId group = kNoGroup) {
+  JobSpec j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.walltime = runtime * 2;
+  j.nodes = nodes;
+  j.group = group;
+  return j;
+}
+
+TEST(Trace, SortsOnConstruction) {
+  Trace t("x", {job(2, 50, 10, 1), job(1, 10, 10, 1), job(3, 30, 10, 1)});
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t.jobs()[0].id, 1);
+  EXPECT_EQ(t.jobs()[1].id, 3);
+  EXPECT_EQ(t.jobs()[2].id, 2);
+}
+
+TEST(Trace, SortIsStableOnTies) {
+  Trace t;
+  t.add(job(7, 100, 10, 1));
+  t.add(job(3, 100, 10, 1));
+  t.sort_by_submit();
+  EXPECT_EQ(t.jobs()[0].id, 3);  // tie broken by id
+  EXPECT_EQ(t.jobs()[1].id, 7);
+}
+
+TEST(Trace, StatsComputesAggregates) {
+  Trace t("x", {job(1, 0, 100, 4), job(2, 200, 50, 8), job(3, 1000, 10, 2, 5)});
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_EQ(s.paired_count, 1u);
+  EXPECT_EQ(s.first_submit, 0);
+  EXPECT_EQ(s.last_submit, 1000);
+  EXPECT_EQ(s.span, 1000);
+  EXPECT_DOUBLE_EQ(s.total_node_seconds, 4 * 100 + 8 * 50 + 2 * 10);
+  EXPECT_EQ(s.min_nodes, 2);
+  EXPECT_EQ(s.max_nodes, 8);
+  EXPECT_NEAR(s.mean_nodes, (4 + 8 + 2) / 3.0, 1e-12);
+}
+
+TEST(Trace, OfferedLoad) {
+  Trace t("x", {job(1, 0, 100, 10), job(2, 100, 100, 10)});
+  // work = 2000 node-seconds over span 100 on 20 nodes => 1.0
+  EXPECT_DOUBLE_EQ(t.stats().offered_load(20), 1.0);
+  EXPECT_DOUBLE_EQ(t.stats().offered_load(40), 0.5);
+}
+
+TEST(Trace, EmptyStats) {
+  Trace t;
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_EQ(s.span, 0);
+  EXPECT_DOUBLE_EQ(s.offered_load(100), 0.0);
+}
+
+TEST(TraceValidate, AcceptsGoodTrace) {
+  Trace t("x", {job(1, 0, 100, 4), job(2, 10, 100, 8)});
+  EXPECT_NO_THROW(t.validate(100));
+}
+
+TEST(TraceValidate, RejectsDuplicateIds) {
+  Trace t("x", {job(1, 0, 100, 4), job(1, 10, 100, 8)});
+  EXPECT_THROW(t.validate(100), ParseError);
+}
+
+TEST(TraceValidate, RejectsOversizeJob) {
+  Trace t("x", {job(1, 0, 100, 200)});
+  EXPECT_THROW(t.validate(100), ParseError);
+}
+
+TEST(TraceValidate, RejectsRuntimeOverWalltime) {
+  JobSpec j = job(1, 0, 100, 4);
+  j.walltime = 50;
+  Trace t("x", {j});
+  EXPECT_THROW(t.validate(100), ParseError);
+}
+
+TEST(TraceValidate, RejectsNonPositiveFields) {
+  {
+    JobSpec j = job(1, 0, 100, 4);
+    j.nodes = 0;
+    Trace t("x", {j});
+    EXPECT_THROW(t.validate(100), ParseError);
+  }
+  {
+    JobSpec j = job(1, 0, 100, 4);
+    j.runtime = 0;
+    j.walltime = 10;
+    Trace t("x", {j});
+    EXPECT_THROW(t.validate(100), ParseError);
+  }
+  {
+    JobSpec j = job(1, -5, 100, 4);
+    Trace t("x", {j});
+    EXPECT_THROW(t.validate(100), ParseError);
+  }
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,116 @@
+#include "proto/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cosched {
+namespace {
+
+TEST(Wire, U64RoundTrip) {
+  WireWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 16384,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : values) w.put_u64(v);
+  WireReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.get_u64(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, VarintIsCompact) {
+  WireWriter w;
+  w.put_u64(5);
+  EXPECT_EQ(w.bytes().size(), 1u);
+  WireWriter w2;
+  w2.put_u64(300);
+  EXPECT_EQ(w2.bytes().size(), 2u);
+}
+
+TEST(Wire, I64ZigZagRoundTrip) {
+  WireWriter w;
+  const std::int64_t values[] = {0, -1, 1, -2, 63, -64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) w.put_i64(v);
+  WireReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.get_i64(), v);
+}
+
+TEST(Wire, SmallNegativesAreCompact) {
+  WireWriter w;
+  w.put_i64(-1);
+  EXPECT_EQ(w.bytes().size(), 1u);
+}
+
+TEST(Wire, BoolAndU8) {
+  WireWriter w;
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_u8(0xAB);
+  WireReader r(w.bytes());
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter w;
+  w.put_string("");
+  w.put_string("hello");
+  w.put_string(std::string("\0binary\xff", 8));
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), std::string("\0binary\xff", 8));
+}
+
+TEST(Wire, TruncatedInputThrows) {
+  WireWriter w;
+  w.put_u64(1ULL << 40);
+  auto bytes = w.take();
+  bytes.pop_back();
+  WireReader r(bytes);
+  EXPECT_THROW(r.get_u64(), ParseError);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  WireWriter w;
+  w.put_u64(100);  // claims 100 bytes follow
+  WireReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), ParseError);
+}
+
+TEST(Wire, OverlongVarintThrows) {
+  // 11 continuation bytes cannot encode a u64.
+  std::vector<std::uint8_t> bad(11, 0xFF);
+  WireReader r(bad);
+  EXPECT_THROW(r.get_u64(), ParseError);
+}
+
+TEST(Wire, EmptyReaderThrows) {
+  WireReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.get_u8(), ParseError);
+}
+
+TEST(Wire, FuzzRoundTrip) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    WireWriter w;
+    std::vector<std::int64_t> vals;
+    const int n = static_cast<int>(rng.uniform_int(1, 50));
+    for (int i = 0; i < n; ++i) {
+      vals.push_back(rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                                     std::numeric_limits<std::int64_t>::max()));
+      w.put_i64(vals.back());
+    }
+    WireReader r(w.bytes());
+    for (auto v : vals) EXPECT_EQ(r.get_i64(), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+}  // namespace
+}  // namespace cosched
