@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_release_period.dir/ablation_release_period.cpp.o"
+  "CMakeFiles/ablation_release_period.dir/ablation_release_period.cpp.o.d"
+  "ablation_release_period"
+  "ablation_release_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_release_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_loss_by_proportion.dir/fig10_loss_by_proportion.cpp.o"
+  "CMakeFiles/fig10_loss_by_proportion.dir/fig10_loss_by_proportion.cpp.o.d"
+  "fig10_loss_by_proportion"
+  "fig10_loss_by_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_loss_by_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

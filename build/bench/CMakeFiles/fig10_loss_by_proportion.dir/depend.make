@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_loss_by_proportion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_wait_by_load.cpp" "bench/CMakeFiles/fig3_wait_by_load.dir/fig3_wait_by_load.cpp.o" "gcc" "bench/CMakeFiles/fig3_wait_by_load.dir/fig3_wait_by_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cosched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

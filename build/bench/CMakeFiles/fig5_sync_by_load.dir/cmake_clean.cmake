@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sync_by_load.dir/fig5_sync_by_load.cpp.o"
+  "CMakeFiles/fig5_sync_by_load.dir/fig5_sync_by_load.cpp.o.d"
+  "fig5_sync_by_load"
+  "fig5_sync_by_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sync_by_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_sync_by_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_loss_by_load.dir/fig6_loss_by_load.cpp.o"
+  "CMakeFiles/fig6_loss_by_load.dir/fig6_loss_by_load.cpp.o.d"
+  "fig6_loss_by_load"
+  "fig6_loss_by_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_loss_by_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

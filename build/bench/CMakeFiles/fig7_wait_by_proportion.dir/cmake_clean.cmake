@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_wait_by_proportion.dir/fig7_wait_by_proportion.cpp.o"
+  "CMakeFiles/fig7_wait_by_proportion.dir/fig7_wait_by_proportion.cpp.o.d"
+  "fig7_wait_by_proportion"
+  "fig7_wait_by_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_wait_by_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_wait_by_proportion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_capability.dir/validation_capability.cpp.o"
+  "CMakeFiles/validation_capability.dir/validation_capability.cpp.o.d"
+  "validation_capability"
+  "validation_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

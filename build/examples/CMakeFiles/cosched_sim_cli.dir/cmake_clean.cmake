@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_sim_cli.dir/cosched_sim.cpp.o"
+  "CMakeFiles/cosched_sim_cli.dir/cosched_sim.cpp.o.d"
+  "cosched_sim"
+  "cosched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_viz_pipeline.dir/coupled_viz_pipeline.cpp.o"
+  "CMakeFiles/coupled_viz_pipeline.dir/coupled_viz_pipeline.cpp.o.d"
+  "coupled_viz_pipeline"
+  "coupled_viz_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_viz_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_nway.dir/hurricane_nway.cpp.o"
+  "CMakeFiles/hurricane_nway.dir/hurricane_nway.cpp.o.d"
+  "hurricane_nway"
+  "hurricane_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_daemons.dir/live_daemons.cpp.o"
+  "CMakeFiles/live_daemons.dir/live_daemons.cpp.o.d"
+  "live_daemons"
+  "live_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/cosched_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/cosched_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/cosched_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/coreservation.cpp" "src/core/CMakeFiles/cosched_core.dir/coreservation.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/coreservation.cpp.o.d"
+  "/root/repo/src/core/coupled_sim.cpp" "src/core/CMakeFiles/cosched_core.dir/coupled_sim.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/coupled_sim.cpp.o.d"
+  "/root/repo/src/core/deadlock.cpp" "src/core/CMakeFiles/cosched_core.dir/deadlock.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/deadlock.cpp.o.d"
+  "/root/repo/src/core/event_log.cpp" "src/core/CMakeFiles/cosched_core.dir/event_log.cpp.o" "gcc" "src/core/CMakeFiles/cosched_core.dir/event_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cosched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_core.dir/cluster.cpp.o"
+  "CMakeFiles/cosched_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/config.cpp.o"
+  "CMakeFiles/cosched_core.dir/config.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/config_io.cpp.o"
+  "CMakeFiles/cosched_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/coreservation.cpp.o"
+  "CMakeFiles/cosched_core.dir/coreservation.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/coupled_sim.cpp.o"
+  "CMakeFiles/cosched_core.dir/coupled_sim.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/deadlock.cpp.o"
+  "CMakeFiles/cosched_core.dir/deadlock.cpp.o.d"
+  "CMakeFiles/cosched_core.dir/event_log.cpp.o"
+  "CMakeFiles/cosched_core.dir/event_log.cpp.o.d"
+  "libcosched_core.a"
+  "libcosched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_metrics.dir/report.cpp.o"
+  "CMakeFiles/cosched_metrics.dir/report.cpp.o.d"
+  "libcosched_metrics.a"
+  "libcosched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/framed.cpp" "src/net/CMakeFiles/cosched_net.dir/framed.cpp.o" "gcc" "src/net/CMakeFiles/cosched_net.dir/framed.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/cosched_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/cosched_net.dir/rpc.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/cosched_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/cosched_net.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cosched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_net.dir/framed.cpp.o"
+  "CMakeFiles/cosched_net.dir/framed.cpp.o.d"
+  "CMakeFiles/cosched_net.dir/rpc.cpp.o"
+  "CMakeFiles/cosched_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/cosched_net.dir/socket.cpp.o"
+  "CMakeFiles/cosched_net.dir/socket.cpp.o.d"
+  "libcosched_net.a"
+  "libcosched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_proto.dir/message.cpp.o"
+  "CMakeFiles/cosched_proto.dir/message.cpp.o.d"
+  "CMakeFiles/cosched_proto.dir/peer.cpp.o"
+  "CMakeFiles/cosched_proto.dir/peer.cpp.o.d"
+  "CMakeFiles/cosched_proto.dir/service.cpp.o"
+  "CMakeFiles/cosched_proto.dir/service.cpp.o.d"
+  "CMakeFiles/cosched_proto.dir/wire.cpp.o"
+  "CMakeFiles/cosched_proto.dir/wire.cpp.o.d"
+  "libcosched_proto.a"
+  "libcosched_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

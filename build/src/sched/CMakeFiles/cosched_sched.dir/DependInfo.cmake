@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation.cpp" "src/sched/CMakeFiles/cosched_sched.dir/allocation.cpp.o" "gcc" "src/sched/CMakeFiles/cosched_sched.dir/allocation.cpp.o.d"
+  "/root/repo/src/sched/node_pool.cpp" "src/sched/CMakeFiles/cosched_sched.dir/node_pool.cpp.o" "gcc" "src/sched/CMakeFiles/cosched_sched.dir/node_pool.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/cosched_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/cosched_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/profile.cpp" "src/sched/CMakeFiles/cosched_sched.dir/profile.cpp.o" "gcc" "src/sched/CMakeFiles/cosched_sched.dir/profile.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cosched_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cosched_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_sched.dir/allocation.cpp.o"
+  "CMakeFiles/cosched_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/cosched_sched.dir/node_pool.cpp.o"
+  "CMakeFiles/cosched_sched.dir/node_pool.cpp.o.d"
+  "CMakeFiles/cosched_sched.dir/policy.cpp.o"
+  "CMakeFiles/cosched_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/cosched_sched.dir/profile.cpp.o"
+  "CMakeFiles/cosched_sched.dir/profile.cpp.o.d"
+  "CMakeFiles/cosched_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cosched_sched.dir/scheduler.cpp.o.d"
+  "libcosched_sched.a"
+  "libcosched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_util.dir/csv.cpp.o"
+  "CMakeFiles/cosched_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/flags.cpp.o"
+  "CMakeFiles/cosched_util.dir/flags.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/log.cpp.o"
+  "CMakeFiles/cosched_util.dir/log.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/stats.cpp.o"
+  "CMakeFiles/cosched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cosched_util.dir/table.cpp.o"
+  "CMakeFiles/cosched_util.dir/table.cpp.o.d"
+  "libcosched_util.a"
+  "libcosched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

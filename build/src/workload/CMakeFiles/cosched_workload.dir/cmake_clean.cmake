@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosched_workload.dir/pairing.cpp.o"
+  "CMakeFiles/cosched_workload.dir/pairing.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/scaling.cpp.o"
+  "CMakeFiles/cosched_workload.dir/scaling.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/swf.cpp.o"
+  "CMakeFiles/cosched_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/synth.cpp.o"
+  "CMakeFiles/cosched_workload.dir/synth.cpp.o.d"
+  "CMakeFiles/cosched_workload.dir/trace.cpp.o"
+  "CMakeFiles/cosched_workload.dir/trace.cpp.o.d"
+  "libcosched_workload.a"
+  "libcosched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithm1.cpp" "tests/CMakeFiles/test_core.dir/test_algorithm1.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_algorithm1.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/test_core.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_config_io.cpp" "tests/CMakeFiles/test_core.dir/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/test_coreservation.cpp" "tests/CMakeFiles/test_core.dir/test_coreservation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_coreservation.cpp.o.d"
+  "/root/repo/tests/test_coupled_sim.cpp" "tests/CMakeFiles/test_core.dir/test_coupled_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_coupled_sim.cpp.o.d"
+  "/root/repo/tests/test_deadlock.cpp" "tests/CMakeFiles/test_core.dir/test_deadlock.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_deadlock.cpp.o.d"
+  "/root/repo/tests/test_dependency.cpp" "tests/CMakeFiles/test_core.dir/test_dependency.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_dependency.cpp.o.d"
+  "/root/repo/tests/test_event_log.cpp" "tests/CMakeFiles/test_core.dir/test_event_log.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_event_log.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/test_core.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_core.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nway.cpp" "tests/CMakeFiles/test_core.dir/test_nway.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_nway.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_core.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cosched_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cosched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

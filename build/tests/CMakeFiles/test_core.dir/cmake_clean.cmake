@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_algorithm1.cpp.o"
+  "CMakeFiles/test_core.dir/test_algorithm1.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_cluster.cpp.o"
+  "CMakeFiles/test_core.dir/test_cluster.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_config_io.cpp.o"
+  "CMakeFiles/test_core.dir/test_config_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_coreservation.cpp.o"
+  "CMakeFiles/test_core.dir/test_coreservation.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_coupled_sim.cpp.o"
+  "CMakeFiles/test_core.dir/test_coupled_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_deadlock.cpp.o"
+  "CMakeFiles/test_core.dir/test_deadlock.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_dependency.cpp.o"
+  "CMakeFiles/test_core.dir/test_dependency.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_event_log.cpp.o"
+  "CMakeFiles/test_core.dir/test_event_log.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_fault.cpp.o"
+  "CMakeFiles/test_core.dir/test_fault.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_nway.cpp.o"
+  "CMakeFiles/test_core.dir/test_nway.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_properties.cpp.o"
+  "CMakeFiles/test_core.dir/test_properties.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

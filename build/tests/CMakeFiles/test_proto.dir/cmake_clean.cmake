@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/test_message.cpp.o"
+  "CMakeFiles/test_proto.dir/test_message.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_service.cpp.o"
+  "CMakeFiles/test_proto.dir/test_service.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_wire.cpp.o"
+  "CMakeFiles/test_proto.dir/test_wire.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

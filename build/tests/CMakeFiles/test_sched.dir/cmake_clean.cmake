@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/test_allocation.cpp.o"
+  "CMakeFiles/test_sched.dir/test_allocation.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_backfill.cpp.o"
+  "CMakeFiles/test_sched.dir/test_backfill.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_conservative.cpp.o"
+  "CMakeFiles/test_sched.dir/test_conservative.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_node_pool.cpp.o"
+  "CMakeFiles/test_sched.dir/test_node_pool.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_policy.cpp.o"
+  "CMakeFiles/test_sched.dir/test_policy.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_profile.cpp.o"
+  "CMakeFiles/test_sched.dir/test_profile.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_scheduler.cpp.o"
+  "CMakeFiles/test_sched.dir/test_scheduler.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

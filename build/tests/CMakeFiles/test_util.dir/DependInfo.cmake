@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/test_util.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/test_util.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cosched_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cosched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cosched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cosched_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cosched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cosched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

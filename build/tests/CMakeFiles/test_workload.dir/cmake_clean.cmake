@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/test_pairing.cpp.o"
+  "CMakeFiles/test_workload.dir/test_pairing.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_scaling.cpp.o"
+  "CMakeFiles/test_workload.dir/test_scaling.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_swf.cpp.o"
+  "CMakeFiles/test_workload.dir/test_swf.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_synth.cpp.o"
+  "CMakeFiles/test_workload.dir/test_synth.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/test_trace.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
