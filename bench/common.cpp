@@ -1,8 +1,16 @@
 #include "common.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
 
 #include "util/error.h"
 #include "workload/pairing.h"
@@ -36,6 +44,51 @@ Trace make_intrepid(std::uint64_t seed) {
   return generate_trace(intrepid_model(), p);
 }
 
+// -- series cache -------------------------------------------------------
+//
+// prewarm_series fills this; run_series serves from it (or computes and
+// inserts serially on a miss); export_bench_json dumps it.  All access is
+// from the bench's main thread — the parallel workers only touch their own
+// result slots.
+
+std::string spec_key(const SeriesSpec& s) {
+  std::ostringstream o;
+  o << s.by_load << '|' << s.x << '|' << s.combo.label << '|' << s.enabled
+    << '|' << s.tweak.hold_release_period << '|' << s.tweak.max_hold_fraction
+    << '|' << s.tweak.max_yield_before_hold << '|'
+    << s.tweak.yield_priority_boost << '|' << s.tweak.yield_retry_period;
+  return o.str();
+}
+
+struct CacheEntry {
+  SeriesSpec spec;
+  Series series;
+};
+
+std::vector<CacheEntry>& cache() {
+  static std::vector<CacheEntry> v;
+  return v;
+}
+
+std::unordered_map<std::string, std::size_t>& cache_index() {
+  static std::unordered_map<std::string, std::size_t> m;
+  return m;
+}
+
+struct CaseResult {
+  CaseMetrics metrics;
+  double paired_fraction = 0.0;
+};
+
+CaseResult compute_one(const SeriesSpec& spec, int run) {
+  const auto seed = static_cast<std::uint64_t>(1000 * run + 1);
+  const CoupledWorkload w = spec.by_load
+                                ? make_load_workload(spec.x, seed)
+                                : make_proportion_workload(spec.x, seed);
+  return {run_case(w, spec.combo, spec.enabled, spec.tweak),
+          w.paired_fraction};
+}
+
 }  // namespace
 
 int runs() {
@@ -46,6 +99,45 @@ int runs() {
 }
 
 double scale() { return env_double("COSCHED_BENCH_SCALE", 1.0); }
+
+int threads() {
+  const char* v = std::getenv("COSCHED_BENCH_THREADS");
+  if (v != nullptr) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads()), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
 
 CoupledWorkload make_load_workload(double eureka_load, std::uint64_t seed) {
   CoupledWorkload w;
@@ -121,9 +213,11 @@ CaseMetrics run_case(const CoupledWorkload& w, SchemeCombo combo,
     s.cosched.yield_retry_period = tweak.yield_retry_period;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   CoupledSim sim(specs, {w.intrepid, w.eureka});
   const Time guard = 24 * 30 * kDay;  // two simulated years
   const SimResult r = sim.run(guard);
+  const auto t1 = std::chrono::steady_clock::now();
   if (!r.completed)
     throw Error("bench case stalled (possible deadlock): combo=" +
                 std::string(combo.label));
@@ -133,6 +227,8 @@ CaseMetrics run_case(const CoupledWorkload& w, SchemeCombo combo,
   out.eureka = r.systems[1];
   out.pairs = r.pairs;
   out.completed = r.completed;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.events = sim.engine().executed();
   return out;
 }
 
@@ -150,18 +246,184 @@ void Series::add(const CaseMetrics& m, double paired_frac) {
   paired_fraction.add(paired_frac);
   pairs_total += m.pairs.groups_total;
   pairs_synced += m.pairs.groups_started_together;
+  sim_wall_seconds += m.wall_seconds;
+  events += m.events;
+}
+
+std::string series_label(const SeriesSpec& s) {
+  std::string label = s.by_load ? "load=" + format_double(s.x, 2)
+                                : "prop=" + format_percent(s.x, 1);
+  label += "/";
+  label += s.combo.label;
+  if (!s.enabled) label += "/base";
+  // Distinguish ablation tweaks from the defaults compactly.
+  const CoschedConfig def{};
+  if (s.tweak.hold_release_period != def.hold_release_period)
+    label += "/rel=" + std::to_string(s.tweak.hold_release_period) + "s";
+  if (s.tweak.max_hold_fraction != def.max_hold_fraction)
+    label += "/holdfrac=" + format_double(s.tweak.max_hold_fraction, 2);
+  if (s.tweak.max_yield_before_hold != def.max_yield_before_hold)
+    label += "/maxyield=" + std::to_string(s.tweak.max_yield_before_hold);
+  if (s.tweak.yield_priority_boost != def.yield_priority_boost)
+    label += "/boost=" + format_double(s.tweak.yield_priority_boost, 2);
+  if (s.tweak.yield_retry_period != def.yield_retry_period)
+    label += "/retry=" + std::to_string(s.tweak.yield_retry_period) + "s";
+  return label;
+}
+
+void prewarm_series(const std::vector<SeriesSpec>& specs) {
+  // Register (in declaration order) the specs not yet cached.
+  std::vector<std::size_t> todo;  // cache indices awaiting computation
+  for (const SeriesSpec& spec : specs) {
+    const std::string key = spec_key(spec);
+    if (cache_index().count(key)) continue;
+    cache_index().emplace(key, cache().size());
+    todo.push_back(cache().size());
+    cache().push_back(CacheEntry{spec, Series{}});
+  }
+  if (todo.empty()) return;
+
+  // Fan the (series x seed) grid out, then aggregate in seed order so the
+  // result is identical to a serial run.
+  const int per = runs();
+  std::vector<CaseResult> results(todo.size() * static_cast<std::size_t>(per));
+  parallel_for(results.size(), [&](std::size_t i) {
+    const std::size_t si = i / static_cast<std::size_t>(per);
+    const int run = static_cast<int>(i % static_cast<std::size_t>(per));
+    results[i] = compute_one(cache()[todo[si]].spec, run);
+  });
+  for (std::size_t si = 0; si < todo.size(); ++si) {
+    Series& s = cache()[todo[si]].series;
+    for (int run = 0; run < per; ++run) {
+      const CaseResult& r = results[si * static_cast<std::size_t>(per) +
+                                    static_cast<std::size_t>(run)];
+      s.add(r.metrics, r.paired_fraction);
+    }
+  }
 }
 
 Series run_series(bool by_load, double x, SchemeCombo combo, bool enabled,
                   const CoschedConfig& tweak) {
+  SeriesSpec spec;
+  spec.by_load = by_load;
+  spec.x = x;
+  spec.combo = combo;
+  spec.enabled = enabled;
+  spec.tweak = tweak;
+  const std::string key = spec_key(spec);
+  if (const auto it = cache_index().find(key); it != cache_index().end())
+    return cache()[it->second].series;
+
   Series s;
   for (int run = 0; run < runs(); ++run) {
-    const auto seed = static_cast<std::uint64_t>(1000 * run + 1);
-    const CoupledWorkload w =
-        by_load ? make_load_workload(x, seed) : make_proportion_workload(x, seed);
-    s.add(run_case(w, combo, enabled, tweak), w.paired_fraction);
+    const CaseResult r = compute_one(spec, run);
+    s.add(r.metrics, r.paired_fraction);
   }
+  // Cache the serial computation too so export_bench_json covers it.
+  cache_index().emplace(key, cache().size());
+  cache().push_back(CacheEntry{spec, s});
   return s;
+}
+
+// -- JSON emission ------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream o;
+  o << std::setprecision(12) << v;
+  return o.str();
+}
+
+}  // namespace
+
+BenchJsonFile::BenchJsonFile(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchJsonFile::add_case(const std::string& case_name, double wall_seconds,
+                             std::uint64_t events,
+                             std::vector<Metric> metrics) {
+  cases_.push_back(Case{case_name, wall_seconds, events, std::move(metrics)});
+}
+
+void BenchJsonFile::write() {
+  if (written_) return;
+  written_ = true;
+  const char* dir = std::getenv("COSCHED_BENCH_JSON_DIR");
+  const std::string path = std::string(dir && *dir ? dir : ".") + "/BENCH_" +
+                           name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  double wall_total = 0;
+  for (const Case& c : cases_) wall_total += c.wall_seconds;
+  out << "{\n"
+      << "  \"bench\": \"" << json_escape(name_) << "\",\n"
+      << "  \"runs\": " << runs() << ",\n"
+      << "  \"scale\": " << json_num(scale()) << ",\n"
+      << "  \"threads\": " << threads() << ",\n"
+      << "  \"wall_seconds_total\": " << json_num(wall_total) << ",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases_.size(); ++i) {
+    const Case& c = cases_[i];
+    const double rate = c.wall_seconds > 0
+                            ? static_cast<double>(c.events) / c.wall_seconds
+                            : 0.0;
+    out << "    {\"case\": \"" << json_escape(c.name) << "\", "
+        << "\"runs\": " << runs() << ", "
+        << "\"wall_seconds\": " << json_num(c.wall_seconds) << ", "
+        << "\"events\": " << c.events << ", "
+        << "\"events_per_sec\": " << json_num(rate) << ", "
+        << "\"metrics\": {";
+    for (std::size_t m = 0; m < c.metrics.size(); ++m) {
+      const Metric& mt = c.metrics[m];
+      out << (m ? ", " : "") << "\"" << json_escape(mt.name)
+          << "\": {\"mean\": " << json_num(mt.mean)
+          << ", \"stddev\": " << json_num(mt.stddev) << "}";
+    }
+    out << "}}" << (i + 1 < cases_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(machine-readable results: " << path << ")\n";
+}
+
+BenchJsonFile::~BenchJsonFile() { write(); }
+
+void export_bench_json(const std::string& name) {
+  BenchJsonFile json(name);
+  for (const CacheEntry& e : cache()) {
+    const Series& s = e.series;
+    auto metric = [](const char* n, const RunningStats& st) {
+      return BenchJsonFile::Metric{n, st.mean(), st.stddev()};
+    };
+    json.add_case(
+        series_label(e.spec), s.sim_wall_seconds, s.events,
+        {metric("intrepid_wait_min", s.intrepid_wait),
+         metric("eureka_wait_min", s.eureka_wait),
+         metric("intrepid_slowdown", s.intrepid_slow),
+         metric("eureka_slowdown", s.eureka_slow),
+         metric("intrepid_sync_min", s.intrepid_sync),
+         metric("eureka_sync_min", s.eureka_sync),
+         metric("intrepid_loss_node_hours", s.intrepid_loss_nh),
+         metric("eureka_loss_node_hours", s.eureka_loss_nh),
+         metric("intrepid_loss_fraction", s.intrepid_loss_frac),
+         metric("eureka_loss_fraction", s.eureka_loss_frac),
+         metric("paired_fraction", s.paired_fraction)});
+  }
+  json.write();
 }
 
 std::unique_ptr<CsvWriter> bench_csv(const std::string& name) {
@@ -184,6 +446,7 @@ void print_header(const std::string& figure, const std::string& what) {
             << "Tang et al., \"Job Coscheduling on Coupled High-End Computing"
                " Systems\" (ICPP'11)\n"
             << "runs/case=" << runs() << " (paper: 10), scale=" << scale()
+            << ", threads=" << threads()
             << ", schedulers: WFP + EASY backfill, hold release = 20 min\n"
             << "==============================================================\n";
 }

@@ -11,11 +11,21 @@
 //    {2.5, 5, 10, 20, 33}%.
 //  * Hold-release period 20 minutes; each case averaged over
 //    COSCHED_BENCH_RUNS seeds (default 3; the paper used 10).
+//
+// Execution model: each bench declares every series it needs up front
+// (prewarm_series), the harness fans the (series x seed) cases out over
+// COSCHED_BENCH_THREADS workers, and aggregation happens afterwards in
+// deterministic seed order — results are identical to a serial run.  Each
+// bench binary also emits a machine-readable BENCH_<name>.json (per-case
+// mean/stddev, wall seconds, simulated events/sec) for CI and regression
+// tracking.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/coupled_sim.h"
@@ -37,6 +47,15 @@ int runs();
 /// span down for quick smoke runs (default 1.0 = paper scale).
 double scale();
 
+/// Worker threads for batched case execution: COSCHED_BENCH_THREADS
+/// (default: hardware concurrency, at least 1).
+int threads();
+
+/// Runs fn(i) for i in [0, n) on up to threads() workers (serially when
+/// threads() == 1).  Blocks until all tasks finish; rethrows the first
+/// task exception afterwards.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
 struct CoupledWorkload {
   Trace intrepid;
   Trace eureka;
@@ -55,6 +74,10 @@ struct CaseMetrics {
   SystemMetrics eureka;
   PairStartStats pairs;
   bool completed = false;
+  /// Host wall time of the simulation (excludes workload generation).
+  double wall_seconds = 0.0;
+  /// Engine events executed by the simulation.
+  std::uint64_t events = 0;
 };
 
 /// Runs one coupled simulation.  `enabled` false gives the paper's "base"
@@ -72,13 +95,76 @@ struct Series {
   RunningStats paired_fraction;
   std::size_t pairs_total = 0;
   std::size_t pairs_synced = 0;
+  /// Summed simulation wall time / engine events across the seeds.
+  double sim_wall_seconds = 0.0;
+  std::uint64_t events = 0;
 
   void add(const CaseMetrics& m, double paired_frac);
 };
 
-/// Runs a full case across seeds and aggregates.
+/// One declared series: a (workload family, x value, scheme combo, enabled,
+/// tweak) case to be averaged over runs() seeds.
+struct SeriesSpec {
+  bool by_load = true;
+  double x = 0.0;
+  SchemeCombo combo = kHH;
+  bool enabled = true;
+  CoschedConfig tweak = {};
+};
+
+/// Canonical case label, e.g. "load=0.50/HY" or "prop=5.0%/HH/base".
+std::string series_label(const SeriesSpec& spec);
+
+/// Computes every (series, seed) case of `specs` in parallel over threads()
+/// workers and caches the seed-order-aggregated Series.  Duplicate specs are
+/// computed once.  Subsequent run_series() calls with a matching spec return
+/// the cached result, so declaring the full set up front parallelizes a
+/// bench without restructuring its reporting loops.
+void prewarm_series(const std::vector<SeriesSpec>& specs);
+
+/// Runs a full case across seeds and aggregates (cache-aware: served from
+/// the prewarm_series cache when present, computed serially otherwise).
 Series run_series(bool by_load, double x, SchemeCombo combo, bool enabled,
                   const CoschedConfig& tweak = {});
+
+/// Machine-readable per-bench output: BENCH_<name>.json written into
+/// COSCHED_BENCH_JSON_DIR (default: current directory).  Schema:
+///   { "bench": ..., "runs": N, "scale": S, "threads": T,
+///     "cases": [ { "case": label, "runs": N, "wall_seconds": W,
+///                  "events": E, "events_per_sec": R,
+///                  "metrics": { name: {"mean": M, "stddev": D}, ... } } ] }
+class BenchJsonFile {
+ public:
+  struct Metric {
+    std::string name;
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+
+  explicit BenchJsonFile(std::string bench_name);
+
+  void add_case(const std::string& case_name, double wall_seconds,
+                std::uint64_t events, std::vector<Metric> metrics);
+
+  /// Writes the file (idempotent; also invoked by the destructor).
+  void write();
+  ~BenchJsonFile();
+
+ private:
+  struct Case {
+    std::string name;
+    double wall_seconds;
+    std::uint64_t events;
+    std::vector<Metric> metrics;
+  };
+  std::string name_;
+  std::vector<Case> cases_;
+  bool written_ = false;
+};
+
+/// Writes BENCH_<name>.json covering every series cached so far (i.e. the
+/// bench's prewarmed + computed series, in declaration order).
+void export_bench_json(const std::string& name);
 
 /// Standard preamble: experiment title + configuration echo.
 void print_header(const std::string& figure, const std::string& what);

@@ -22,6 +22,16 @@ SchemeCombo combo_for(bool intrepid_side, Scheme local, Scheme remote) {
 int main() {
   print_header("Figure 10", "service-unit loss by paired-job proportion");
 
+  std::vector<SeriesSpec> wanted;
+  for (double prop : kPairedProportions)
+    for (Scheme remote : {Scheme::kHold, Scheme::kYield}) {
+      wanted.push_back(
+          {false, prop, combo_for(true, Scheme::kHold, remote), true});
+      wanted.push_back(
+          {false, prop, combo_for(false, Scheme::kHold, remote), true});
+    }
+  prewarm_series(wanted);
+
   Table intrepid({"proportion / remote scheme", "node-hours lost",
                   "lost sys. util."});
   Table eureka({"proportion / remote scheme", "node-hours lost",
@@ -51,6 +61,7 @@ int main() {
   std::cout << "\n(b) Eureka loss of service unit\n";
   eureka.print(std::cout);
   maybe_export_csv("fig10_eureka_loss", eureka);
+  export_bench_json("fig10");
   std::cout << "\nShape check (paper): loss increases with the paired"
                " proportion on both machines (0.7% -> 9.3% on Intrepid,"
                " 1% -> 21% on Eureka in the paper); acceptable below ~10-20%"

@@ -11,6 +11,14 @@ int main() {
   print_header("Figure 4",
                "scheduling performance (avg. slowdown) by Eureka load");
 
+  std::vector<SeriesSpec> wanted;
+  for (double load : kEurekaLoads) {
+    wanted.push_back({true, load, kHH, false});
+    for (const SchemeCombo& combo : kAllCombos)
+      wanted.push_back({true, load, combo, true});
+  }
+  prewarm_series(wanted);
+
   Table intrepid({"eureka load", "scheme", "avg slowdown", "base",
                   "difference"});
   Table eureka({"eureka load", "scheme", "avg slowdown", "base",
@@ -41,6 +49,7 @@ int main() {
   std::cout << "\n(b) Eureka avg. slowdown\n";
   eureka.print(std::cout);
   maybe_export_csv("fig4_eureka_slowdown", eureka);
+  export_bench_json("fig4");
   std::cout << "\nShape check (paper): slowdown trend mirrors waiting time;"
                "\n  only the high Eureka load shows a notable Intrepid"
                " increase; Eureka base slowdown itself grows with load.\n";

@@ -24,6 +24,14 @@ SchemeCombo combo_for(bool intrepid_side, Scheme local, Scheme remote) {
 int main() {
   print_header("Figure 5", "average paired-job synchronization time by load");
 
+  // The panels below cover every combo at every load; declare them all and
+  // let the harness run the cases in parallel.
+  std::vector<SeriesSpec> wanted;
+  for (double load : kEurekaLoads)
+    for (const SchemeCombo& combo : kAllCombos)
+      wanted.push_back({true, load, combo, true});
+  prewarm_series(wanted);
+
   Table intrepid({"eureka load / remote scheme", "local=hold (min)",
                   "local=yield (min)"});
   Table eureka({"eureka load / remote scheme", "local=hold (min)",
@@ -55,6 +63,7 @@ int main() {
   std::cout << "\n(b) Eureka avg. job synchronization time\n";
   eureka.print(std::cout);
   maybe_export_csv("fig5_eureka_sync", eureka);
+  export_bench_json("fig5");
   std::cout << "\nShape check (paper): sync time grows with Eureka load;"
                "\n  hold as the local scheme costs less sync time than yield"
                " under the same remote scheme and load.\n";

@@ -24,6 +24,16 @@ SchemeCombo combo_for(bool intrepid_side, Scheme local, Scheme remote) {
 int main() {
   print_header("Figure 6", "service-unit loss by Eureka load (hold side)");
 
+  std::vector<SeriesSpec> wanted;
+  for (double load : kEurekaLoads)
+    for (Scheme remote : {Scheme::kHold, Scheme::kYield}) {
+      wanted.push_back(
+          {true, load, combo_for(true, Scheme::kHold, remote), true});
+      wanted.push_back(
+          {true, load, combo_for(false, Scheme::kHold, remote), true});
+    }
+  prewarm_series(wanted);
+
   Table intrepid({"eureka load / remote scheme", "node-hours lost",
                   "lost sys. util."});
   Table eureka({"eureka load / remote scheme", "node-hours lost",
@@ -55,6 +65,7 @@ int main() {
   std::cout << "\n(b) Eureka loss of service unit\n";
   eureka.print(std::cout);
   maybe_export_csv("fig6_eureka_loss", eureka);
+  export_bench_json("fig6");
   std::cout << "\nShape check (paper): Intrepid losses grow with Eureka load"
                " (135K -> 1.2M node-hours, 0.46% -> 4.6% in the paper);"
                "\n  Eureka losses are a few percent of its month and less"

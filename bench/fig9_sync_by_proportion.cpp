@@ -24,6 +24,12 @@ int main() {
   print_header("Figure 9",
                "paired-job average synchronization time by proportion");
 
+  std::vector<SeriesSpec> wanted;
+  for (double prop : kPairedProportions)
+    for (const SchemeCombo& combo : kAllCombos)
+      wanted.push_back({false, prop, combo, true});
+  prewarm_series(wanted);
+
   Table intrepid({"proportion / remote scheme", "local=hold (min)",
                   "local=yield (min)"});
   Table eureka({"proportion / remote scheme", "local=hold (min)",
@@ -55,6 +61,7 @@ int main() {
   std::cout << "\n(b) Eureka avg. job synchronization time\n";
   eureka.print(std::cout);
   maybe_export_csv("fig9_eureka_sync", eureka);
+  export_bench_json("fig9");
   std::cout << "\nShape check (paper): sync time is less sensitive to the"
                " proportion than to the load (narrow range across"
                " proportions); local hold costs less sync time than local"

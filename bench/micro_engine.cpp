@@ -42,29 +42,60 @@ void BM_EngineCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancel);
 
-void BM_SchedulerIteration(benchmark::State& state) {
-  const auto queue_len = static_cast<int>(state.range(0));
-  Scheduler s(40960, make_policy("wfp"));
-  // Fill the machine so the queue stays blocked and the iteration walks the
-  // whole backfill scan.
+// Builds a scheduler mid-trace: `churn` short jobs already ran to
+// completion (the job table carries that history, as it does a month into a
+// trace), a filler job occupies all but `free_nodes` of the machine, a
+// machine-sized head job blocks the queue, and `queue_len` jobs wait behind
+// it.
+Scheduler make_busy_scheduler(int queue_len, int churn, bool conservative,
+                              NodeCount free_nodes) {
+  SchedulerConfig cfg;
+  cfg.conservative = conservative;
+  Scheduler s(40960, make_policy("wfp"), cfg);
+  for (int i = 0; i < churn; ++i) {
+    JobSpec j;
+    j.id = 1000000 + i;
+    j.submit = 0;
+    j.runtime = 10;
+    j.walltime = 10;
+    j.nodes = 1;
+    s.submit(j, 0);
+  }
+  s.iterate(0);
+  for (int i = 0; i < churn; ++i) s.finish(1000000 + i, 10);
   JobSpec filler;
   filler.id = 1;
-  filler.submit = 0;
+  filler.submit = 10;
   filler.runtime = 1000000;
   filler.walltime = 1000000;
-  filler.nodes = 40960;
-  s.submit(filler, 0);
-  s.iterate(0);
+  filler.nodes = 40960 - free_nodes;
+  s.submit(filler, 10);
+  s.iterate(10);
+  JobSpec head;
+  head.id = 2;
+  head.submit = 11;
+  head.runtime = 100000;
+  head.walltime = 100000;
+  head.nodes = 40960;
+  s.submit(head, 11);
   for (int i = 0; i < queue_len; ++i) {
     JobSpec j;
     j.id = 100 + i;
-    j.submit = i;
+    j.submit = 11;
     j.runtime = 3600;
     j.walltime = 7200;
-    j.nodes = 512;
-    s.submit(j, i);
+    j.nodes = 1024;
+    s.submit(j, 11);
   }
-  Time now = queue_len;
+  return s;
+}
+
+void BM_SchedulerIteration(benchmark::State& state) {
+  const auto queue_len = static_cast<int>(state.range(0));
+  const auto churn = static_cast<int>(state.range(1));
+  Scheduler s = make_busy_scheduler(queue_len, churn, /*conservative=*/false,
+                                    /*free_nodes=*/0);
+  Time now = 1000;
   for (auto _ : state) {
     benchmark::DoNotOptimize(s.iterate(now));
     ++now;
@@ -72,7 +103,55 @@ void BM_SchedulerIteration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(queue_len) *
                           state.iterations());
 }
-BENCHMARK(BM_SchedulerIteration)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_SchedulerIteration)
+    ->Args({10, 0})
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({100, 5000})
+    ->Args({1000, 5000});
+
+void BM_IterateConservative(benchmark::State& state) {
+  const auto queue_len = static_cast<int>(state.range(0));
+  const auto churn = static_cast<int>(state.range(1));
+  Scheduler s = make_busy_scheduler(queue_len, churn, /*conservative=*/true,
+                                    /*free_nodes=*/0);
+  Time now = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.iterate(now));
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queue_len) *
+                          state.iterations());
+}
+BENCHMARK(BM_IterateConservative)
+    ->Args({100, 0})
+    ->Args({100, 4000})
+    ->Args({1000, 4000});
+
+void BM_TryStartSpecific(benchmark::State& state) {
+  const auto queue_len = static_cast<int>(state.range(0));
+  const auto churn = static_cast<int>(state.range(1));
+  // Leave a little capacity free so the targeted start exercises the full
+  // reservation-legality scan (blocked head -> shadow) instead of bailing on
+  // a full machine.
+  Scheduler s = make_busy_scheduler(queue_len, churn, /*conservative=*/false,
+                                    /*free_nodes=*/512);
+  JobSpec target;
+  target.id = 9999999;  // sorts after every queued tie -> full order scan
+  target.submit = 11;
+  target.runtime = 3600;
+  target.walltime = 3600;
+  target.nodes = 256;
+  s.submit(target, 11);
+  // The remote tryStartMate path declines without side effects (kSkip), so
+  // the scheduler state is identical across benchmark iterations.
+  const auto skip = [](RuntimeJob&) { return RunDecision::kSkip; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.try_start_specific(target.id, 1000, skip));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TryStartSpecific)->Args({100, 4000})->Args({1000, 4000});
 
 void BM_ProtocolRoundTrip(benchmark::State& state) {
   Engine e;

@@ -4,51 +4,82 @@
 // hold-hold *without* the release enhancement must deadlock on spans over
 // ~10 days, and never with it.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.h"
 #include "core/deadlock.h"
+#include "util/error.h"
 #include "workload/pairing.h"
 
 using namespace cosched;
 using namespace cosched::bench;
 
+namespace {
+
+struct GridCase {
+  SchemeCombo combo;
+  double load;
+  double prop;
+  CaseMetrics metrics;
+  bool stalled = false;
+  std::string label() const {
+    return std::string(combo.label) + " load=" + format_double(load, 2) +
+           " prop=" + format_percent(prop, 0);
+  }
+};
+
+}  // namespace
+
 int main() {
   print_header("Validation (§V-B)", "coscheduling capability grid");
 
+  // Part 1: the full capability grid, executed case-parallel.
+  std::vector<GridCase> cases;
+  for (const SchemeCombo& combo : kAllCombos)
+    for (double load : kEurekaLoads)
+      for (double prop : {0.05, 0.20})
+        cases.push_back(GridCase{combo, load, prop, {}, false});
+
+  parallel_for(cases.size(), [&](std::size_t i) {
+    GridCase& c = cases[i];
+    CoupledWorkload w = make_load_workload(c.load, 7);
+    // Re-pair at the requested proportion for the grid.
+    pair_by_proportion(w.intrepid, w.eureka, c.prop, 13);
+    try {
+      c.metrics = run_case(w, c.combo, true);
+    } catch (const Error&) {
+      c.stalled = true;
+    }
+  });
+
   Table grid({"case", "pairs", "started together", "max skew (s)",
               "deadlock", "result"});
+  BenchJsonFile json("validation_capability");
   int failures = 0;
-
-  // Part 1: the full capability grid.
-  for (const SchemeCombo& combo : kAllCombos) {
-    for (double load : kEurekaLoads) {
-      for (double prop : {0.05, 0.20}) {
-        CoupledWorkload w = make_load_workload(load, 7);
-        // Re-pair at the requested proportion for the grid.
-        pair_by_proportion(w.intrepid, w.eureka, prop, 13);
-        CaseMetrics m;
-        bool stalled = false;
-        try {
-          m = run_case(w, combo, true);
-        } catch (const Error&) {
-          stalled = true;
-        }
-        const bool ok = !stalled &&
-                        m.pairs.groups_started_together ==
-                            m.pairs.groups_total &&
-                        m.pairs.max_start_skew == 0;
-        if (!ok) ++failures;
-        grid.add_row({std::string(combo.label) + " load=" +
-                          format_double(load, 2) + " prop=" +
-                          format_percent(prop, 0),
-                      format_count(static_cast<long long>(
-                          m.pairs.groups_total)),
-                      format_count(static_cast<long long>(
-                          m.pairs.groups_started_together)),
-                      std::to_string(m.pairs.max_start_skew),
-                      stalled ? "YES" : "no", ok ? "PASS" : "FAIL"});
-      }
-    }
+  for (const GridCase& c : cases) {
+    const bool ok = !c.stalled &&
+                    c.metrics.pairs.groups_started_together ==
+                        c.metrics.pairs.groups_total &&
+                    c.metrics.pairs.max_start_skew == 0;
+    if (!ok) ++failures;
+    grid.add_row({c.label(),
+                  format_count(static_cast<long long>(
+                      c.metrics.pairs.groups_total)),
+                  format_count(static_cast<long long>(
+                      c.metrics.pairs.groups_started_together)),
+                  std::to_string(c.metrics.pairs.max_start_skew),
+                  c.stalled ? "YES" : "no", ok ? "PASS" : "FAIL"});
+    json.add_case(
+        c.label(), c.metrics.wall_seconds, c.metrics.events,
+        {{"pairs_total",
+          static_cast<double>(c.metrics.pairs.groups_total), 0.0},
+         {"pairs_started_together",
+          static_cast<double>(c.metrics.pairs.groups_started_together), 0.0},
+         {"max_start_skew_s",
+          static_cast<double>(c.metrics.pairs.max_start_skew), 0.0},
+         {"stalled", c.stalled ? 1.0 : 0.0, 0.0},
+         {"pass", ok ? 1.0 : 0.0, 0.0}});
   }
   grid.print(std::cout);
 
@@ -70,6 +101,11 @@ int main() {
     dl.add_row({with_release ? "20 min" : "disabled",
                 r.completed ? "yes" : "NO (stalled)",
                 cycle ? "YES" : "no"});
+    json.add_case(std::string("deadlock_study/release=") +
+                      (with_release ? "20min" : "off"),
+                  0.0, sim.engine().executed(),
+                  {{"completed", r.completed ? 1.0 : 0.0, 0.0},
+                   {"hold_wait_cycle", cycle ? 1.0 : 0.0, 0.0}});
     if (with_release && !r.completed) ++failures;
     if (!with_release && r.completed)
       std::cout << "  note: this seed completed without the enhancement; "
@@ -77,6 +113,7 @@ int main() {
                    "certain.\n";
   }
   dl.print(std::cout);
+  json.write();
 
   std::cout << (failures == 0 ? "\nVALIDATION PASSED" : "\nVALIDATION FAILED")
             << " (" << failures << " failing cases)\n";

@@ -63,7 +63,7 @@ void Cluster::arm_periodic_iteration() {
                         const bool work_left =
                             sched_.queue_length() > 0 ||
                             sched_.running_count() > 0 ||
-                            !sched_.holding_ids().empty();
+                            sched_.holding_count() > 0;
                         if (!work_left) return;  // go quiescent; submits re-arm
                         request_iteration();
                         arm_periodic_iteration();

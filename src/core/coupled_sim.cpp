@@ -83,12 +83,12 @@ SimResult CoupledSim::run(Time max_time) {
   for (const auto& cluster : clusters_) {
     result.systems.push_back(collect_metrics(
         cluster->scheduler(), result.end_time, cluster->name()));
-    for (const auto& [id, job] : cluster->scheduler().jobs()) {
+    cluster->scheduler().for_each_job([&](JobId id, const RuntimeJob& job) {
       (void)id;
       if (job.state != JobState::kFinished) all_finished = false;
       if (job.spec.is_paired())
         group_starts[job.spec.group].push_back(job.start);
-    }
+    });
   }
   result.completed = all_finished;
   result.deadlocked = !all_finished;

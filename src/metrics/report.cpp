@@ -14,13 +14,14 @@ SystemMetrics collect_metrics(const Scheduler& sched, Time end_time,
   double sync_sum = 0;
   constexpr double kBound = 600.0;  // 10-minute bounded-slowdown floor
 
-  for (const auto& [id, job] : sched.jobs()) {
+  std::size_t finished_paired = 0;
+  sched.for_each_job([&](JobId id, const RuntimeJob& job) {
     (void)id;
     ++m.jobs_total;
     m.total_yields += job.yield_count;
     m.total_forced_releases += job.forced_releases;
     if (job.spec.is_paired()) ++m.paired_jobs;
-    if (job.state != JobState::kFinished || job.start == kNoTime) continue;
+    if (job.state != JobState::kFinished || job.start == kNoTime) return;
     ++m.jobs_finished;
 
     const auto wait = static_cast<double>(job.wait_time());
@@ -33,12 +34,13 @@ SystemMetrics collect_metrics(const Scheduler& sched, Time end_time,
         1.0, resp / std::max(static_cast<double>(job.spec.runtime), kBound));
 
     if (job.spec.is_paired()) {
+      ++finished_paired;
       const auto sync = static_cast<double>(job.sync_time());
       sync_sum += sync;
       m.max_sync_minutes =
           std::max(m.max_sync_minutes, to_minutes(job.sync_time()));
     }
-  }
+  });
 
   if (m.jobs_finished > 0) {
     const auto n = static_cast<double>(m.jobs_finished);
@@ -48,13 +50,6 @@ SystemMetrics collect_metrics(const Scheduler& sched, Time end_time,
   }
 
   // Sync averages over finished paired jobs.
-  std::size_t finished_paired = 0;
-  for (const auto& [id, job] : sched.jobs()) {
-    (void)id;
-    if (job.spec.is_paired() && job.state == JobState::kFinished &&
-        job.start != kNoTime)
-      ++finished_paired;
-  }
   if (finished_paired > 0)
     m.avg_sync_minutes =
         sync_sum / static_cast<double>(finished_paired) / kMinute;

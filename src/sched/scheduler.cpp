@@ -19,7 +19,7 @@ Scheduler::Scheduler(NodeCount capacity, std::unique_ptr<PriorityPolicy> policy,
 
 void Scheduler::submit(const JobSpec& spec, Time now) {
   COSCHED_CHECK_MSG(spec.id != kNoJob, "job must have an id");
-  COSCHED_CHECK_MSG(!jobs_.count(spec.id),
+  COSCHED_CHECK_MSG(!jobs_.count(spec.id) && !archived_.count(spec.id),
                     "duplicate submit of job " << spec.id);
   COSCHED_CHECK_MSG(pool_.charged(spec.nodes) <= pool_.capacity(),
                     "job " << spec.id << " cannot fit the machine");
@@ -28,19 +28,22 @@ void Scheduler::submit(const JobSpec& spec, Time now) {
   job.spec = spec;
   job.state = JobState::kQueued;
   jobs_.emplace(spec.id, job);
+  queue_pos_.emplace(spec.id, queued_.size());
   queued_.push_back(spec.id);
+  touch();
 }
 
 bool Scheduler::eligible(const RuntimeJob& job, Time now) const {
   if (!job.spec.has_dependency()) return true;
-  auto it = jobs_.find(job.spec.after);
-  if (it == jobs_.end()) return false;  // dependency not yet submitted
-  const RuntimeJob& dep = it->second;
-  if (dep.state != JobState::kFinished) return false;
-  return now >= dep.end + job.spec.after_delay;
+  // Finished dependencies live in the archive; a dependency still in the
+  // live table (or not yet submitted) cannot be satisfied.
+  auto it = archived_.find(job.spec.after);
+  if (it == archived_.end()) return false;
+  return now >= it->second.end + job.spec.after_delay;
 }
 
 std::vector<JobId> Scheduler::priority_order(Time now) const {
+  if (order_time_ == now && order_epoch_ == epoch_) return order_cache_;
   struct Key {
     JobId id;
     bool demoted;
@@ -60,10 +63,12 @@ std::vector<JobId> Scheduler::priority_order(Time now) const {
     if (a.submit != b.submit) return a.submit < b.submit;
     return a.id < b.id;
   });
-  std::vector<JobId> order;
-  order.reserve(keys.size());
-  for (const Key& k : keys) order.push_back(k.id);
-  return order;
+  order_cache_.clear();
+  order_cache_.reserve(keys.size());
+  for (const Key& k : keys) order_cache_.push_back(k.id);
+  order_time_ = now;
+  order_epoch_ = epoch_;
+  return order_cache_;
 }
 
 Scheduler::Shadow Scheduler::compute_shadow(const RuntimeJob& head,
@@ -71,24 +76,13 @@ Scheduler::Shadow Scheduler::compute_shadow(const RuntimeJob& head,
   Shadow s;
   const NodeCount need = pool_.charged(head.spec.nodes);
   NodeCount cum = pool_.free();
-  // Running jobs free their charged nodes no later than start + walltime.
-  // Holding jobs have no bounded end; they contribute nothing (conservative).
-  struct End {
-    Time t;
-    NodeCount n;
-  };
-  std::vector<End> ends;
-  for (const auto& [id, j] : jobs_) {
-    (void)id;
-    if (j.state == JobState::kRunning)
-      ends.push_back(End{j.start + j.spec.walltime, j.allocated});
-  }
-  std::sort(ends.begin(), ends.end(),
-            [](const End& a, const End& b) { return a.t < b.t; });
-  for (const End& e : ends) {
-    cum += e.n;
+  // Running jobs free their charged nodes no later than start + walltime;
+  // the index is already ordered by that end.  Holding jobs have no bounded
+  // end; they contribute nothing (conservative).
+  for (const auto& [t, id] : running_ends_) {
+    cum += jobs_.at(id).allocated;
     if (cum >= need) {
-      s.time = std::max(e.t, now);
+      s.time = std::max(t, now);
       s.extra = cum - need;
       return s;
     }
@@ -115,12 +109,17 @@ RunDecision Scheduler::decide(RuntimeJob& job, NodeCount charged, Time now,
       job.state = JobState::kHolding;
       job.hold_since = now;
       remove_from_queue(job.spec.id);
+      holding_.insert(job.spec.id);
+      touch();
       break;
     case RunDecision::kYield:
       job.allocated = 0;
       ++job.yield_count;
+      touch();  // the hook may have raised priority_boost
       break;
     case RunDecision::kSkip:
+      // By contract side-effect free (tryStartMate contexts); the cached
+      // priority order stays valid.
       job.allocated = 0;
       break;
   }
@@ -134,7 +133,8 @@ void Scheduler::do_start(RuntimeJob& job, Time now) {
   job.hold_since = kNoTime;
   job.demoted = false;
   remove_from_queue(job.spec.id);
-  ++running_;
+  running_ends_.emplace(now + job.spec.walltime, job.spec.id);
+  touch();
   if (on_start_) on_start_(job);
 }
 
@@ -146,15 +146,11 @@ std::vector<JobId> Scheduler::iterate_conservative(Time now,
   // nodes out to the planning horizon.
   constexpr Duration kHorizon = 10LL * 365 * kDay;
   TimelineProfile profile(pool_.capacity());
-  for (const auto& [id, j] : jobs_) {
-    (void)id;
-    if (j.state == JobState::kRunning) {
-      const Time end = j.start + j.spec.walltime;
-      if (end > now) profile.reserve(now, end - now, j.allocated);
-    } else if (j.state == JobState::kHolding) {
-      profile.reserve(now, kHorizon, j.allocated);
-    }
+  for (const auto& [end, id] : running_ends_) {
+    if (end > now) profile.reserve(now, end - now, jobs_.at(id).allocated);
   }
+  for (JobId id : holding_)
+    profile.reserve(now, kHorizon, jobs_.at(id).allocated);
 
   for (JobId id : priority_order(now)) {
     auto it = jobs_.find(id);
@@ -182,7 +178,15 @@ std::vector<JobId> Scheduler::iterate_conservative(Time now,
         break;  // slot released; later jobs may claim it
     }
   }
-  for (JobId id : queued_) jobs_.at(id).demoted = false;
+  bool any_demoted = false;
+  for (JobId id : queued_) {
+    RuntimeJob& j = jobs_.at(id);
+    if (j.demoted) {
+      j.demoted = false;
+      any_demoted = true;
+    }
+  }
+  if (any_demoted) touch();
   return started;
 }
 
@@ -233,7 +237,15 @@ std::vector<JobId> Scheduler::iterate(Time now, const RunJobHook& hook) {
   }
 
   // Demotion lasts exactly one iteration (paper §IV-E1).
-  for (JobId id : queued_) jobs_.at(id).demoted = false;
+  bool any_demoted = false;
+  for (JobId id : queued_) {
+    RuntimeJob& j = jobs_.at(id);
+    if (j.demoted) {
+      j.demoted = false;
+      any_demoted = true;
+    }
+  }
+  if (any_demoted) touch();
   return started;
 }
 
@@ -275,6 +287,7 @@ void Scheduler::start_holding(JobId id, Time now) {
   COSCHED_CHECK_MSG(job.state == JobState::kHolding,
                     "job " << id << " is not holding");
   pool_.hold_to_busy(job.allocated, now);
+  holding_.erase(id);
   do_start(job, now);
 }
 
@@ -290,7 +303,10 @@ void Scheduler::release_hold(JobId id, Time now) {
   job.state = JobState::kQueued;
   job.demoted = true;  // lowest priority for the next iteration
   ++job.forced_releases;
+  holding_.erase(id);
+  queue_pos_.emplace(id, queued_.size());
   queued_.push_back(id);
+  touch();
 }
 
 void Scheduler::finish(JobId id, Time now) {
@@ -300,15 +316,17 @@ void Scheduler::finish(JobId id, Time now) {
   COSCHED_CHECK_MSG(job.state == JobState::kRunning,
                     "job " << id << " is not running");
   pool_.release(job.allocated, now);
+  erase_running_end(job);
   job.state = JobState::kFinished;
   job.end = now;
-  --running_;
-  ++finished_;
+  archive(id, std::move(job));
+  jobs_.erase(it);
+  touch();  // archived dependencies may unblock queued jobs
 }
 
 void Scheduler::kill(JobId id, Time now) {
   auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
+  if (it == jobs_.end()) return;  // unknown or already archived
   RuntimeJob& job = it->second;
   switch (job.state) {
     case JobState::kQueued:
@@ -316,40 +334,108 @@ void Scheduler::kill(JobId id, Time now) {
       break;
     case JobState::kHolding:
       pool_.unhold(job.allocated, now);
+      holding_.erase(id);
       break;
     case JobState::kRunning:
       pool_.release(job.allocated, now);
-      --running_;
+      erase_running_end(job);
       break;
     case JobState::kFinished:
-      return;
+      return;  // unreachable: finished jobs are archived
   }
   job.state = JobState::kFinished;
   job.end = now;
-  ++finished_;
+  archive(id, std::move(job));
+  jobs_.erase(it);
+  touch();
 }
 
 const RuntimeJob* Scheduler::find(JobId id) const {
   auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : &it->second;
+  if (it != jobs_.end()) return &it->second;
+  auto ar = archived_.find(id);
+  return ar == archived_.end() ? nullptr : &ar->second;
 }
 
 RuntimeJob* Scheduler::find_mut(JobId id) {
   auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : &it->second;
+  if (it != jobs_.end()) return &it->second;
+  auto ar = archived_.find(id);
+  return ar == archived_.end() ? nullptr : &ar->second;
 }
 
 std::vector<JobId> Scheduler::holding_ids() const {
-  std::vector<JobId> out;
-  for (const auto& [id, j] : jobs_)
-    if (j.state == JobState::kHolding) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
+  return std::vector<JobId>(holding_.begin(), holding_.end());
 }
 
 void Scheduler::remove_from_queue(JobId id) {
-  queued_.erase(std::remove(queued_.begin(), queued_.end(), id),
-                queued_.end());
+  auto it = queue_pos_.find(id);
+  if (it == queue_pos_.end()) return;
+  const std::size_t pos = it->second;
+  queue_pos_.erase(it);
+  const JobId last = queued_.back();
+  queued_.pop_back();
+  if (last != id) {
+    queued_[pos] = last;
+    queue_pos_[last] = pos;
+  }
+}
+
+void Scheduler::archive(JobId id, RuntimeJob&& job) {
+  archived_.emplace(id, std::move(job));
+}
+
+void Scheduler::erase_running_end(const RuntimeJob& job) {
+  const Time key = job.start + job.spec.walltime;
+  auto [lo, hi] = running_ends_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == job.spec.id) {
+      running_ends_.erase(it);
+      return;
+    }
+  }
+  COSCHED_CHECK_MSG(false, "running job " << job.spec.id
+                                          << " missing from end index");
+}
+
+void Scheduler::validate_indices() const {
+  std::size_t queued = 0, holding = 0, running = 0;
+  for (const auto& [id, j] : jobs_) {
+    switch (j.state) {
+      case JobState::kQueued: {
+        ++queued;
+        auto it = queue_pos_.find(id);
+        COSCHED_CHECK_MSG(it != queue_pos_.end() &&
+                              queued_.at(it->second) == id,
+                          "queued job " << id << " missing from queue index");
+        break;
+      }
+      case JobState::kHolding:
+        ++holding;
+        COSCHED_CHECK_MSG(holding_.count(id),
+                          "holding job " << id << " missing from hold index");
+        break;
+      case JobState::kRunning: {
+        ++running;
+        bool found = false;
+        auto [lo, hi] = running_ends_.equal_range(j.start + j.spec.walltime);
+        for (auto it = lo; it != hi; ++it) found |= it->second == id;
+        COSCHED_CHECK_MSG(found,
+                          "running job " << id << " missing from end index");
+        break;
+      }
+      case JobState::kFinished:
+        COSCHED_CHECK_MSG(false, "finished job " << id << " in live table");
+    }
+  }
+  COSCHED_CHECK_MSG(queued == queued_.size() && queued == queue_pos_.size(),
+                    "queue index size mismatch");
+  COSCHED_CHECK_MSG(holding == holding_.size(), "hold index size mismatch");
+  COSCHED_CHECK_MSG(running == running_ends_.size(),
+                    "running-end index size mismatch");
+  for (const auto& [id, j] : archived_)
+    COSCHED_CHECK_MSG(j.state == JobState::kFinished,
+                      "archived job " << id << " not finished");
 }
 
 }  // namespace cosched

@@ -7,10 +7,20 @@
 // RunJobHook: the scheduler is entirely coscheduling-agnostic, and the
 // coscheduling agent (core/agent.h) supplies Algorithm 1 as the hook — the
 // same separation the authors used between Cobalt and their extension.
+//
+// Hot-path design: every scheduling iteration touches only *live* jobs.
+// Finished jobs move to an archive map, running jobs are indexed by their
+// walltime end (the shadow/profile scans walk that index instead of the
+// whole job table), holding jobs are indexed in a sorted set, and the
+// priority order is cached per (time, state-epoch) so the repeated
+// tryStartMate calls arriving within one event timestamp reuse one
+// score-and-sort.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -93,7 +103,7 @@ class Scheduler {
   /// re-queues demoted to lowest priority for the next iteration.
   void release_hold(JobId id, Time now);
 
-  /// Completes a running job, freeing its nodes.
+  /// Completes a running job, freeing its nodes and archiving its record.
   void finish(JobId id, Time now);
 
   /// Kills a job wherever it is (fault injection).  Queued jobs leave the
@@ -105,8 +115,14 @@ class Scheduler {
   /// Ineligible jobs are invisible to iterations and targeted starts.
   bool eligible(const RuntimeJob& job, Time now) const;
 
+  /// Queue order for one iteration: demoted jobs last, then score desc,
+  /// submit asc, id asc.  Cached per (now, state epoch): repeated calls at
+  /// one timestamp with no intervening state change skip the re-score/sort.
+  std::vector<JobId> priority_order(Time now) const;
+
   // -- introspection ---------------------------------------------------
 
+  /// Looks up a job by id, live or archived.
   const RuntimeJob* find(JobId id) const;
   RuntimeJob* find_mut(JobId id);
 
@@ -114,21 +130,40 @@ class Scheduler {
   const NodePool& pool() const { return pool_; }
 
   std::size_t queue_length() const { return queued_.size(); }
+  /// Queued job ids in unspecified order (removal is swap-and-pop).
   const std::vector<JobId>& queued_ids() const { return queued_; }
   std::vector<JobId> holding_ids() const;
-  std::size_t running_count() const { return running_; }
-  std::size_t finished_count() const { return finished_; }
+  std::size_t holding_count() const { return holding_.size(); }
+  std::size_t running_count() const { return running_ends_.size(); }
+  std::size_t finished_count() const { return archived_.size(); }
 
-  /// All jobs this scheduler has seen (for metric extraction).
+  /// Live (queued/holding/running) jobs.  Finished jobs are in archived().
   const std::unordered_map<JobId, RuntimeJob>& jobs() const { return jobs_; }
+
+  /// Finished jobs, moved out of the live table so hot-path scans never
+  /// touch them.
+  const std::unordered_map<JobId, RuntimeJob>& archived() const {
+    return archived_;
+  }
+
+  /// Applies `fn(id, job)` to every job this scheduler has seen, live and
+  /// archived (for metric extraction).
+  template <class F>
+  void for_each_job(F&& fn) const {
+    for (const auto& [id, job] : jobs_) fn(id, job);
+    for (const auto& [id, job] : archived_) fn(id, job);
+  }
+
+  /// Total jobs ever submitted (live + archived).
+  std::size_t total_jobs() const { return jobs_.size() + archived_.size(); }
+
+  /// Brute-force recomputes every maintained index from the job tables and
+  /// throws InvariantError on any mismatch (test/debug hook).
+  void validate_indices() const;
 
   const PriorityPolicy& policy() const { return *policy_; }
 
  private:
-  // Queue order for one iteration: demoted jobs last, then score desc,
-  // submit asc, id asc.
-  std::vector<JobId> priority_order(Time now) const;
-
   // EASY reservation for a blocked head job.
   struct Shadow {
     Time time = kNoTime;      // when the head is guaranteed to fit (kNoTime = never)
@@ -145,16 +180,35 @@ class Scheduler {
 
   void do_start(RuntimeJob& job, Time now);
   void remove_from_queue(JobId id);
+  void archive(JobId id, RuntimeJob&& job);
+  void erase_running_end(const RuntimeJob& job);
+
+  // Any state change that can alter priority order, eligibility, or the
+  // live-job indices bumps the epoch, invalidating the order cache.
+  void touch() { ++epoch_; }
 
   NodePool pool_;
   std::unique_ptr<PriorityPolicy> policy_;
   SchedulerConfig config_;
   std::function<void(const RuntimeJob&)> on_start_;
 
-  std::unordered_map<JobId, RuntimeJob> jobs_;
+  std::unordered_map<JobId, RuntimeJob> jobs_;      ///< live jobs only
+  std::unordered_map<JobId, RuntimeJob> archived_;  ///< finished jobs
+
+  // -- maintained indices over the live table --------------------------
   std::vector<JobId> queued_;
-  std::size_t running_ = 0;
-  std::size_t finished_ = 0;
+  std::unordered_map<JobId, std::size_t> queue_pos_;
+  /// Running jobs keyed by walltime end (start + walltime); the shadow and
+  /// profile scans walk this instead of the job table.  Ties preserve start
+  /// order (multimap insertion order), keeping scans deterministic.
+  std::multimap<Time, JobId> running_ends_;
+  std::set<JobId> holding_;
+
+  // -- priority-order cache ---------------------------------------------
+  std::uint64_t epoch_ = 1;
+  mutable std::uint64_t order_epoch_ = 0;
+  mutable Time order_time_ = kNoTime;
+  mutable std::vector<JobId> order_cache_;
 };
 
 }  // namespace cosched

@@ -9,28 +9,62 @@ EventId Engine::schedule_at(Time t, int priority, Handler fn) {
                                                                       << " now="
                                                                       << now_);
   COSCHED_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, priority, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  queue_.push(Entry{t, priority, next_seq_++, slot, s.gen});
+  ++scheduled_;
+  ++armed_;
+  peak_pending_ = std::max(peak_pending_, armed_);
+  return make_id(slot, s.gen);
 }
 
-bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.fn) return false;
+  s.fn = nullptr;
+  ++s.gen;  // the heap entry, now stale, is skipped as a tombstone
+  free_.push_back(slot);
+  --armed_;
+  ++cancelled_;
+  return true;
+}
+
+const Engine::Entry* Engine::peek_live() {
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    if (slots_[e.slot].gen == e.gen) return &e;
+    queue_.pop();
+    ++tombstones_;
+  }
+  return nullptr;
+}
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    queue_.pop();
-    auto it = handlers_.find(e.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    Handler fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = e.time;
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  const Entry* top = peek_live();
+  if (top == nullptr) return false;
+  const Entry e = *top;
+  queue_.pop();
+  Slot& s = slots_[e.slot];
+  Handler fn = std::move(s.fn);
+  s.fn = nullptr;
+  ++s.gen;
+  free_.push_back(e.slot);
+  --armed_;
+  now_ = e.time;
+  ++executed_;
+  fn();  // may schedule events and grow slots_; no slot refs held past here
+  return true;
 }
 
 void Engine::run() {
@@ -40,14 +74,8 @@ void Engine::run() {
 
 void Engine::run_until(Time t) {
   COSCHED_CHECK(t >= now_);
-  while (!queue_.empty()) {
-    // Skip over cancelled entries without advancing the clock.
-    const Entry e = queue_.top();
-    if (!handlers_.count(e.id)) {
-      queue_.pop();
-      continue;
-    }
-    if (e.time > t) break;
+  while (const Entry* e = peek_live()) {
+    if (e->time > t) break;
     step();
   }
   now_ = t;

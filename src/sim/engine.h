@@ -11,12 +11,16 @@
 //  * Time is integer seconds.
 //  * Events at equal time are ordered by (priority, insertion sequence).
 //  * Handlers may schedule further events at >= now.
+//
+// Storage: handlers live in generation-tagged slots recycled through a free
+// list, so steady-state scheduling allocates nothing beyond the heap entry.
+// cancel() detaches the slot in O(1); the heap entry becomes a tombstone
+// that step()/run_until() drain through one shared path (peek_live).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/error.h"
@@ -36,7 +40,10 @@ struct EventPriority {
   static constexpr int kStats = 50;
 };
 
-/// Handle identifying a scheduled event; used for cancellation.
+/// Handle identifying a scheduled event; used for cancellation.  Encodes
+/// (slot index, slot generation) so handles from executed or cancelled
+/// events — even ones whose slot was since recycled — never alias a live
+/// event.
 using EventId = std::uint64_t;
 
 class Engine {
@@ -70,17 +77,36 @@ class Engine {
   void run_until(Time t);
 
   /// Number of scheduled (uncancelled) events.
-  std::size_t pending() const { return handlers_.size(); }
+  std::size_t pending() const { return armed_; }
 
   /// Total number of events executed (for micro-benchmarks and tests).
   std::uint64_t executed() const { return executed_; }
 
+  // -- engine counters ---------------------------------------------------
+
+  /// Total events ever scheduled.
+  std::uint64_t scheduled_total() const { return scheduled_; }
+
+  /// Total events cancelled before running.
+  std::uint64_t cancelled_total() const { return cancelled_; }
+
+  /// High-water mark of pending events (queue sizing / memory telemetry).
+  std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Cancelled heap entries skipped while popping (tombstone overhead).
+  std::uint64_t tombstones_skipped() const { return tombstones_; }
+
  private:
+  struct Slot {
+    std::uint32_t gen = 1;  ///< bumped on cancel/execute; 0 is never issued
+    Handler fn;
+  };
   struct Entry {
     Time time;
     int priority;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -90,12 +116,26 @@ class Engine {
     }
   };
 
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// Drains cancelled entries off the heap top; returns the next live entry
+  /// or nullptr when the queue is empty.  Shared by step() and run_until()
+  /// so tombstones are popped in exactly one place.
+  const Entry* peek_live();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t tombstones_ = 0;
+  std::size_t armed_ = 0;
+  std::size_t peak_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_map<EventId, Handler> handlers_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace cosched

@@ -2,7 +2,11 @@
 // scheme combination, load level, pairing proportion, and seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "core_test_util.h"
 #include "workload/pairing.h"
@@ -112,15 +116,129 @@ TEST_P(CoschedSweep, SyncTimeZeroForUnpairedJobs) {
   const SimResult r = sim.run(120 * kDay);
   ASSERT_TRUE(r.completed);
   for (std::size_t d = 0; d < 2; ++d) {
-    for (const auto& [id, rj] : sim.cluster(d).scheduler().jobs()) {
-      (void)id;
-      if (!rj.spec.is_paired()) {
-        EXPECT_EQ(rj.sync_time(), 0)
-            << "unpaired job must start at first readiness";
-      }
-      EXPECT_GE(rj.sync_time(), 0);
-    }
+    sim.cluster(d).scheduler().for_each_job(
+        [](JobId id, const RuntimeJob& rj) {
+          (void)id;
+          if (!rj.spec.is_paired()) {
+            EXPECT_EQ(rj.sync_time(), 0)
+                << "unpaired job must start at first readiness";
+          }
+          EXPECT_GE(rj.sync_time(), 0);
+        });
   }
+}
+
+// -- determinism guard --------------------------------------------------
+//
+// The incremental scheduler/engine rewrite must not change simulation
+// results: these fingerprints (FNV-1a over every job's id, start, end,
+// yield count, and forced releases, sorted by id) were recorded from the
+// pre-optimization implementation for fixed seeds.  Any divergence in
+// scheduling order, backfill decisions, or event ordering changes a start
+// time somewhere and breaks the hash.
+
+namespace determinism {
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+std::uint64_t fingerprint(CoupledSim& sim) {
+  struct Rec {
+    JobId id;
+    Time start, end;
+    int yields, releases;
+  };
+  std::vector<Rec> recs;
+  for (std::size_t d = 0; d < sim.size(); ++d) {
+    sim.cluster(d).scheduler().for_each_job(
+        [&](JobId id, const RuntimeJob& j) {
+          recs.push_back(
+              Rec{id, j.start, j.end, j.yield_count, j.forced_releases});
+        });
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Rec& a, const Rec& b) { return a.id < b.id; });
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Rec& r : recs) {
+    h = fnv(h, static_cast<std::uint64_t>(r.id));
+    h = fnv(h, static_cast<std::uint64_t>(r.start));
+    h = fnv(h, static_cast<std::uint64_t>(r.end));
+    h = fnv(h, static_cast<std::uint64_t>(r.yields));
+    h = fnv(h, static_cast<std::uint64_t>(r.releases));
+  }
+  return h;
+}
+
+}  // namespace determinism
+
+TEST(DeterminismGuard, FixedSeedResultsMatchPreOptimizationFingerprints) {
+  struct Pinned {
+    SchemeCombo combo;
+    std::uint64_t expect;
+  };
+  // Recorded from the pre-optimization (full-rescan) implementation.
+  const Pinned pinned[] = {
+      {kHH, 0x1b674b6d199ed7c0ULL},
+      {kHY, 0x4becedf2dca9e57bULL},
+      {kYH, 0xd33b7fd83c6bce0aULL},
+      {kYY, 0x9db813ffb767cb65ULL},
+  };
+  for (const Pinned& p : pinned) {
+    SystemModel compute;
+    compute.name = "compute";
+    compute.capacity = 512;
+    compute.sizes = {{32, 0.5}, {64, 0.3}, {128, 0.15}, {256, 0.05}};
+    compute.runtime_log_mean = std::log(900.0);
+    compute.runtime_log_sigma = 0.9;
+    compute.runtime_min = 60;
+    compute.runtime_max = 3 * kHour;
+
+    SynthParams pa;
+    pa.span = 2 * kDay;
+    pa.offered_load = 0.6;
+    pa.seed = 42;
+    SynthParams pb = pa;
+    pb.offered_load = 0.5;
+    pb.seed = 42 + 555;
+
+    std::vector<Trace> traces;
+    traces.push_back(generate_trace(compute, pa));
+    traces.push_back(generate_trace(eureka_model(), pb));
+    for (auto& j : traces[1].jobs()) j.id += 1000000;
+    pair_by_proportion(traces[0], traces[1], 0.15, 42 + 9);
+    auto specs = make_coupled_specs("compute", 512, "viz", 100, p.combo);
+
+    CoupledSim sim(specs, traces);
+    const SimResult r = sim.run(120 * kDay);
+    ASSERT_TRUE(r.completed) << p.combo.label;
+    EXPECT_EQ(determinism::fingerprint(sim), p.expect)
+        << "simulation results diverged from the pre-optimization "
+           "implementation for combo "
+        << p.combo.label;
+  }
+}
+
+TEST(DeterminismGuard, RepeatedRunsAreBitIdentical) {
+  auto run_fp = [] {
+    SynthParams pa;
+    pa.span = 1 * kDay;
+    pa.offered_load = 0.7;
+    pa.seed = 7;
+    Trace a = generate_trace(eureka_model(), pa);
+    pa.seed = 8;
+    pa.offered_load = 0.5;
+    Trace b = generate_trace(eureka_model(), pa);
+    for (auto& j : b.jobs()) j.id += 1000000;
+    pair_by_proportion(a, b, 0.2, 11);
+    auto specs = make_coupled_specs("a", 100, "b", 100, kHY);
+    CoupledSim sim(specs, {a, b});
+    EXPECT_TRUE(sim.run(120 * kDay).completed);
+    return determinism::fingerprint(sim);
+  };
+  EXPECT_EQ(run_fp(), run_fp());
 }
 
 INSTANTIATE_TEST_SUITE_P(
