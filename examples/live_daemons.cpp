@@ -1,15 +1,27 @@
-// Live (wall-clock, non-simulated) coscheduling daemons over a real socket.
+// Live (wall-clock, non-simulated) coscheduling daemons over real sockets,
+// including a mid-run daemon crash and restart.
 //
-// Two resource-manager daemons run in separate threads connected by a local
-// stream socket, speaking the binary coordination protocol end to end —
+// Two resource-manager daemons run in separate threads connected by
+// localhost TCP, speaking the binary coordination protocol end to end —
 // the deployment shape the paper targets ("jobs submitted to a compute
 // resource running LSF can be coscheduled with jobs submitted to an analysis
 // resource running PBS").  Each daemon owns a real Scheduler; Run_Job applies
 // Algorithm 1 with the hold scheme.
 //
 // Timeline (wall-clock milliseconds standing in for minutes):
-//   t=0   : compute daemon receives paired job C1 -> mate not ready -> HOLD
-//   t=150 : analysis daemon receives mate job A1 -> both START together
+//   phase 1: compute receives paired job C1 -> mate not ready -> HOLD;
+//            analysis receives mate A1 -> both START together.
+//   phase 2: the analysis daemon is killed (listener and every connection
+//            torn down).  Compute submits paired job C2: the peer call
+//            fails, the circuit breaker opens, and per the paper's §IV-C
+//            rule C2 starts immediately, uncoordinated, instead of waiting
+//            on a dead remote.
+//   phase 3: a fresh analysis daemon restarts on the same port.  After the
+//            breaker cooldown the next call probes, reconnects through the
+//            channel factory, and pair C3/A3 co-starts again.
+#include <sys/socket.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -19,6 +31,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "net/rpc.h"
 #include "proto/peer.h"
@@ -45,7 +58,10 @@ class LiveDaemon : public CoschedService {
       : name_(std::move(name)),
         sched_(capacity, make_policy("fcfs")) {}
 
-  void set_peer(PeerClient* peer) { peer_ = peer; }
+  void set_peer(PeerClient* peer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peer_ = peer;
+  }
 
   void register_mate(GroupId group, JobId job) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -134,9 +150,15 @@ class LiveDaemon : public CoschedService {
     } uncommit{this, job.spec.id};
 
     const auto mate = peer_->get_mate_job(job.spec.group, job.spec.id);
-    if (!mate || !*mate) {
+    if (!mate) {
       say(name_, "job " + std::to_string(job.spec.id) +
-                     " has no reachable mate -> start normally");
+                     " peer unreachable -> mate unknown -> start"
+                     " uncoordinated (degraded)");
+      return RunDecision::kStart;
+    }
+    if (!*mate) {
+      say(name_, "job " + std::to_string(job.spec.id) +
+                     " has no registered mate -> start normally");
       return RunDecision::kStart;
     }
     const MateStatus status =
@@ -176,6 +198,67 @@ class LiveDaemon : public CoschedService {
   std::set<JobId> committing_;
 };
 
+/// Serves a LiveDaemon over localhost TCP: an accept loop spawning one
+/// serve_channel thread per connection.  kill() models a daemon crash
+/// (`kill -9`): the listener closes and every accepted connection is shut
+/// down, so peers observe hard transport failures mid-conversation.
+class DaemonHost {
+ public:
+  DaemonHost(CoschedService& daemon, std::uint16_t port)
+      : daemon_(daemon), listener_(port) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  ~DaemonHost() { kill(); }
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  void kill() {
+    listener_.close();  // blocked accept() fails -> accept loop exits
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& t : serve_threads_) t.join();
+    serve_threads_.clear();
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      Socket s;
+      try {
+        s = listener_.accept();
+      } catch (const std::exception&) {
+        return;  // listener closed: the daemon is dead
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live_fds_.push_back(s.fd());
+      }
+      serve_threads_.emplace_back(
+          [this, sp = std::make_shared<Socket>(std::move(s))]() mutable {
+            const int fd = sp->fd();
+            FramedChannel ch(std::move(*sp));
+            serve_channel(ch, daemon_);
+            // Deregister before the channel closes the fd so kill() never
+            // shuts down a recycled descriptor.
+            std::lock_guard<std::mutex> lock(mutex_);
+            live_fds_.erase(
+                std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                live_fds_.end());
+          });
+    }
+  }
+
+  CoschedService& daemon_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> serve_threads_;
+  std::mutex mutex_;
+  std::vector<int> live_fds_;
+};
+
 JobSpec make_job(JobId id, NodeCount nodes, GroupId group) {
   JobSpec j;
   j.id = id;
@@ -187,57 +270,126 @@ JobSpec make_job(JobId id, NodeCount nodes, GroupId group) {
   return j;
 }
 
+WirePeer::ChannelFactory dial(std::uint16_t port) {
+  return [port]() -> std::optional<FramedChannel> {
+    try {
+      return FramedChannel(tcp_connect(port));
+    } catch (const std::exception&) {
+      return std::nullopt;  // daemon down: nothing listening
+    }
+  };
+}
+
+void banner(const std::string& text) {
+  std::lock_guard<std::mutex> lock(g_print_mutex);
+  std::cout << "\n--- " << text << " ---\n";
+}
+
 }  // namespace
 
 int main() {
-  std::cout << "Live coscheduling daemons over a local stream socket\n\n";
+  std::cout << "Live coscheduling daemons over localhost TCP, with a"
+               " mid-run daemon crash and restart\n";
+
+  // Tight fault-handling knobs so the whole demo runs in under a second:
+  // half-second call deadline, two attempts, breaker opens on the first
+  // failed call and probes again 50 ms later.
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 500;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.base_backoff_ms = 5;
+  cfg.breaker.failure_threshold = 1;
+  cfg.breaker.open_cooldown_ms = 50;
 
   LiveDaemon compute("compute ", 1024);
-  LiveDaemon analysis("analysis", 64);
+  DaemonHost compute_host(compute, /*port=*/0);
 
-  // Full duplex: each daemon is a client of the other, over two socket
-  // pairs (one per direction), each served by a dedicated thread.
-  auto [c2a_client, c2a_server] = Socket::pair();
-  auto [a2c_client, a2c_server] = Socket::pair();
-  auto compute_to_analysis =
-      std::make_unique<WirePeer>(FramedChannel(std::move(c2a_client)));
+  auto analysis = std::make_unique<LiveDaemon>("analysis", 64);
+  auto analysis_host = std::make_unique<DaemonHost>(*analysis, /*port=*/0);
+  const std::uint16_t analysis_port = analysis_host->port();
+
+  // Reconnecting peers: each daemon dials the other lazily and re-dials
+  // after failures (the breaker's half-open probe goes through the factory).
+  WirePeer compute_to_analysis(dial(analysis_port), cfg);
+  compute.set_peer(&compute_to_analysis);
   auto analysis_to_compute =
-      std::make_unique<WirePeer>(FramedChannel(std::move(a2c_client)));
-  compute.set_peer(compute_to_analysis.get());
-  analysis.set_peer(analysis_to_compute.get());
+      std::make_unique<WirePeer>(dial(compute_host.port()), cfg);
+  analysis->set_peer(analysis_to_compute.get());
 
-  std::thread serve_analysis([&, s = std::move(c2a_server)]() mutable {
-    FramedChannel ch(std::move(s));
-    serve_channel(ch, analysis);
-  });
-  std::thread serve_compute([&, s = std::move(a2c_server)]() mutable {
-    FramedChannel ch(std::move(s));
-    serve_channel(ch, compute);
-  });
-
-  // Pre-register the association on both sides (the user declared the pair
-  // at submission time), then submit with a wall-clock gap.
-  analysis.register_mate(/*group=*/7, /*job=*/2001);
+  // -- Phase 1: both daemons healthy -> paired start is synchronized.
+  banner("phase 1: healthy co-start");
+  analysis->register_mate(/*group=*/7, /*job=*/2001);
   compute.submit(make_job(1001, 512, 7));
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  analysis.submit(make_job(2001, 32, 7));
+  analysis->submit(make_job(2001, 32, 7));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const bool phase1 = compute.running(1001) && analysis->running(2001);
+  say("driver  ", std::string("pair C1/A1 co-started: ") +
+                      (phase1 ? "yes" : "NO") + " (skew " +
+                      std::to_string(std::llabs(compute.start_time(1001) -
+                                                analysis->start_time(2001))) +
+                      " ms)");
 
-  // Give the cascade a moment, then verify both are running.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  const bool ok = compute.running(1001) && analysis.running(2001);
-  std::cout << "\nBoth members running: " << (ok ? "yes" : "NO") << "\n";
-  if (ok) {
-    const Time skew =
-        std::llabs(compute.start_time(1001) - analysis.start_time(2001));
-    std::cout << "Start skew over the wire: " << skew << " ms\n";
+  // -- Phase 2: kill the analysis daemon mid-run.  The next paired submit
+  // on compute degrades per §IV-C: peer calls fail, the breaker opens, and
+  // the job starts uncoordinated instead of waiting forever.
+  banner("phase 2: analysis daemon killed");
+  analysis->set_peer(nullptr);
+  analysis_to_compute.reset();
+  analysis_host->kill();
+  analysis_host.reset();
+  analysis.reset();
+
+  compute.submit(make_job(1002, 256, 8));
+  const bool phase2 =
+      compute.running(1002) && !compute_to_analysis.healthy();
+  say("driver  ", std::string("C2 started uncoordinated with breaker ") +
+                      to_string(compute_to_analysis.breaker_state()) + ": " +
+                      (phase2 ? "yes" : "NO"));
+
+  // -- Phase 3: restart the analysis daemon on the same port.  After the
+  // cooldown the next call probes, the factory reconnects, the breaker
+  // closes, and coscheduling resumes.
+  banner("phase 3: analysis daemon restarted");
+  auto analysis2 = std::make_unique<LiveDaemon>("analysis", 64);
+  analysis_host = std::make_unique<DaemonHost>(*analysis2, analysis_port);
+  auto analysis2_to_compute =
+      std::make_unique<WirePeer>(dial(compute_host.port()), cfg);
+  analysis2->set_peer(analysis2_to_compute.get());
+  analysis2->register_mate(/*group=*/9, /*job=*/2003);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(cfg.breaker.open_cooldown_ms + 30));
+
+  compute.submit(make_job(1003, 128, 9));  // probe reconnects -> HOLD
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  analysis2->submit(make_job(2003, 16, 9));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const bool phase3 = compute.running(1003) && analysis2->running(2003) &&
+                      compute_to_analysis.healthy();
+  say("driver  ", std::string("pair C3/A3 co-started after restart: ") +
+                      (phase3 ? "yes" : "NO") + " (skew " +
+                      std::to_string(std::llabs(compute.start_time(1003) -
+                                                analysis2->start_time(2003))) +
+                      " ms)");
+
+  const auto st = compute_to_analysis.stats();
+  {
+    std::lock_guard<std::mutex> lock(g_print_mutex);
+    std::cout << "\ncompute->analysis transport: " << st.calls << " calls, "
+              << st.failed_calls << " failed, " << st.reconnects
+              << " reconnects, " << st.breaker_opens << " breaker opens, "
+              << st.breaker_closes << " breaker closes\n";
   }
 
-  // Closing our client endpoints sends EOF to the server threads.
+  const bool ok = phase1 && phase2 && phase3;
+  std::cout << "\nDegradation and re-sync demonstrated: " << (ok ? "yes" : "NO")
+            << "\n";
+
+  // Orderly teardown: drop the client peers first so serve loops see EOF.
   compute.set_peer(nullptr);
-  analysis.set_peer(nullptr);
-  compute_to_analysis.reset();
-  analysis_to_compute.reset();
-  serve_analysis.join();
-  serve_compute.join();
+  analysis2->set_peer(nullptr);
+  analysis2_to_compute.reset();
+  analysis_host.reset();
+  analysis2.reset();
   return ok ? 0 : 1;
 }

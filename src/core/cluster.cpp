@@ -183,21 +183,34 @@ RunDecision Cluster::run_job_hook(RuntimeJob& job, bool try_context) {
     PeerClient* peer;
     JobId id;
   };
+  bool transport_fault = false;
   std::vector<MateRef> mates;
   for (PeerClient* peer : peers_) {
     const auto found = peer->get_mate_job(job.spec.group, job.spec.id);
-    if (!found || !*found) continue;
+    if (!found) {
+      transport_fault = true;
+      ++unknown_status_decisions_;
+      continue;
+    }
+    if (!*found) continue;
     mates.push_back(MateRef{peer, **found});
   }
-  if (mates.empty()) return RunDecision::kStart;
+  if (mates.empty()) {
+    if (transport_fault) unsync_pending_.insert(job.spec.id);
+    return RunDecision::kStart;
+  }
 
   CommitGuard commit(committing_, job.spec.id);
 
   // Lines 4-27: classify each mate.
   std::vector<MateRef> holding, not_ready;
   for (const MateRef& m : mates) {
-    const MateStatus status =
-        m.peer->get_mate_status(m.id).value_or(MateStatus::kUnknown);
+    const auto status_reply = m.peer->get_mate_status(m.id);
+    if (!status_reply) {
+      transport_fault = true;
+      ++unknown_status_decisions_;
+    }
+    const MateStatus status = status_reply.value_or(MateStatus::kUnknown);
     switch (status) {
       case MateStatus::kHolding:
         holding.push_back(m);
@@ -224,17 +237,31 @@ RunDecision Cluster::run_job_hook(RuntimeJob& job, bool try_context) {
     // suffices; `false` means the mate could not start now.
     const auto started = not_ready.front().peer->try_start_mate(
         not_ready.front().id);
-    if (started.has_value() && !*started)
+    if (!started) {
+      transport_fault = true;
+      ++unknown_status_decisions_;
+    }
+    if (started.has_value() && !*started) {
+      if (transport_fault) fault_seen_.insert(job.spec.id);
       return scheme_decision(job, try_context);
+    }
     // Transport failure counts as unknown: do not block the local job.
   }
 
   // Lines 6-8: everyone is ready; wake the holding mates and start.
   for (const MateRef& m : holding) {
-    if (!m.peer->start_job(m.id))
+    const auto woke = m.peer->start_job(m.id);
+    if (!woke) {
+      // The wake-up itself was lost: our mate stays holding while we run —
+      // the quintessential unsynchronized start.
+      transport_fault = true;
+      ++unknown_status_decisions_;
+    } else if (!*woke) {
       COSCHED_LOG(kDebug) << name_ << ": mate " << m.id
                           << " was no longer holding at start";
+    }
   }
+  if (transport_fault) unsync_pending_.insert(job.spec.id);
   return RunDecision::kStart;
 }
 
@@ -275,6 +302,11 @@ RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
 
 void Cluster::on_job_started(const RuntimeJob& job) {
   log_event(JobEventKind::kStart, job);
+  if (unsync_pending_.erase(job.spec.id) > 0) {
+    ++unsync_starts_;
+    log_event(JobEventKind::kUnsyncStart, job);
+  }
+  fault_seen_.erase(job.spec.id);
   const JobId id = job.spec.id;
   engine_.schedule_in(job.spec.runtime, EventPriority::kJobEnd,
                       [this, id] { on_job_finished(id); });
@@ -343,6 +375,8 @@ void Cluster::schedule_hold_release(JobId id) {
                         for (JobId h : holders) {
                           sched_.release_hold(h, engine_.now());
                           ++forced_releases_;
+                          if (fault_seen_.count(h) > 0)
+                            ++degraded_forced_releases_;
                           if (const RuntimeJob* j = sched_.find(h))
                             log_event(JobEventKind::kHoldRelease, *j);
                         }

@@ -82,6 +82,18 @@ class Cluster final : public CoschedService {
   std::uint64_t try_start_requests() const { return try_start_requests_; }
   std::uint64_t forced_releases() const { return forced_releases_; }
 
+  // -- degraded-mode counters (§IV-C fault rule firing) ------------------
+  /// Peer calls that failed in a decision path (mate treated as unknown).
+  std::uint64_t unknown_status_decisions() const {
+    return unknown_status_decisions_;
+  }
+  /// Paired jobs started without mate confirmation.
+  std::uint64_t unsync_starts() const { return unsync_starts_; }
+  /// Forced releases of jobs whose decision saw a transport fault.
+  std::uint64_t degraded_forced_releases() const {
+    return degraded_forced_releases_;
+  }
+
   /// Attaches a lifecycle event log (not owned; may be shared across
   /// domains).  Pass nullptr to detach.
   void set_event_log(EventLog* log) { event_log_ = log; }
@@ -123,10 +135,19 @@ class Cluster final : public CoschedService {
   bool periodic_armed_ = false;
   EventLog* event_log_ = nullptr;
   std::unordered_set<JobId> ready_logged_;
+  /// Jobs whose latest decision path hit a transport fault; membership makes
+  /// a subsequent forced release fault-attributable.
+  std::unordered_set<JobId> fault_seen_;
+  /// Jobs whose start decision was taken under a transport fault; confirmed
+  /// as unsynchronized starts when the start actually lands.
+  std::unordered_set<JobId> unsync_pending_;
 
   std::uint64_t iterations_run_ = 0;
   std::uint64_t try_start_requests_ = 0;
   std::uint64_t forced_releases_ = 0;
+  std::uint64_t unknown_status_decisions_ = 0;
+  std::uint64_t unsync_starts_ = 0;
+  std::uint64_t degraded_forced_releases_ = 0;
 };
 
 }  // namespace cosched

@@ -29,7 +29,12 @@ CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
     for (std::size_t to = 0; to < specs.size(); ++to) {
       if (from == to) continue;
       links_[from][to] = std::make_unique<FaultInjectingPeer>(
-          std::make_unique<LoopbackPeer>(*clusters_[to]));
+          std::make_unique<LoopbackPeer>(*clusters_[to]), &engine_);
+      // After a transport fault the *calling* domain re-examines its queue
+      // once the plan's backoff elapses (only plans with retry_backoff > 0
+      // ever schedule this).
+      links_[from][to]->set_retry_listener(
+          [cluster = clusters_[from].get()] { cluster->request_iteration(); });
       clusters_[from]->add_peer(*links_[from][to]);
     }
   }
@@ -41,6 +46,75 @@ CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
 FaultInjectingPeer& CoupledSim::link(std::size_t from, std::size_t to) {
   COSCHED_CHECK(from != to);
   return *links_.at(from).at(to);
+}
+
+void CoupledSim::set_fault_plan(std::size_t from, std::size_t to,
+                                FaultPlan plan) {
+  link(from, to).set_plan(std::move(plan));
+}
+
+void CoupledSim::set_fault_plan_all(const FaultPlan& plan) {
+  // Derive one independent substream per directed link; mixing in the link
+  // coordinates keeps the streams decorrelated while remaining a pure
+  // function of plan.seed.
+  SplitMix64 mix(plan.seed);
+  for (std::size_t from = 0; from < links_.size(); ++from) {
+    for (std::size_t to = 0; to < links_[from].size(); ++to) {
+      if (from == to) continue;
+      FaultPlan p = plan;
+      p.seed = mix.next() ^ (static_cast<std::uint64_t>(from) << 32 | to);
+      links_[from][to]->set_plan(std::move(p));
+    }
+  }
+}
+
+void CoupledSim::schedule_domain_crash(std::size_t domain, Time at,
+                                       Time restart_at, bool kill_running) {
+  COSCHED_CHECK(domain < clusters_.size());
+  COSCHED_CHECK(restart_at == 0 || restart_at > at);
+  engine_.schedule_at(at, EventPriority::kMessage, [this, domain,
+                                                    kill_running] {
+    COSCHED_LOG(kInfo) << clusters_[domain]->name() << ": domain crash at t="
+                       << engine_.now();
+    // A crashed machine neither answers its peers nor reaches them.
+    for (std::size_t other = 0; other < clusters_.size(); ++other) {
+      if (other == domain) continue;
+      links_[domain][other]->set_crashed(true);
+      links_[other][domain]->set_crashed(true);
+    }
+    if (kill_running) {
+      std::vector<JobId> casualties;
+      clusters_[domain]->scheduler().for_each_job(
+          [&](JobId id, const RuntimeJob& job) {
+            if (job.state == JobState::kRunning ||
+                job.state == JobState::kHolding)
+              casualties.push_back(id);
+          });
+      for (JobId id : casualties) clusters_[domain]->kill_job(id);
+    }
+  });
+  if (restart_at > 0) {
+    engine_.schedule_at(restart_at, EventPriority::kMessage, [this, domain] {
+      COSCHED_LOG(kInfo) << clusters_[domain]->name()
+                         << ": domain restart at t=" << engine_.now();
+      for (std::size_t other = 0; other < clusters_.size(); ++other) {
+        if (other == domain) continue;
+        links_[domain][other]->set_crashed(false);
+        links_[other][domain]->set_crashed(false);
+      }
+      // Every domain re-evaluates: survivors may have jobs whose mates just
+      // came back, and the restarted machine rebuilds its own schedule.
+      for (auto& c : clusters_) c->request_iteration();
+    });
+  }
+}
+
+FaultStats CoupledSim::fault_stats() const {
+  FaultStats total;
+  for (const auto& row : links_)
+    for (const auto& l : row)
+      if (l) total += l->stats();
+  return total;
 }
 
 CoupledSim::ProtocolStats CoupledSim::protocol_stats() const {
@@ -67,10 +141,12 @@ EventLog& CoupledSim::enable_event_log() {
 }
 
 SimResult CoupledSim::run(Time max_time) {
+  bool aborted = false;
   while (engine_.step()) {
     if (max_time > 0 && engine_.now() > max_time) {
       COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
                          << " (max_time exceeded)";
+      aborted = true;
       break;
     }
   }
@@ -81,8 +157,14 @@ SimResult CoupledSim::run(Time max_time) {
   bool all_finished = true;
   std::map<GroupId, std::vector<Time>> group_starts;
   for (const auto& cluster : clusters_) {
-    result.systems.push_back(collect_metrics(
-        cluster->scheduler(), result.end_time, cluster->name()));
+    SystemMetrics m = collect_metrics(cluster->scheduler(), result.end_time,
+                                      cluster->name());
+    m.unknown_status_decisions =
+        static_cast<long long>(cluster->unknown_status_decisions());
+    m.unsync_starts = static_cast<long long>(cluster->unsync_starts());
+    m.degraded_forced_releases =
+        static_cast<long long>(cluster->degraded_forced_releases());
+    result.systems.push_back(std::move(m));
     cluster->scheduler().for_each_job([&](JobId id, const RuntimeJob& job) {
       (void)id;
       if (job.state != JobState::kFinished) all_finished = false;
@@ -92,6 +174,7 @@ SimResult CoupledSim::run(Time max_time) {
   }
   result.completed = all_finished;
   result.deadlocked = !all_finished;
+  check_invariants(result, aborted);
 
   for (const auto& [group, starts] : group_starts) {
     (void)group;
@@ -107,6 +190,54 @@ SimResult CoupledSim::run(Time max_time) {
     if (skew == 0) ++result.pairs.groups_started_together;
   }
   return result;
+}
+
+void CoupledSim::check_invariants(SimResult& result, bool aborted) const {
+  auto violate = [&result](std::string msg) {
+    result.invariants.violations.push_back(std::move(msg));
+  };
+
+  for (const auto& cluster : clusters_) {
+    // Node accounting: the pool's busy/held totals must equal the sums over
+    // live jobs — a mismatch means a kill/release/finish path leaked nodes.
+    NodeCount busy_sum = 0, held_sum = 0;
+    cluster->scheduler().for_each_job([&](JobId id, const RuntimeJob& job) {
+      if (job.state == JobState::kRunning) busy_sum += job.allocated;
+      if (job.state == JobState::kHolding) held_sum += job.allocated;
+      // Waits-forever: the event queue drained on its own, yet this job is
+      // still waiting.  (On paired schemes without the release enhancement
+      // this is the hold-hold deadlock the paper describes.)
+      if (!aborted && (job.state == JobState::kQueued ||
+                       job.state == JobState::kHolding)) {
+        ++result.invariants.jobs_waiting_forever;
+        violate("job " + std::to_string(id) + " on " + cluster->name() +
+                " waits forever (state=" +
+                (job.state == JobState::kQueued ? "queued" : "holding") + ")");
+      }
+    });
+    const auto& pool = cluster->scheduler().pool();
+    if (pool.busy() != busy_sum || pool.held() != held_sum) {
+      ++result.invariants.node_accounting_leaks;
+      violate(cluster->name() + " node leak: pool busy/held " +
+              std::to_string(pool.busy()) + "/" + std::to_string(pool.held()) +
+              " vs job sums " + std::to_string(busy_sum) + "/" +
+              std::to_string(held_sum));
+    }
+  }
+
+  // Double starts are only observable from the lifecycle log.
+  if (event_log_) {
+    std::map<JobId, std::size_t> starts;
+    for (const JobEvent& e : event_log_->events())
+      if (e.kind == JobEventKind::kStart) ++starts[e.job];
+    for (const auto& [job, n] : starts) {
+      if (n > 1) {
+        ++result.invariants.double_starts;
+        violate("job " + std::to_string(job) + " started " +
+                std::to_string(n) + " times");
+      }
+    }
+  }
 }
 
 std::vector<DomainSpec> make_coupled_specs(const std::string& name_a,

@@ -12,6 +12,7 @@
 
 #include "core/cluster.h"
 #include "core/config.h"
+#include "core/fault.h"
 #include "metrics/report.h"
 #include "sim/engine.h"
 #include "workload/trace.h"
@@ -41,6 +42,18 @@ struct PairStartStats {
   Duration max_start_skew = 0;
 };
 
+/// Post-run consistency checks.  A violation means the *simulator* (not the
+/// policy under test) broke an invariant — except waits_forever, which also
+/// fires on genuine policy deadlocks (e.g. hold-hold without the release
+/// enhancement), where it is the expected deadlock signal.
+struct InvariantReport {
+  std::size_t jobs_waiting_forever = 0;  ///< queued/holding after drain
+  std::size_t node_accounting_leaks = 0; ///< pool busy/held != live jobs' sum
+  std::size_t double_starts = 0;         ///< a job logged >1 start event
+  std::vector<std::string> violations;   ///< human-readable details
+  bool ok() const { return violations.empty(); }
+};
+
 struct SimResult {
   std::vector<SystemMetrics> systems;
   PairStartStats pairs;
@@ -50,6 +63,7 @@ struct SimResult {
   /// hold-hold without the release enhancement this is the deadlock signal.
   bool deadlocked = false;
   Time end_time = 0;
+  InvariantReport invariants;
 };
 
 class CoupledSim {
@@ -69,6 +83,23 @@ class CoupledSim {
   /// domain `to` (from != to).  Lets tests take a remote "down".
   FaultInjectingPeer& link(std::size_t from, std::size_t to);
 
+  /// Installs a chaos schedule on one directed link.  Call before run().
+  void set_fault_plan(std::size_t from, std::size_t to, FaultPlan plan);
+
+  /// Installs the same plan on every inter-domain link, reseeding each link
+  /// from plan.seed so the links draw independent fault streams.
+  void set_fault_plan_all(const FaultPlan& plan);
+
+  /// Crash domain `domain` at time `at`: every link to or from it goes down
+  /// and (when `kill_running`) its running and holding jobs die.  At
+  /// `restart_at` (0 = never) the links come back and all domains re-run a
+  /// scheduling iteration.  Call before run().
+  void schedule_domain_crash(std::size_t domain, Time at, Time restart_at,
+                             bool kill_running = true);
+
+  /// Aggregate fault-injection accounting over all links.
+  FaultStats fault_stats() const;
+
   /// Enables per-job lifecycle logging into the returned shared log
   /// (idempotent).  Call before run().
   EventLog& enable_event_log();
@@ -82,6 +113,8 @@ class CoupledSim {
   ProtocolStats protocol_stats() const;
 
  private:
+  void check_invariants(SimResult& result, bool aborted) const;
+
   Engine engine_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   /// links_[from][to] (nullptr on the diagonal).

@@ -19,6 +19,7 @@ const char* to_string(JobEventKind k) {
     case JobEventKind::kHoldRelease: return "hold-release";
     case JobEventKind::kYield: return "yield";
     case JobEventKind::kFinish: return "finish";
+    case JobEventKind::kUnsyncStart: return "unsync-start";
   }
   return "?";
 }
@@ -29,7 +30,7 @@ JobEventKind parse_kind(const std::string& s) {
   for (auto k : {JobEventKind::kSubmit, JobEventKind::kReady,
                  JobEventKind::kStart, JobEventKind::kHold,
                  JobEventKind::kHoldRelease, JobEventKind::kYield,
-                 JobEventKind::kFinish})
+                 JobEventKind::kFinish, JobEventKind::kUnsyncStart})
     if (s == to_string(k)) return k;
   throw ParseError("event log: unknown event kind '" + s + "'");
 }

@@ -25,6 +25,9 @@ enum class JobEventKind : std::uint8_t {
   kHoldRelease = 4,  ///< forced release (deadlock breaker)
   kYield = 5,
   kFinish = 6,
+  /// Paired job started while a peer was unreachable (status `unknown`) —
+  /// the paper's fault-tolerance rule firing: start normally, don't wait.
+  kUnsyncStart = 7,
 };
 
 const char* to_string(JobEventKind k);

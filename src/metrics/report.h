@@ -44,6 +44,17 @@ struct SystemMetrics {
   Time makespan = 0;
   long long total_yields = 0;
   long long total_forced_releases = 0;
+
+  // -- degraded-mode accounting (filled by CoupledSim, not collect_metrics;
+  // nonzero only when transport faults occurred during the run) ----------
+  /// Scheduling decisions taken with a mate status of `unknown` because a
+  /// peer call failed (transport down, dropped, timed out, or corrupted).
+  long long unknown_status_decisions = 0;
+  /// Paired jobs that started without mate confirmation (§IV-C rule).
+  long long unsync_starts = 0;
+  /// Forced hold-releases of jobs whose decision path saw a transport
+  /// fault — loss-of-capability attributable to the fault, not the policy.
+  long long degraded_forced_releases = 0;
 };
 
 /// Collects metrics from a scheduler after a simulation ran to `end_time`.

@@ -18,15 +18,29 @@ void FramedChannel::write_frame(std::span<const std::uint8_t> payload) {
 
 std::optional<std::vector<std::uint8_t>> FramedChannel::read_frame() {
   std::array<std::uint8_t, 4> header;
-  if (!socket_.recv_exact(header)) return std::nullopt;
+  std::size_t got = 0;
+  switch (socket_.recv_exact_deadline(header, read_deadline_ms_, &got)) {
+    case RecvStatus::kEof: return std::nullopt;
+    case RecvStatus::kTimeout:
+      if (got > 0)
+        throw MidFrameTimeout("framed: deadline exceeded inside header");
+      throw TimeoutError("framed: receive deadline exceeded");
+    case RecvStatus::kData: break;
+  }
   const std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |
                           (static_cast<std::uint32_t>(header[1]) << 16) |
                           (static_cast<std::uint32_t>(header[2]) << 8) |
                           static_cast<std::uint32_t>(header[3]);
   if (n > kMaxFrame) throw Error("framed: oversize frame");
   std::vector<std::uint8_t> payload(n);
-  if (n > 0 && !socket_.recv_exact(payload))
-    throw Error("framed: EOF inside frame");
+  if (n > 0) {
+    switch (socket_.recv_exact_deadline(payload, read_deadline_ms_)) {
+      case RecvStatus::kEof: throw Error("framed: EOF inside frame");
+      case RecvStatus::kTimeout:
+        throw MidFrameTimeout("framed: receive deadline exceeded mid-frame");
+      case RecvStatus::kData: break;
+    }
+  }
   return payload;
 }
 

@@ -1,24 +1,78 @@
 // Blocking request/response endpoints binding the coordination protocol to
 // a framed stream channel — the live-daemon transport.
+//
+// Failure handling implements the paper's §IV-C rule mechanically: any
+// transport problem (hang, disconnect, garbage) surfaces to the caller as
+// nullopt ("remote unknown"), so Algorithm 1 starts the local job instead of
+// waiting.  Recovery is automatic: a circuit breaker fast-fails calls while
+// the remote is down and periodically probes (reconnecting through the
+// channel factory) until the remote answers again.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "net/framed.h"
 #include "proto/peer.h"
 #include "proto/service.h"
+#include "util/rng.h"
 
 namespace cosched {
 
+/// Bounded-retry policy for one protocol call.
+struct RetryConfig {
+  int max_attempts = 3;       ///< total tries per call (>= 1)
+  int base_backoff_ms = 10;   ///< sleep before the 2nd attempt
+  int max_backoff_ms = 500;   ///< exponential backoff ceiling
+  double jitter = 0.25;       ///< +/- fraction applied to each backoff
+};
+
+/// Circuit breaker guarding a flaky remote.
+struct BreakerConfig {
+  /// Consecutive *failed calls* (each already retried) that open the
+  /// breaker.  A lost channel with no reconnect path opens it immediately.
+  int failure_threshold = 3;
+  /// While open, calls fast-fail (nullopt) without touching the network
+  /// until this cooldown elapses; then one half-open probe is admitted.
+  int open_cooldown_ms = 200;
+};
+
+struct WirePeerConfig {
+  /// Per-attempt receive deadline (ms) for the response frame; also bounds
+  /// sends.  0 disables — only safe on loopback test links.
+  int call_deadline_ms = 2000;
+  RetryConfig retry;
+  BreakerConfig breaker;
+  /// Seed for backoff jitter (deterministic, per-peer stream).
+  std::uint64_t jitter_seed = 0x77199db5u;
+};
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* to_string(BreakerState s);
+
 /// Socket-backed PeerClient: one request in flight at a time (the protocol
 /// is strictly call/response).  Thread-safe; transport errors report as
-/// nullopt ("remote unknown") and mark the peer down, matching the paper's
-/// fault-tolerance rule that a job never waits on a dead remote.
+/// nullopt ("remote unknown") after bounded retries, matching the paper's
+/// fault-tolerance rule that a job never waits on a dead remote.  When
+/// constructed with a channel factory the peer re-establishes the
+/// connection on the next (half-open) probe after a failure.
 class WirePeer final : public PeerClient {
  public:
-  explicit WirePeer(FramedChannel channel) : channel_(std::move(channel)) {}
+  /// Returns a fresh connected channel, or nullopt if the remote is
+  /// unreachable right now.  Must not block unboundedly.
+  using ChannelFactory = std::function<std::optional<FramedChannel>()>;
+
+  explicit WirePeer(FramedChannel channel, WirePeerConfig config = {});
+
+  /// Reconnecting peer: dials lazily on first use and re-dials after
+  /// failures (half-open probes).
+  explicit WirePeer(ChannelFactory factory, WirePeerConfig config = {});
 
   std::optional<std::optional<JobId>> get_mate_job(GroupId group,
                                                    JobId asking) override;
@@ -26,18 +80,54 @@ class WirePeer final : public PeerClient {
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
 
-  bool healthy() const { return healthy_.load(); }
+  /// True while the breaker is closed (remote believed reachable).
+  bool healthy() const;
+  BreakerState breaker_state() const;
+
+  /// Degraded-mode accounting for metrics/reporting.
+  struct TransportStats {
+    std::uint64_t calls = 0;            ///< protocol calls issued
+    std::uint64_t failed_calls = 0;     ///< calls that returned nullopt
+    std::uint64_t attempts = 0;         ///< wire round-trips attempted
+    std::uint64_t retries = 0;          ///< attempts beyond the first
+    std::uint64_t timeouts = 0;         ///< attempts lost to the deadline
+    std::uint64_t reconnects = 0;       ///< successful factory re-dials
+    std::uint64_t breaker_opens = 0;    ///< closed/half-open -> open
+    std::uint64_t breaker_closes = 0;   ///< half-open probe succeeded
+    std::uint64_t fast_fails = 0;       ///< calls rejected while open
+  };
+  TransportStats stats() const;
 
  private:
   std::optional<Message> round_trip(const Message& req, MsgType expect);
+  /// One wire attempt on the current channel.  nullopt = transport failure
+  /// (the channel has been dropped).
+  std::optional<Message> attempt(const Message& req, MsgType expect);
+  bool ensure_channel();
+  void record_failure();
+  void record_success();
+  int backoff_ms(int attempt);
 
-  std::mutex mutex_;
-  FramedChannel channel_;
-  std::uint64_t next_rid_ = 1;
-  std::atomic<bool> healthy_{true};
+  mutable std::mutex mutex_;
+  WirePeerConfig config_;
+  ChannelFactory factory_;
+  std::optional<FramedChannel> channel_;
+  Rng jitter_rng_;
+  /// Atomic because requests are built (rid allocated) before round_trip
+  /// takes the peer mutex.
+  std::atomic<std::uint64_t> next_rid_{1};
+
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point open_until_{};
+
+  TransportStats stats_;
 };
 
-/// Serves protocol requests from one channel until EOF or error.
+/// Serves protocol requests from one channel until EOF or a fatal transport
+/// error.  Malformed payloads are answered with kErrorResp (the dispatcher's
+/// job); read deadlines configured on the channel are treated as "still
+/// idle", not as errors, so a quiet client never kills the loop.
 /// Runs on the caller's thread; intended for a dedicated server thread.
 void serve_channel(FramedChannel& channel, CoschedService& service);
 

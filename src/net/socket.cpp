@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/error.h"
@@ -13,9 +16,47 @@
 namespace cosched {
 
 namespace {
+
 [[noreturn]] void throw_errno(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
 }
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped at 0.
+int ms_remaining(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Waits for `events` on fd until `deadline`.  Returns false on expiry;
+/// throws Error on poll failure.
+bool poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int remaining = ms_remaining(deadline);
+    if (remaining == 0) return false;
+    const int n = ::poll(&p, 1, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (n > 0) return true;
+    // n == 0: poll timed out; loop recomputes remaining (returns false).
+  }
+}
+
+/// Installs a per-call kernel timeout as a backstop to the poll loop.
+void set_kernel_timeout(int fd, int option, int deadline_ms) {
+  timeval tv{};
+  if (deadline_ms > 0) {
+    tv.tv_sec = deadline_ms / 1000;
+    tv.tv_usec = (deadline_ms % 1000) * 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 Socket::~Socket() { close(); }
@@ -23,16 +64,14 @@ Socket::~Socket() { close(); }
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1));
   }
   return *this;
 }
 
 void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
 std::pair<Socket, Socket> Socket::pair() {
@@ -42,14 +81,26 @@ std::pair<Socket, Socket> Socket::pair() {
   return {Socket(fds[0]), Socket(fds[1])};
 }
 
+void Socket::set_send_deadline_ms(int deadline_ms) {
+  send_deadline_ms_ = deadline_ms;
+  if (valid()) set_kernel_timeout(fd_, SO_SNDTIMEO, deadline_ms);
+}
+
 void Socket::send_all(std::span<const std::uint8_t> data) {
   COSCHED_CHECK(valid());
+  const bool bounded = send_deadline_ms_ > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? send_deadline_ms_ : 0);
   std::size_t sent = 0;
   while (sent < data.size()) {
+    if (bounded && !poll_until(fd_, POLLOUT, deadline))
+      throw TimeoutError("send: deadline exceeded");
     const ssize_t n =
         ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK))
+        throw TimeoutError("send: deadline exceeded");
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -57,21 +108,48 @@ void Socket::send_all(std::span<const std::uint8_t> data) {
 }
 
 bool Socket::recv_exact(std::span<std::uint8_t> out) {
+  switch (recv_exact_deadline(out, /*deadline_ms=*/0)) {
+    case RecvStatus::kData: return true;
+    case RecvStatus::kEof: return false;
+    case RecvStatus::kTimeout: break;  // unreachable without a deadline
+  }
+  throw Error("recv: unexpected timeout without a deadline");
+}
+
+RecvStatus Socket::recv_exact_deadline(std::span<std::uint8_t> out,
+                                       int deadline_ms,
+                                       std::size_t* got_out) {
   COSCHED_CHECK(valid());
+  if (got_out != nullptr) *got_out = 0;
+  const bool bounded = deadline_ms > 0;
+  // The deadline covers the *whole* span: poll + SO_RCVTIMEO per recv alone
+  // would let a peer trickling one byte per interval hold the thread forever.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? deadline_ms : 0);
+  if (bounded != rcvtimeo_armed_) {
+    set_kernel_timeout(fd_, SO_RCVTIMEO, bounded ? deadline_ms : 0);
+    rcvtimeo_armed_ = bounded;
+  }
   std::size_t got = 0;
   while (got < out.size()) {
+    if (got_out != nullptr) *got_out = got;
+    if (bounded && !poll_until(fd_, POLLIN, deadline))
+      return RecvStatus::kTimeout;
     const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return RecvStatus::kTimeout;
       throw_errno("recv");
     }
     if (n == 0) {
-      if (got == 0) return false;  // clean EOF at boundary
+      if (got == 0) return RecvStatus::kEof;  // clean EOF at boundary
       throw Error("recv: connection closed mid-message");
     }
     got += static_cast<std::size_t>(n);
   }
-  return true;
+  if (got_out != nullptr) *got_out = got;
+  return RecvStatus::kData;
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -91,6 +169,11 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
     throw_errno("getsockname");
   port_ = ntohs(addr.sin_port);
+}
+
+void TcpListener::close() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_RDWR);
+  sock_.close();
 }
 
 Socket TcpListener::accept() {

@@ -6,6 +6,7 @@
 // tests exercise.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -14,6 +15,13 @@
 #include <vector>
 
 namespace cosched {
+
+/// Outcome of a deadline-bounded receive.
+enum class RecvStatus {
+  kData,     ///< the whole span was filled
+  kEof,      ///< clean EOF at a message boundary (0 bytes read)
+  kTimeout,  ///< the deadline expired before the span was filled
+};
 
 /// Owning wrapper around a socket file descriptor.
 class Socket {
@@ -24,26 +32,47 @@ class Socket {
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
-  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   Socket& operator=(Socket&& other) noexcept;
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  bool valid() const { return fd() >= 0; }
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
 
   /// Creates a connected pair of local stream sockets.
   static std::pair<Socket, Socket> pair();
 
-  /// Sends the whole buffer; throws Error on failure.
+  /// Sends the whole buffer; throws Error on failure and TimeoutError if a
+  /// deadline is set and the peer stops draining before it elapses.
   void send_all(std::span<const std::uint8_t> data);
 
   /// Receives exactly n bytes into out.  Returns false on clean EOF at a
   /// message boundary (0 bytes read); throws Error on partial EOF or error.
   bool recv_exact(std::span<std::uint8_t> out);
 
+  /// Deadline-bounded receive: like recv_exact but gives up after
+  /// `deadline_ms` milliseconds measured across the whole span (poll-based,
+  /// so a peer trickling one byte per interval cannot extend it forever).
+  /// deadline_ms <= 0 blocks indefinitely.  Timeouts are reported as a
+  /// status, never an exception — a hung remote maps to "remote unknown",
+  /// not a dead serve loop.  `got_out` (optional) receives the number of
+  /// bytes consumed, letting framing layers tell an idle boundary timeout
+  /// (0 bytes) from a desynchronizing partial read.
+  RecvStatus recv_exact_deadline(std::span<std::uint8_t> out, int deadline_ms,
+                                 std::size_t* got_out = nullptr);
+
+  /// Deadline applied by send_all (milliseconds; <= 0 = block forever).
+  /// Also installs SO_SNDTIMEO as a backstop for the final send call.
+  void set_send_deadline_ms(int deadline_ms);
+
   void close();
 
  private:
-  int fd_ = -1;
+  /// Atomic so close() from one thread (waking a peer blocked in accept or
+  /// recv via shutdown) is not a data race with the blocked thread's fd
+  /// reads.  Single-writer otherwise; relaxed ordering suffices.
+  std::atomic<int> fd_{-1};
+  int send_deadline_ms_ = 0;
+  bool rcvtimeo_armed_ = false;  ///< SO_RCVTIMEO currently installed
 };
 
 /// Listening TCP socket bound to 127.0.0.1.
@@ -57,6 +86,12 @@ class TcpListener {
 
   /// Blocks until a client connects.
   Socket accept();
+
+  /// Closes the listening socket; a blocked accept() fails with Error.
+  /// Lets another thread shut an accept loop down (daemon crash/restart).
+  /// The socket is shut down before closing: on Linux, plain close() leaves
+  /// a concurrently blocked accept() sleeping forever.
+  void close();
 
  private:
   Socket sock_;

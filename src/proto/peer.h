@@ -60,42 +60,4 @@ class LoopbackPeer final : public PeerClient {
   std::uint64_t response_bytes_ = 0;
 };
 
-/// Wraps another peer and injects failures: while `down` (or with probability
-/// `failure_rate`), every call reports transport failure.  Models the paper's
-/// fault-tolerance scenarios: remote system down, mate job failed.
-class FaultInjectingPeer final : public PeerClient {
- public:
-  explicit FaultInjectingPeer(std::unique_ptr<PeerClient> inner)
-      : inner_(std::move(inner)) {}
-
-  void set_down(bool down) { down_ = down; }
-  bool down() const { return down_; }
-
-  /// The wrapped transport (for statistics inspection).
-  PeerClient& inner() { return *inner_; }
-  const PeerClient& inner() const { return *inner_; }
-
-  std::optional<std::optional<JobId>> get_mate_job(GroupId group,
-                                                   JobId asking) override {
-    if (down_) return std::nullopt;
-    return inner_->get_mate_job(group, asking);
-  }
-  std::optional<MateStatus> get_mate_status(JobId mate) override {
-    if (down_) return std::nullopt;
-    return inner_->get_mate_status(mate);
-  }
-  std::optional<bool> try_start_mate(JobId mate) override {
-    if (down_) return std::nullopt;
-    return inner_->try_start_mate(mate);
-  }
-  std::optional<bool> start_job(JobId job) override {
-    if (down_) return std::nullopt;
-    return inner_->start_job(job);
-  }
-
- private:
-  std::unique_ptr<PeerClient> inner_;
-  bool down_ = false;
-};
-
 }  // namespace cosched

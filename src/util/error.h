@@ -30,6 +30,14 @@ class InvariantError : public Error {
   explicit InvariantError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a bounded I/O operation exceeds its deadline.  Callers on the
+/// client path translate this to "remote unknown" (nullopt); the server loop
+/// treats it as "keep waiting", never as a fatal transport error.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

@@ -136,6 +136,224 @@ TEST(Fault, FailureStormLeavesSystemConsistent) {
   }
 }
 
+// -- FaultPlan: seedable chaos schedules ------------------------------------
+
+/// Stub peer that always answers; counts delivered calls.
+class CountingPeer final : public PeerClient {
+ public:
+  int calls = 0;
+  std::optional<std::optional<JobId>> get_mate_job(GroupId, JobId) override {
+    ++calls;
+    return std::optional<std::optional<JobId>>(std::in_place, 42);
+  }
+  std::optional<MateStatus> get_mate_status(JobId) override {
+    ++calls;
+    return MateStatus::kHolding;
+  }
+  std::optional<bool> try_start_mate(JobId) override {
+    ++calls;
+    return true;
+  }
+  std::optional<bool> start_job(JobId) override {
+    ++calls;
+    return true;
+  }
+};
+
+TEST(FaultPlan, DefaultPlanIsTransparent) {
+  auto inner = std::make_unique<CountingPeer>();
+  auto* counting = inner.get();
+  FaultInjectingPeer peer(std::move(inner));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(peer.get_mate_status(1), MateStatus::kHolding);
+  EXPECT_EQ(counting->calls, 10);
+  EXPECT_EQ(peer.stats().delivered, 10u);
+  EXPECT_EQ(peer.stats().failed(), 0u);
+}
+
+TEST(FaultPlan, FullDropBlocksEverything) {
+  FaultInjectingPeer peer(std::make_unique<CountingPeer>());
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  peer.set_plan(plan);
+  EXPECT_EQ(peer.get_mate_job(1, 2), std::nullopt);
+  EXPECT_EQ(peer.get_mate_status(1), std::nullopt);
+  EXPECT_EQ(peer.try_start_mate(1), std::nullopt);
+  EXPECT_EQ(peer.start_job(1), std::nullopt);
+  EXPECT_EQ(peer.stats().dropped, 4u);
+  EXPECT_EQ(peer.stats().delivered, 0u);
+}
+
+TEST(FaultPlan, CorruptionDeliversButAnswersUnknown) {
+  auto inner = std::make_unique<CountingPeer>();
+  auto* counting = inner.get();
+  FaultInjectingPeer peer(std::move(inner));
+  FaultPlan plan;
+  plan.corrupt_probability = 1.0;
+  peer.set_plan(plan);
+  // The remote processes the call (partial failure) but the caller cannot
+  // read the reply -> unknown.
+  EXPECT_EQ(peer.try_start_mate(7), std::nullopt);
+  EXPECT_EQ(counting->calls, 1);
+  EXPECT_EQ(peer.stats().corrupted, 1u);
+}
+
+TEST(FaultPlan, LatencyPastDeadlineTimesOut) {
+  FaultInjectingPeer peer(std::make_unique<CountingPeer>());
+  FaultPlan plan;
+  plan.latency_base = 200;
+  plan.rpc_deadline = 100;
+  peer.set_plan(plan);
+  EXPECT_EQ(peer.get_mate_status(1), std::nullopt);
+  EXPECT_EQ(peer.stats().timed_out, 1u);
+
+  // Within the deadline the call goes through and latency is accounted.
+  plan.rpc_deadline = 300;
+  peer.set_plan(plan);
+  EXPECT_EQ(peer.get_mate_status(1), MateStatus::kHolding);
+  EXPECT_EQ(peer.stats().total_latency, 200u);
+}
+
+TEST(FaultPlan, SameSeedSameFaultSequence) {
+  auto sequence = [](std::uint64_t seed) {
+    FaultInjectingPeer peer(std::make_unique<CountingPeer>());
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_probability = 0.5;
+    peer.set_plan(plan);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i)
+      outcomes.push_back(peer.get_mate_status(1).has_value());
+    return outcomes;
+  };
+  EXPECT_EQ(sequence(11), sequence(11));
+  EXPECT_NE(sequence(11), sequence(12));  // 2^-64 flake odds
+}
+
+TEST(FaultPlan, HundredPercentDropReproducesRemoteDownBehavior) {
+  // Acceptance criterion: a 100%-drop plan must reproduce the set_down
+  // expectations — unknown => immediate uncoordinated start, zero held
+  // node-seconds, clean invariants.
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 0, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  sim.set_fault_plan_all(plan);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok())
+      << (r.invariants.violations.empty() ? ""
+                                          : r.invariants.violations.front());
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);
+  EXPECT_EQ(find_job(sim, 1, 10).start, 0);
+  EXPECT_DOUBLE_EQ(sim.cluster(0).scheduler().pool().held_node_seconds(), 0.0);
+  // Degraded accounting saw it all: every decision ran on unknown status and
+  // both starts were unsynchronized.
+  EXPECT_GT(r.systems[0].unknown_status_decisions, 0);
+  EXPECT_EQ(r.systems[0].unsync_starts, 1);
+  EXPECT_EQ(r.systems[1].unsync_starts, 1);
+  EXPECT_GT(sim.fault_stats().dropped, 0u);
+  EXPECT_EQ(sim.fault_stats().delivered, 0u);
+}
+
+TEST(FaultPlan, OutageWindowDegradesThenResynchronizes) {
+  // Scheduled-window version of LinkRecoveryRestoresCoscheduling: group 7
+  // falls inside the outage and runs uncoordinated; group 8 arrives after
+  // the window and co-starts.
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 300, 50, 7));
+  b.add(job(10, 0, 300, 30, 7));
+  a.add(job(2, 5000, 600, 50, 8));
+  b.add(job(20, 5400, 600, 30, 8));
+  CoupledSim sim(specs, {a, b});
+  FaultPlan plan;
+  plan.outages.push_back({0, 4000});
+  sim.set_fault_plan(0, 1, plan);
+  sim.set_fault_plan(1, 0, plan);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok());
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);  // uncoordinated inside window
+  EXPECT_EQ(find_job(sim, 0, 2).start, find_job(sim, 1, 20).start);
+  EXPECT_EQ(find_job(sim, 0, 2).start, 5400);
+  EXPECT_GT(sim.fault_stats().outage_blocked, 0u);
+}
+
+TEST(FaultPlan, FlappingLinkStillCompletes) {
+  // Link down half of every 200 s; the workload must drain regardless, with
+  // at least some calls blocked and some delivered.
+  auto specs = two_domains(kYY);
+  Trace a, b;
+  GroupId g = 1;
+  for (int i = 1; i <= 20; ++i) {
+    a.add(job(i, i * 300, 600, 20, g));
+    b.add(job(100 + i, i * 300 + 30, 600, 10, g));
+    ++g;
+  }
+  CoupledSim sim(specs, {a, b});
+  FaultPlan plan;
+  plan.flap_period = 200;
+  plan.flap_down_for = 100;
+  sim.set_fault_plan_all(plan);
+  const SimResult r = sim.run(60 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok());
+  EXPECT_GT(sim.fault_stats().outage_blocked, 0u);
+  EXPECT_GT(sim.fault_stats().delivered, 0u);
+}
+
+TEST(FaultPlan, RetryBackoffReschedulesIteration) {
+  // With retry_backoff set, a failed call wakes the calling domain again
+  // after the backoff, so recovery is noticed without new job traffic.
+  auto specs = two_domains(kHH);
+  specs[0].cosched.hold_release_period = 0;  // isolate the retry path
+  specs[1].cosched.hold_release_period = 0;
+  Trace a, b;
+  a.add(job(1, 0, 300, 50, 7));
+  b.add(job(10, 0, 300, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  FaultPlan plan;
+  plan.outages.push_back({0, 1000});
+  plan.retry_backoff = 250;
+  sim.set_fault_plan(0, 1, plan);
+  sim.set_fault_plan(1, 0, plan);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok());
+}
+
+TEST(FaultPlan, DomainCrashKillsJobsAndRestartResynchronizes) {
+  auto specs = two_domains(kHH);
+  Trace a, b;
+  a.add(job(1, 0, 3000, 50, 7));   // co-starts at 0, survives the crash
+  b.add(job(10, 0, 3000, 30, 7));  // dies with beta at t=1000
+  a.add(job(3, 2000, 600, 20, 9));  // submitted mid-crash: degraded start
+  b.add(job(30, 2000, 600, 20, 9));
+  a.add(job(2, 6000, 600, 50, 8));  // submitted after restart: co-starts
+  b.add(job(20, 6000, 600, 30, 8));
+  CoupledSim sim(specs, {a, b});
+  sim.schedule_domain_crash(/*domain=*/1, /*at=*/1000, /*restart_at=*/5000);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok())
+      << (r.invariants.violations.empty() ? ""
+                                          : r.invariants.violations.front());
+  EXPECT_EQ(find_job(sim, 0, 1).start, 0);
+  EXPECT_EQ(find_job(sim, 1, 10).start, 0);
+  EXPECT_EQ(find_job(sim, 1, 10).end, 1000);  // killed by the crash
+  EXPECT_EQ(find_job(sim, 0, 1).end, 3000);   // survivor runs to term
+  // Group 9 arrived while beta was unreachable: both members start via the
+  // unknown rule instead of waiting for the restart.
+  EXPECT_EQ(find_job(sim, 0, 3).start, 2000);
+  EXPECT_GT(sim.fault_stats().outage_blocked, 0u);
+  EXPECT_GT(r.systems[0].unsync_starts + r.systems[1].unsync_starts, 0);
+  EXPECT_EQ(find_job(sim, 0, 2).start, find_job(sim, 1, 20).start);
+}
+
 TEST(Fault, ProtocolFailureDuringTryStartIsNonFatal) {
   // Link goes down between the status query and later interactions; the
   // pair still completes once the link is back (or runs uncoordinated).

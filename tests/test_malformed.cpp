@@ -1,0 +1,184 @@
+// Malformed-wire corpus: a misbehaving or corrupted peer must never crash a
+// daemon (`serve_channel` survives or exits cleanly) and must surface to the
+// client as "remote unknown", never as an unhandled exception.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/rpc.h"
+#include "proto/message.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cosched {
+namespace {
+
+class StubService : public CoschedService {
+ public:
+  std::optional<JobId> get_mate_job(GroupId, JobId) override { return 7; }
+  MateStatus get_mate_status(JobId) override { return MateStatus::kQueuing; }
+  bool try_start_mate(JobId) override { return true; }
+  bool start_job(JobId) override { return true; }
+};
+
+// -- Message::decode ---------------------------------------------------------
+
+TEST(MalformedWire, DecodeEmptyInput) {
+  EXPECT_THROW(Message::decode({}), ParseError);
+}
+
+TEST(MalformedWire, DecodeUnknownType) {
+  auto bytes = make_get_mate_status_req(1, 5).encode();
+  bytes[0] = 200;  // type tag is the first byte
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(MalformedWire, DecodeEveryTruncation) {
+  // Every strict prefix of a valid encoding must raise ParseError, and the
+  // full encoding must round-trip.
+  const Message original = make_get_mate_job_req(77, 123456789, 987654321);
+  const auto bytes = original.encode();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(Message::decode(std::span(bytes.data(), n)), ParseError)
+        << "prefix length " << n << " parsed successfully";
+  }
+  EXPECT_EQ(Message::decode(bytes), original);
+}
+
+TEST(MalformedWire, DecodeTrailingBytes) {
+  auto bytes = make_try_start_mate_resp(3, true).encode();
+  bytes.push_back(0x00);
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(MalformedWire, DecodeBadStatusValue) {
+  auto bytes = make_get_mate_status_resp(4, MateStatus::kHolding).encode();
+  bytes.back() = 99;  // status is the last varint field; 99 is out of range
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
+TEST(MalformedWire, DecodeRandomFuzzNeverCrashes) {
+  // Deterministic fuzz: every input either parses or throws ParseError —
+  // nothing else escapes.
+  Rng rng(0xc0ffee);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)Message::decode(bytes);
+    } catch (const ParseError&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+TEST(MalformedWire, DecodeMutatedValidMessagesNeverCrash) {
+  // Single-byte mutations of valid encodings — the corruption shape a flaky
+  // link actually produces.
+  Rng rng(0xdecade);
+  const Message seeds[] = {
+      make_get_mate_job_req(1, 10, 20), make_get_mate_job_resp(2, 30),
+      make_get_mate_status_resp(3, MateStatus::kRunning),
+      make_start_job_resp(4, true), make_error_resp(5, "boom")};
+  for (const Message& seed : seeds) {
+    const auto clean = seed.encode();
+    for (int iter = 0; iter < 400; ++iter) {
+      auto bytes = clean;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<std::uint8_t>(rng.next());
+      try {
+        (void)Message::decode(bytes);
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+// -- serve_channel ----------------------------------------------------------
+
+TEST(MalformedWire, ServerAnswersErrorRespToGarbagePayloadAndSurvives) {
+  StubService service;
+  auto [client_sock, server_sock] = Socket::pair();
+  std::thread server([&service,
+                      s = std::make_shared<Socket>(
+                          std::move(server_sock))]() mutable {
+    FramedChannel ch(std::move(*s));
+    serve_channel(ch, service);
+  });
+  {
+    FramedChannel client(std::move(client_sock));
+
+    // Well-framed garbage payload: the dispatcher answers kErrorResp.
+    const std::uint8_t garbage[] = {0xde, 0xad, 0xbe, 0xef};
+    client.write_frame(garbage);
+    const auto resp = client.read_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(Message::decode(*resp).type, MsgType::kErrorResp);
+
+    // The server kept serving: a valid request still gets a valid answer.
+    client.write_frame(make_get_mate_status_req(8, 5).encode());
+    const auto ok = client.read_frame();
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(Message::decode(*ok).status, MateStatus::kQueuing);
+  }  // channel closes -> EOF ends the serve loop
+  server.join();
+}
+
+TEST(MalformedWire, ServerExitsCleanlyOnOversizeHeader) {
+  StubService service;
+  auto [client_sock, server_sock] = Socket::pair();
+  std::thread server([&service,
+                      s = std::make_shared<Socket>(
+                          std::move(server_sock))]() mutable {
+    FramedChannel ch(std::move(*s));
+    serve_channel(ch, service);  // must return, not crash
+  });
+  // Header claiming a 256 MiB frame (far over kMaxFrame).
+  const std::uint8_t header[] = {0x10, 0x00, 0x00, 0x00};
+  client_sock.send_all(header);
+  server.join();  // serve loop rejected the frame and exited
+}
+
+TEST(MalformedWire, ServerExitsCleanlyOnTruncatedFrame) {
+  StubService service;
+  auto [client_sock, server_sock] = Socket::pair();
+  std::thread server([&service,
+                      s = std::make_shared<Socket>(
+                          std::move(server_sock))]() mutable {
+    FramedChannel ch(std::move(*s));
+    serve_channel(ch, service);
+  });
+  // Promise 100 payload bytes, deliver 3, hang up mid-frame.
+  const std::uint8_t header[] = {0x00, 0x00, 0x00, 0x64};
+  const std::uint8_t partial[] = {0x01, 0x02, 0x03};
+  client_sock.send_all(header);
+  client_sock.send_all(partial);
+  client_sock.close();
+  server.join();  // EOF inside frame -> clean exit
+}
+
+TEST(MalformedWire, ClientDegradesToUnknownOnGarbageReply) {
+  // A "server" that answers every request with a garbage frame: WirePeer
+  // must map that to nullopt (unknown), not throw.
+  auto [client_sock, server_sock] = Socket::pair();
+  std::thread server(
+      [s = std::make_shared<Socket>(std::move(server_sock))]() mutable {
+        FramedChannel ch(std::move(*s));
+        while (auto frame = ch.read_frame()) {
+          const std::uint8_t junk[] = {0xff, 0xff, 0xff};
+          ch.write_frame(junk);
+        }
+      });
+  WirePeerConfig cfg;
+  cfg.retry.max_attempts = 1;
+  auto peer =
+      std::make_unique<WirePeer>(FramedChannel(std::move(client_sock)), cfg);
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);
+  peer.reset();
+  server.join();
+}
+
+}  // namespace
+}  // namespace cosched

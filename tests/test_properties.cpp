@@ -241,6 +241,35 @@ TEST(DeterminismGuard, RepeatedRunsAreBitIdentical) {
   EXPECT_EQ(run_fp(), run_fp());
 }
 
+TEST(DeterminismGuard, ChaosRunsWithSameFaultSeedAreBitIdentical) {
+  // Deterministic chaos: an identical FaultPlan seed must reproduce the
+  // identical SimResult, faults included.  Different seeds draw different
+  // fault sequences, which (at 20% drop) perturbs the schedule.
+  auto run_fp = [](std::uint64_t fault_seed) {
+    SynthParams pa;
+    pa.span = 1 * kDay;
+    pa.offered_load = 0.7;
+    pa.seed = 7;
+    Trace a = generate_trace(eureka_model(), pa);
+    pa.seed = 8;
+    Trace b = generate_trace(eureka_model(), pa);
+    for (auto& j : b.jobs()) j.id += 1000000;
+    pair_by_proportion(a, b, 0.2, 11);
+    auto specs = make_coupled_specs("a", 100, "b", 100, kHY);
+    CoupledSim sim(specs, {a, b});
+    FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.drop_probability = 0.2;
+    sim.set_fault_plan_all(plan);
+    const SimResult r = sim.run(120 * kDay);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.invariants.ok());
+    return determinism::fingerprint(sim);
+  };
+  EXPECT_EQ(run_fp(3), run_fp(3));
+  EXPECT_NE(run_fp(3), run_fp(4));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SchemeLoadProportion, CoschedSweep,
     ::testing::Values(

@@ -96,6 +96,139 @@ TEST(WireRpc, ServerGoneMeansUnknownNotCrash) {
   EXPECT_EQ(peer->try_start_mate(1), std::nullopt);
 }
 
+TEST(WireRpc, HungServerTimesOutInsteadOfBlocking) {
+  // The far end accepts the connection but never answers: the call must
+  // come back as unknown within the deadline, not hang the caller.
+  auto [client_sock, server_sock] = Socket::pair();
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 100;
+  cfg.retry.max_attempts = 1;
+  WirePeer peer(FramedChannel(std::move(client_sock)), cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(peer.get_mate_status(1), std::nullopt);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(peer.stats().timeouts, 1u);
+  // A timed-out reply may still arrive later and desync the stream, so the
+  // channel is abandoned; with no factory to re-dial, the breaker opens
+  // immediately rather than burning the remaining threshold.
+  EXPECT_FALSE(peer.healthy());
+  (void)server_sock;  // held open: the "hung" remote
+}
+
+TEST(WireRpc, BreakerOpensFastFailsProbesAndCloses) {
+  FakeService service;
+  service.statuses[1] = MateStatus::kQueuing;
+  std::atomic<bool> good{false};
+  std::vector<std::thread> servers;
+
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 2000;
+  cfg.retry.max_attempts = 1;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.open_cooldown_ms = 30;
+  auto peer = std::make_unique<WirePeer>(
+      [&]() -> std::optional<FramedChannel> {
+        auto [c, s] = Socket::pair();
+        if (good) {
+          servers.emplace_back(
+              [&service, sp = std::make_shared<Socket>(std::move(s))]() mutable {
+                FramedChannel ch(std::move(*sp));
+                serve_channel(ch, service);
+              });
+        }
+        // When !good the server end drops here: instant EOF, like a daemon
+        // that died between accept and serve.
+        return FramedChannel(std::move(c));
+      },
+      cfg);
+
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);  // failure 1
+  EXPECT_EQ(peer->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);  // failure 2 -> open
+  EXPECT_EQ(peer->breaker_state(), BreakerState::kOpen);
+  EXPECT_FALSE(peer->healthy());
+
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);  // inside cooldown
+  EXPECT_GE(peer->stats().fast_fails, 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(peer->get_mate_status(1), std::nullopt);  // probe fails
+  EXPECT_EQ(peer->breaker_state(), BreakerState::kOpen);
+
+  good = true;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(peer->get_mate_status(1), MateStatus::kQueuing);  // probe heals
+  EXPECT_TRUE(peer->healthy());
+  EXPECT_EQ(peer->breaker_state(), BreakerState::kClosed);
+  EXPECT_GE(peer->stats().breaker_opens, 2u);
+  EXPECT_GE(peer->stats().breaker_closes, 1u);
+
+  peer.reset();  // close the live channel so the serve thread sees EOF
+  for (auto& t : servers) t.join();
+}
+
+TEST(WireRpc, RestartedServerIsRediscovered) {
+  // Regression for the sticky healthy_ flag: a daemon crash must not mark
+  // the peer down for the life of the process.  After the daemon restarts
+  // (same port), the breaker probe reconnects and service resumes.
+  FakeService service;
+  service.statuses[9] = MateStatus::kHolding;
+
+  auto listener = std::make_unique<TcpListener>(0);
+  const std::uint16_t port = listener->port();
+  // First incarnation: answers exactly one request, then "crashes" (socket
+  // and listener closed below).
+  std::thread first([&service, l = listener.get()] {
+    Socket s = l->accept();
+    FramedChannel ch(std::move(s));
+    ServiceDispatcher d(service);
+    if (auto f = ch.read_frame()) ch.write_frame(d.dispatch(*f));
+  });
+
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 2000;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.base_backoff_ms = 1;
+  cfg.breaker.failure_threshold = 1;
+  cfg.breaker.open_cooldown_ms = 30;
+  auto peer = std::make_unique<WirePeer>(
+      [port]() -> std::optional<FramedChannel> {
+        try {
+          return FramedChannel(tcp_connect(port));
+        } catch (const std::exception&) {
+          return std::nullopt;  // daemon down: nothing listening
+        }
+      },
+      cfg);
+
+  EXPECT_EQ(peer->get_mate_status(9), MateStatus::kHolding);
+  EXPECT_TRUE(peer->healthy());
+
+  first.join();
+  listener->close();  // daemon fully gone: connects are refused
+
+  EXPECT_EQ(peer->get_mate_status(9), std::nullopt);
+  EXPECT_FALSE(peer->healthy());
+
+  // Daemon restarts on the same port.
+  listener = std::make_unique<TcpListener>(port);
+  std::thread second([&service, l = listener.get()] {
+    Socket s = l->accept();
+    FramedChannel ch(std::move(s));
+    serve_channel(ch, service);
+  });
+
+  // After the open cooldown the next call probes, reconnects, and heals.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(peer->get_mate_status(9), MateStatus::kHolding);
+  EXPECT_TRUE(peer->healthy());
+  EXPECT_GE(peer->stats().reconnects, 2u);  // initial dial + rediscovery
+
+  peer.reset();
+  second.join();
+}
+
 TEST(WireRpc, ConcurrentClientsSerialized) {
   Harness h;
   h.service.statuses[5] = MateStatus::kQueuing;

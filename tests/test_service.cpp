@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "core/fault.h"
 #include "proto/peer.h"
 #include "util/error.h"
 
