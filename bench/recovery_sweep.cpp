@@ -1,0 +1,263 @@
+// Recovery sweep: kill-anywhere crash/replay gate + MTTR figures.
+//
+// For every scheme combo (HH/HY/YH/YY) x compaction setting, the harness
+// first runs an uncrashed journaled baseline, then re-runs the identical
+// workload and crashes one domain in-process at seeded points spread across
+// the baseline's committed journal (alternating which domain dies).  Each
+// crashed run must replay back to the *exact* baseline outcome:
+//   * run completes and the invariant checker is clean,
+//   * the per-job (start, end, yields, forced releases) fingerprint and the
+//     simulation end time equal the baseline's.
+// Any divergence fails the bench (nonzero exit), making this the
+// crash-consistency regression gate next to the figure harnesses.  The
+// reported metrics are the recovery costs: MTTR (wall-clock wipe+replay
+// time) and replay throughput in records/s and MB/s.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+#include "common.h"
+#include "workload/pairing.h"
+#include "workload/synth.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+namespace {
+
+/// Crash points as fractions of the baseline's final committed sequence
+/// number; odd indices kill the other domain.
+constexpr double kCrashFractions[] = {0.20, 0.50, 0.85};
+
+struct SweepCase {
+  std::string label;
+  SchemeCombo combo = kHH;
+  std::uint64_t compact_every = 0;  ///< 0 = never compact (pure WAL replay)
+};
+
+/// Everything one (case, seed) unit produces: the baseline plus one crashed
+/// run per fraction, already checked against each other.
+struct UnitOutcome {
+  RunningStats mttr_ms;
+  RunningStats replay_records;
+  RunningStats records_per_sec;
+  RunningStats mb_per_sec;
+  RunningStats journal_kb;  ///< intact bytes scanned at recovery
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::size_t crashes = 0;
+  std::size_t fingerprint_mismatches = 0;
+  std::size_t invariant_violations = 0;
+  std::size_t incomplete = 0;
+  std::size_t recovery_missing = 0;  ///< trigger never fired
+};
+
+/// FNV-1a over the sorted per-job outcome tuples of both domains — the same
+/// fingerprint tests/test_recovery.cpp pins, so the bench and the unit
+/// suite gate on one definition of "identical result".
+std::uint64_t fingerprint(CoupledSim& sim) {
+  struct Rec {
+    JobId id;
+    Time start, end;
+    int yields, releases;
+  };
+  std::vector<Rec> recs;
+  for (std::size_t d = 0; d < sim.size(); ++d) {
+    sim.cluster(d).scheduler().for_each_job(
+        [&](JobId id, const RuntimeJob& j) {
+          recs.push_back(
+              Rec{id, j.start, j.end, j.yield_count, j.forced_releases});
+        });
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Rec& a, const Rec& b) { return a.id < b.id; });
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Rec& r : recs) {
+    mix(static_cast<std::uint64_t>(r.id));
+    mix(static_cast<std::uint64_t>(r.start));
+    mix(static_cast<std::uint64_t>(r.end));
+    mix(static_cast<std::uint64_t>(r.yields));
+    mix(static_cast<std::uint64_t>(r.releases));
+  }
+  return h;
+}
+
+struct Workload {
+  std::vector<DomainSpec> specs;
+  std::vector<Trace> traces;
+};
+
+/// Two coupled 100-node domains, ~2 simulated days, 20% paired — identical
+/// generation for the baseline and every crashed re-run of a (case, seed).
+Workload make_workload(SchemeCombo combo, std::uint64_t seed) {
+  SynthParams pa;
+  pa.span = static_cast<Duration>(2 * kDay * scale());
+  pa.offered_load = 0.7;
+  pa.seed = 100 + seed;
+  Trace a = generate_trace(eureka_model(), pa);
+  pa.seed = 200 + seed;
+  Trace b = generate_trace(eureka_model(), pa);
+  for (auto& j : b.jobs()) j.id += 1000000;
+  pair_by_proportion(a, b, 0.20, 11 + seed);
+  Workload w;
+  w.specs = make_coupled_specs("alpha", 100, "beta", 100, combo);
+  w.traces = {std::move(a), std::move(b)};
+  return w;
+}
+
+UnitOutcome run_unit(const SweepCase& c, std::uint64_t seed) {
+  UnitOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Uncrashed baseline: the ground truth every crashed run must replay to.
+  const Workload w = make_workload(c.combo, seed);
+  std::uint64_t base_fp = 0;
+  Time base_end = 0;
+  std::uint64_t base_seq[2] = {0, 0};
+  {
+    CoupledSim sim(w.specs, w.traces);
+    sim.enable_journaling(c.compact_every);
+    const SimResult r = sim.run(120 * kDay);
+    out.events += sim.engine().executed();
+    if (!r.completed) ++out.incomplete;
+    out.invariant_violations += r.invariants.violations.size();
+    base_fp = fingerprint(sim);
+    base_end = r.end_time;
+    base_seq[0] = sim.journal(0).last_committed_seq();
+    base_seq[1] = sim.journal(1).last_committed_seq();
+  }
+
+  for (std::size_t fi = 0; fi < std::size(kCrashFractions); ++fi) {
+    const std::size_t domain = fi % 2;
+    const std::uint64_t at_seq = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(kCrashFractions[fi] *
+                                      static_cast<double>(base_seq[domain])));
+    CoupledSim sim(w.specs, w.traces);
+    sim.enable_journaling(c.compact_every);
+    sim.schedule_crash_recovery(domain, at_seq);
+    const SimResult r = sim.run(120 * kDay);
+    out.events += sim.engine().executed();
+    ++out.crashes;
+    if (!r.completed) ++out.incomplete;
+    out.invariant_violations += r.invariants.violations.size();
+    if (fingerprint(sim) != base_fp || r.end_time != base_end)
+      ++out.fingerprint_mismatches;
+    const auto& rec = sim.last_recovery(domain);
+    if (!rec.has_value()) {
+      ++out.recovery_missing;
+      continue;
+    }
+    out.mttr_ms.add(rec->replay_seconds * 1e3);
+    out.replay_records.add(static_cast<double>(rec->records_replayed));
+    out.journal_kb.add(static_cast<double>(rec->bytes_scanned) / 1024.0);
+    if (rec->replay_seconds > 0.0) {
+      out.records_per_sec.add(static_cast<double>(rec->records_replayed) /
+                              rec->replay_seconds);
+      out.mb_per_sec.add(static_cast<double>(rec->bytes_scanned) /
+                         (1024.0 * 1024.0) / rec->replay_seconds);
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Recovery sweep",
+               "kill-anywhere crash/replay equivalence gate + MTTR");
+
+  std::vector<SweepCase> cases;
+  for (const SchemeCombo& combo : kAllCombos) {
+    for (std::uint64_t compact : {std::uint64_t{0}, std::uint64_t{128}}) {
+      SweepCase c;
+      c.combo = combo;
+      c.compact_every = compact;
+      c.label = std::string(combo.label) + "/" +
+                (compact == 0 ? "wal-only"
+                              : "compact=" + std::to_string(compact));
+      cases.push_back(std::move(c));
+    }
+  }
+
+  const std::size_t n_runs = static_cast<std::size_t>(runs());
+  std::vector<std::vector<UnitOutcome>> outcomes(
+      cases.size(), std::vector<UnitOutcome>(n_runs));
+  parallel_for(cases.size() * n_runs, [&](std::size_t i) {
+    const std::size_t ci = i / n_runs;
+    const std::uint64_t seed = i % n_runs;
+    outcomes[ci][seed] = run_unit(cases[ci], seed);
+  });
+
+  Table table({"case", "crashes", "mttr (ms)", "replayed", "records/s",
+               "MB/s", "journal (KB)"});
+  BenchJsonFile json("recovery");
+  std::size_t total_crashes = 0, total_mismatches = 0, total_violations = 0;
+  std::size_t total_incomplete = 0, total_missing = 0;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    // Merge the seeds in deterministic order.
+    UnitOutcome acc;
+    for (const UnitOutcome& o : outcomes[ci]) {
+      acc.mttr_ms.merge(o.mttr_ms);
+      acc.replay_records.merge(o.replay_records);
+      acc.records_per_sec.merge(o.records_per_sec);
+      acc.mb_per_sec.merge(o.mb_per_sec);
+      acc.journal_kb.merge(o.journal_kb);
+      acc.wall_seconds += o.wall_seconds;
+      acc.events += o.events;
+      acc.crashes += o.crashes;
+      acc.fingerprint_mismatches += o.fingerprint_mismatches;
+      acc.invariant_violations += o.invariant_violations;
+      acc.incomplete += o.incomplete;
+      acc.recovery_missing += o.recovery_missing;
+    }
+    table.add_row({cases[ci].label, std::to_string(acc.crashes),
+                   format_double(acc.mttr_ms.mean(), 3),
+                   format_double(acc.replay_records.mean(), 1),
+                   format_double(acc.records_per_sec.mean(), 0),
+                   format_double(acc.mb_per_sec.mean(), 1),
+                   format_double(acc.journal_kb.mean(), 1)});
+    json.add_case(
+        cases[ci].label, acc.wall_seconds, acc.events,
+        {{"mttr_ms", acc.mttr_ms.mean(), acc.mttr_ms.stddev()},
+         {"replay_records", acc.replay_records.mean(),
+          acc.replay_records.stddev()},
+         {"replay_records_per_sec", acc.records_per_sec.mean(),
+          acc.records_per_sec.stddev()},
+         {"replay_mb_per_sec", acc.mb_per_sec.mean(), acc.mb_per_sec.stddev()},
+         {"journal_kb", acc.journal_kb.mean(), acc.journal_kb.stddev()},
+         {"crashes", static_cast<double>(acc.crashes), 0.0},
+         {"fingerprint_mismatches",
+          static_cast<double>(acc.fingerprint_mismatches), 0.0}});
+    total_crashes += acc.crashes;
+    total_mismatches += acc.fingerprint_mismatches;
+    total_violations += acc.invariant_violations;
+    total_incomplete += acc.incomplete;
+    total_missing += acc.recovery_missing;
+  }
+
+  table.print(std::cout);
+  maybe_export_csv("recovery_sweep", table);
+  json.write();
+
+  std::cout << "\nShape check: compaction caps replayed-record counts (the"
+               "\n  snapshot swallows the prefix) at a slightly higher MB/s;"
+               "\n  MTTR stays in the low milliseconds either way.\n"
+            << "Crashes survived: " << total_crashes << "\n";
+  if (total_mismatches > 0 || total_violations > 0 || total_incomplete > 0 ||
+      total_missing > 0) {
+    std::cerr << "RECOVERY SWEEP FAILED: " << total_mismatches
+              << " fingerprint mismatches, " << total_violations
+              << " invariant violations, " << total_incomplete
+              << " incomplete runs, " << total_missing
+              << " recoveries that never triggered\n";
+    return 1;
+  }
+  return 0;
+}

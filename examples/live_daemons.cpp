@@ -202,10 +202,13 @@ class LiveDaemon : public CoschedService {
 /// serve_channel thread per connection.  kill() models a daemon crash
 /// (`kill -9`): the listener closes and every accepted connection is shut
 /// down, so peers observe hard transport failures mid-conversation.
+/// `dispatch` carries the daemon's incarnation and exactly-once cache,
+/// shared by every connection it serves.
 class DaemonHost {
  public:
-  DaemonHost(CoschedService& daemon, std::uint16_t port)
-      : daemon_(daemon), listener_(port) {
+  DaemonHost(CoschedService& daemon, std::uint16_t port,
+             DispatcherConfig dispatch = {})
+      : daemon_(daemon), dispatch_(dispatch), listener_(port) {
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
   ~DaemonHost() { kill(); }
@@ -240,7 +243,7 @@ class DaemonHost {
           [this, sp = std::make_shared<Socket>(std::move(s))]() mutable {
             const int fd = sp->fd();
             FramedChannel ch(std::move(*sp));
-            serve_channel(ch, daemon_);
+            serve_channel(ch, daemon_, dispatch_);
             // Deregister before the channel closes the fd so kill() never
             // shuts down a recycled descriptor.
             std::lock_guard<std::mutex> lock(mutex_);
@@ -252,6 +255,7 @@ class DaemonHost {
   }
 
   CoschedService& daemon_;
+  DispatcherConfig dispatch_;
   TcpListener listener_;
   std::thread accept_thread_;
   std::vector<std::thread> serve_threads_;
@@ -301,19 +305,33 @@ int main() {
   cfg.breaker.failure_threshold = 1;
   cfg.breaker.open_cooldown_ms = 50;
 
+  // Incarnations are (daemon id << 32) | restart count, so a restarted
+  // daemon's hello evicts only its own stale dedup entries on the server.
+  constexpr std::uint64_t kComputeInc = (1ull << 32) | 1;
+  constexpr std::uint64_t kAnalysisInc1 = (2ull << 32) | 1;
+  constexpr std::uint64_t kAnalysisInc2 = (2ull << 32) | 2;
+
   LiveDaemon compute("compute ", 1024);
-  DaemonHost compute_host(compute, /*port=*/0);
+  RpcDedup compute_dedup;
+  DaemonHost compute_host(compute, /*port=*/0,
+                          DispatcherConfig{kComputeInc, &compute_dedup});
 
   auto analysis = std::make_unique<LiveDaemon>("analysis", 64);
-  auto analysis_host = std::make_unique<DaemonHost>(*analysis, /*port=*/0);
+  RpcDedup analysis_dedup;
+  auto analysis_host = std::make_unique<DaemonHost>(
+      *analysis, /*port=*/0, DispatcherConfig{kAnalysisInc1, &analysis_dedup});
   const std::uint16_t analysis_port = analysis_host->port();
 
   // Reconnecting peers: each daemon dials the other lazily and re-dials
   // after failures (the breaker's half-open probe goes through the factory).
-  WirePeer compute_to_analysis(dial(analysis_port), cfg);
+  WirePeerConfig compute_cfg = cfg;
+  compute_cfg.incarnation = kComputeInc;
+  WirePeer compute_to_analysis(dial(analysis_port), compute_cfg);
   compute.set_peer(&compute_to_analysis);
+  WirePeerConfig analysis_cfg = cfg;
+  analysis_cfg.incarnation = kAnalysisInc1;
   auto analysis_to_compute =
-      std::make_unique<WirePeer>(dial(compute_host.port()), cfg);
+      std::make_unique<WirePeer>(dial(compute_host.port()), analysis_cfg);
   analysis->set_peer(analysis_to_compute.get());
 
   // -- Phase 1: both daemons healthy -> paired start is synchronized.
@@ -352,9 +370,14 @@ int main() {
   // closes, and coscheduling resumes.
   banner("phase 3: analysis daemon restarted");
   auto analysis2 = std::make_unique<LiveDaemon>("analysis", 64);
-  analysis_host = std::make_unique<DaemonHost>(*analysis2, analysis_port);
+  RpcDedup analysis2_dedup;
+  analysis_host = std::make_unique<DaemonHost>(
+      *analysis2, analysis_port,
+      DispatcherConfig{kAnalysisInc2, &analysis2_dedup});
+  WirePeerConfig analysis2_cfg = cfg;
+  analysis2_cfg.incarnation = kAnalysisInc2;
   auto analysis2_to_compute =
-      std::make_unique<WirePeer>(dial(compute_host.port()), cfg);
+      std::make_unique<WirePeer>(dial(compute_host.port()), analysis2_cfg);
   analysis2->set_peer(analysis2_to_compute.get());
   analysis2->register_mate(/*group=*/9, /*job=*/2003);
   std::this_thread::sleep_for(

@@ -1,7 +1,10 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <tuple>
 
+#include "proto/message.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -57,17 +60,27 @@ Cluster::Cluster(Engine& engine, std::string name, NodeCount capacity,
 void Cluster::arm_periodic_iteration() {
   if (sched_cfg_.iteration_period <= 0 || periodic_armed_) return;
   periodic_armed_ = true;
-  engine_.schedule_in(sched_cfg_.iteration_period, EventPriority::kStats,
-                      [this] {
-                        periodic_armed_ = false;
-                        const bool work_left =
-                            sched_.queue_length() > 0 ||
-                            sched_.running_count() > 0 ||
-                            sched_.holding_count() > 0;
-                        if (!work_left) return;  // go quiescent; submits re-arm
-                        request_iteration();
-                        arm_periodic_iteration();
-                      });
+  periodic_at_ = engine_.now() + sched_cfg_.iteration_period;
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(periodic_at_);
+    journal_->append(JournalRecordKind::kPeriodicArmed, w.bytes());
+  }
+  periodic_event_ = engine_.schedule_at(periodic_at_, EventPriority::kStats,
+                                        [this] { periodic_body(); });
+}
+
+void Cluster::periodic_body() {
+  periodic_event_.reset();
+  periodic_armed_ = false;
+  periodic_at_ = kNoTime;
+  const bool work_left = sched_.queue_length() > 0 ||
+                         sched_.running_count() > 0 ||
+                         sched_.holding_count() > 0;
+  if (!work_left) return;  // go quiescent; submits re-arm
+  request_iteration();
+  arm_periodic_iteration();
+  journal_commit();
 }
 
 void Cluster::add_peer(PeerClient& peer) { peers_.push_back(&peer); }
@@ -79,54 +92,99 @@ void Cluster::register_expected(const JobSpec& spec) {
                     "group " << spec.group << " already has local member "
                              << it->second << " on " << name_);
   expected_.emplace(spec.id, spec);
-}
-
-void Cluster::load_trace(const Trace& trace) {
-  for (const JobSpec& spec : trace.jobs()) {
-    if (spec.is_paired()) register_expected(spec);
-    engine_.schedule_at(spec.submit, EventPriority::kJobSubmit, [this, spec] {
-      expected_.erase(spec.id);
-      sched_.submit(spec, engine_.now());
-      track_dependency(spec);
-      arm_periodic_iteration();
-      if (const RuntimeJob* j = sched_.find(spec.id))
-        log_event(JobEventKind::kSubmit, *j);
-      request_iteration();
-    });
+  if (journaling()) {
+    WireWriter w;
+    encode_job_spec(w, spec);
+    journal_->append(JournalRecordKind::kExpected, w.bytes());
+    journal_commit();
   }
 }
 
-void Cluster::submit_now(const JobSpec& spec) {
+void Cluster::do_submit(const JobSpec& spec) {
   if (spec.is_paired() && !group_to_job_.count(spec.group))
     group_to_job_.emplace(spec.group, spec.id);
   expected_.erase(spec.id);
   sched_.submit(spec, engine_.now());
   track_dependency(spec);
   arm_periodic_iteration();
+  if (journaling()) {
+    WireWriter w;
+    encode_job_spec(w, spec);
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kSubmit, w.bytes());
+  }
   if (const RuntimeJob* j = sched_.find(spec.id))
     log_event(JobEventKind::kSubmit, *j);
   request_iteration();
+}
+
+void Cluster::load_trace(const Trace& trace) {
+  for (const JobSpec& spec : trace.jobs()) {
+    if (spec.is_paired()) register_expected(spec);
+    engine_.schedule_at(spec.submit, EventPriority::kJobSubmit, [this, spec] {
+      // A snapshot restore may already carry this job: the submit event
+      // survives the crash (it is untracked) and must re-fire as a no-op.
+      if (sched_.find(spec.id) != nullptr) return;
+      do_submit(spec);
+      journal_commit();
+    });
+  }
+}
+
+void Cluster::submit_now(const JobSpec& spec) {
+  do_submit(spec);
+  journal_commit();
 }
 
 void Cluster::kill_job(JobId id) {
   const RuntimeJob* j = sched_.find(id);
   if (j == nullptr || j->state == JobState::kFinished) return;
   sched_.kill(id, engine_.now());
+  // The stale completion event stays armed (its body is state-guarded) so
+  // the engine's drain time matches a run without the kill; only the
+  // tracking entry goes.
+  completion_events_.erase(id);
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(id);
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kKill, w.bytes());
+  }
   if (const RuntimeJob* killed = sched_.find(id))
     log_event(JobEventKind::kFinish, *killed);
   request_iteration();
+  journal_commit();
 }
 
 void Cluster::request_iteration() {
   if (iteration_pending_) return;
   iteration_pending_ = true;
-  engine_.schedule_at(engine_.now(), EventPriority::kSchedule, [this] {
-    iteration_pending_ = false;
-    ++iterations_run_;
-    sched_.iterate(engine_.now(), [this](RuntimeJob& job) {
-      return run_job_hook(job, /*try_context=*/false);
-    });
+  if (journaling()) {
+    // Committed immediately: this can be the only record of an entry point
+    // (e.g. a transport retry listener), and losing it would silently drop
+    // the armed iteration on recovery.
+    WireWriter w;
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kIterArmed, w.bytes());
+    journal_->commit();
+  }
+  iteration_event_ = engine_.schedule_at(
+      engine_.now(), EventPriority::kSchedule, [this] { run_iteration_body(); });
+}
+
+void Cluster::run_iteration_body() {
+  iteration_event_.reset();
+  iteration_pending_ = false;
+  ++iterations_run_;
+  sched_.iterate(engine_.now(), [this](RuntimeJob& job) {
+    return run_job_hook(job, /*try_context=*/false);
   });
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kIterate, w.bytes());
+  }
+  journal_commit();
 }
 
 // -- CoschedService ---------------------------------------------------------
@@ -156,24 +214,61 @@ MateStatus Cluster::get_mate_status(JobId job) {
 bool Cluster::try_start_mate(JobId job) {
   ++try_start_requests_;
   if (!sched_.find(job)) return false;  // unsubmitted or unknown: cannot start
-  return sched_.try_start_specific(job, engine_.now(), [this](RuntimeJob& j) {
-    return run_job_hook(j, /*try_context=*/true);
-  });
+  const bool started =
+      sched_.try_start_specific(job, engine_.now(), [this](RuntimeJob& j) {
+        return run_job_hook(j, /*try_context=*/true);
+      });
+  journal_commit();
+  return started;
 }
 
 bool Cluster::start_job(JobId job) {
   const RuntimeJob* j = sched_.find(job);
   if (!j || j->state != JobState::kHolding) return false;
+  starting_from_hold_ = true;
   sched_.start_holding(job, engine_.now());
+  starting_from_hold_ = false;
+  journal_commit();
   return true;
 }
 
 // -- Algorithm 1 --------------------------------------------------------------
 
 RunDecision Cluster::run_job_hook(RuntimeJob& job, bool try_context) {
-  if (event_log_ != nullptr && ready_logged_.insert(job.spec.id).second)
+  if (ready_logged_.insert(job.spec.id).second) {
     log_event(JobEventKind::kReady, job);
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(job.spec.id);
+      w.put_i64(job.first_ready);
+      journal_->append(JournalRecordKind::kReady, w.bytes());
+    }
+  }
+  if (!journaling()) return run_job_decision(job, try_context);
 
+  // The decision path may talk to peers and flip degraded-mode state; diff
+  // it around the call so replay reproduces the §IV-C bookkeeping exactly.
+  const std::uint64_t unknown_before = unknown_status_decisions_;
+  const bool fault_before = fault_seen_.count(job.spec.id) > 0;
+  const bool unsync_before = unsync_pending_.count(job.spec.id) > 0;
+  const RunDecision d = run_job_decision(job, try_context);
+  const std::uint64_t unknown_delta =
+      unknown_status_decisions_ - unknown_before;
+  const bool fault_now = fault_seen_.count(job.spec.id) > 0;
+  const bool unsync_now = unsync_pending_.count(job.spec.id) > 0;
+  if (unknown_delta != 0 || fault_now != fault_before ||
+      unsync_now != unsync_before) {
+    WireWriter w;
+    w.put_i64(job.spec.id);
+    w.put_u64(unknown_delta);
+    w.put_bool(fault_now);
+    w.put_bool(unsync_now);
+    journal_->append(JournalRecordKind::kDegraded, w.bytes());
+  }
+  return d;
+}
+
+RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
   // Lines 33-36: coscheduling disabled, or a regular job: start normally.
   if (!cfg_.enabled || !job.spec.is_paired()) return RunDecision::kStart;
 
@@ -289,11 +384,27 @@ RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
 
   if (scheme == Scheme::kHold) {
     schedule_hold_release(job.spec.id);
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(job.spec.id);
+      w.put_i64(engine_.now());
+      w.put_i64(job.first_ready);
+      w.put_i64(job.allocated);
+      journal_->append(JournalRecordKind::kHold, w.bytes());
+    }
     log_event(JobEventKind::kHold, job);
     return RunDecision::kHold;
   }
   job.priority_boost += cfg_.yield_priority_boost;
   schedule_yield_retry(job.spec.id);
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job.spec.id);
+    w.put_i64(engine_.now());
+    w.put_i64(job.first_ready);
+    w.put_double(job.priority_boost);  // absolute, so replay is idempotent
+    journal_->append(JournalRecordKind::kYield, w.bytes());
+  }
   log_event(JobEventKind::kYield, job);
   return RunDecision::kYield;
 }
@@ -301,26 +412,46 @@ RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
 // -- events -------------------------------------------------------------------
 
 void Cluster::on_job_started(const RuntimeJob& job) {
-  log_event(JobEventKind::kStart, job);
-  if (unsync_pending_.erase(job.spec.id) > 0) {
-    ++unsync_starts_;
-    log_event(JobEventKind::kUnsyncStart, job);
-  }
-  fault_seen_.erase(job.spec.id);
   const JobId id = job.spec.id;
-  engine_.schedule_in(job.spec.runtime, EventPriority::kJobEnd,
-                      [this, id] { on_job_finished(id); });
+  const bool was_unsync = unsync_pending_.erase(id) > 0;
+  if (was_unsync) ++unsync_starts_;
+  fault_seen_.erase(id);
+  // During journal replay the start came from a kStart record: the degraded
+  // bookkeeping above still applies (driven by replayed kDegraded state),
+  // but events, records, and timers are reconstructed elsewhere.
+  if (replaying_) return;
+  log_event(JobEventKind::kStart, job);
+  if (was_unsync) log_event(JobEventKind::kUnsyncStart, job);
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(id);
+    w.put_i64(engine_.now());
+    w.put_i64(job.first_ready);
+    w.put_i64(job.allocated);
+    w.put_bool(starting_from_hold_);
+    w.put_bool(was_unsync);
+    journal_->append(JournalRecordKind::kStart, w.bytes());
+  }
+  completion_events_[id] = engine_.schedule_at(
+      engine_.now() + job.spec.runtime, EventPriority::kJobEnd,
+      [this, id] { on_job_finished(id); });
 }
 
 void Cluster::on_job_finished(JobId id) {
+  completion_events_.erase(id);
   // The job may have been killed between its start and this completion
   // event; a second finish would corrupt the pool accounting.
   const RuntimeJob* cur = sched_.find(id);
   if (cur == nullptr || cur->state != JobState::kRunning) return;
   sched_.finish(id, engine_.now());
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(id);
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kFinish, w.bytes());
+  }
   if (const RuntimeJob* j = sched_.find(id))
     log_event(JobEventKind::kFinish, *j);
-  request_iteration();
   // Dependents gated by a think-time delay become eligible later than this
   // finish-triggered iteration; wake the scheduler when the gap elapses.
   auto [begin, end] = dependents_.equal_range(id);
@@ -331,6 +462,8 @@ void Cluster::on_job_finished(JobId id) {
                           [this] { request_iteration(); });
   }
   dependents_.erase(id);
+  request_iteration();
+  journal_commit();
 }
 
 void Cluster::log_event(JobEventKind kind, const RuntimeJob& job) {
@@ -345,14 +478,24 @@ void Cluster::log_event(JobEventKind kind, const RuntimeJob& job) {
   event_log_->record(std::move(e));
 }
 
+void Cluster::arm_yield_retry_event(Time at, JobId id) {
+  // Untracked on purpose: the event survives a crash, and its body is fully
+  // state-guarded, so a recovery re-arm at the same (at, id) coalesces: the
+  // set entry is the ground truth, and whichever twin fires first consumes
+  // it.
+  engine_.schedule_at(at, EventPriority::kSchedule, [this, at, id] {
+    if (yield_retries_.erase({at, id}) == 0) return;
+    const RuntimeJob* j = sched_.find(id);
+    if (!j || j->state != JobState::kQueued) return;
+    request_iteration();
+  });
+}
+
 void Cluster::schedule_yield_retry(JobId id) {
   if (cfg_.yield_retry_period <= 0) return;
-  engine_.schedule_in(cfg_.yield_retry_period, EventPriority::kSchedule,
-                      [this, id] {
-                        const RuntimeJob* j = sched_.find(id);
-                        if (!j || j->state != JobState::kQueued) return;
-                        request_iteration();
-                      });
+  const Time at = engine_.now() + cfg_.yield_retry_period;
+  yield_retries_.insert({at, id});
+  arm_yield_retry_event(at, id);
 }
 
 void Cluster::schedule_hold_release(JobId id) {
@@ -366,22 +509,501 @@ void Cluster::schedule_hold_release(JobId id) {
   // hold can never see enough simultaneous free nodes, and every released
   // holder immediately re-holds (cross-machine livelock).
   release_tick_pending_ = true;
-  engine_.schedule_in(cfg_.hold_release_period, EventPriority::kHoldRelease,
-                      [this] {
-                        release_tick_pending_ = false;
-                        const std::vector<JobId> holders =
-                            sched_.holding_ids();
-                        if (holders.empty()) return;
-                        for (JobId h : holders) {
-                          sched_.release_hold(h, engine_.now());
-                          ++forced_releases_;
-                          if (fault_seen_.count(h) > 0)
-                            ++degraded_forced_releases_;
-                          if (const RuntimeJob* j = sched_.find(h))
-                            log_event(JobEventKind::kHoldRelease, *j);
-                        }
-                        request_iteration();
-                      });
+  release_tick_at_ = engine_.now() + cfg_.hold_release_period;
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(release_tick_at_);
+    journal_->append(JournalRecordKind::kTickArmed, w.bytes());
+  }
+  tick_event_ = engine_.schedule_at(release_tick_at_,
+                                    EventPriority::kHoldRelease,
+                                    [this] { hold_release_tick(); });
+}
+
+void Cluster::hold_release_tick() {
+  tick_event_.reset();
+  release_tick_pending_ = false;
+  release_tick_at_ = kNoTime;
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kTickFired, w.bytes());
+  }
+  const std::vector<JobId> holders = sched_.holding_ids();
+  if (holders.empty()) {
+    journal_commit();
+    return;
+  }
+  for (JobId h : holders) {
+    sched_.release_hold(h, engine_.now());
+    ++forced_releases_;
+    const bool degraded = fault_seen_.count(h) > 0;
+    if (degraded) ++degraded_forced_releases_;
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(h);
+      w.put_i64(engine_.now());
+      w.put_bool(degraded);
+      journal_->append(JournalRecordKind::kHoldRelease, w.bytes());
+    }
+    if (const RuntimeJob* j = sched_.find(h))
+      log_event(JobEventKind::kHoldRelease, *j);
+  }
+  request_iteration();
+  journal_commit();
+}
+
+// -- crash-consistent persistence --------------------------------------------
+
+void Cluster::set_journal(Journal* journal, std::uint64_t compact_every) {
+  journal_ = journal;
+  compact_every_ = compact_every;
+  if (journal_ == nullptr) return;
+  // The journal must be recoverable from its very first byte: start it with
+  // a snapshot of the current state.
+  WireWriter snap;
+  write_snapshot(snap);
+  journal_->compact(snap.bytes());
+}
+
+void Cluster::journal_commit() {
+  if (!journaling()) return;
+  journal_->commit();
+  if (compact_every_ > 0 &&
+      journal_->records_since_compaction() >= compact_every_) {
+    WireWriter snap;
+    write_snapshot(snap);
+    journal_->compact(snap.bytes());
+  }
+}
+
+void Cluster::write_snapshot(WireWriter& w) const {
+  w.put_u64(incarnation_);
+  w.put_u64(iterations_run_);
+  w.put_u64(try_start_requests_);
+  w.put_u64(forced_releases_);
+  w.put_u64(unknown_status_decisions_);
+  w.put_u64(unsync_starts_);
+  w.put_u64(degraded_forced_releases_);
+
+  // All containers go out in a canonical (sorted) order so two snapshots of
+  // equal state are byte-identical.
+  {
+    std::vector<JobId> ids;
+    ids.reserve(expected_.size());
+    for (const auto& [id, spec] : expected_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.put_u64(ids.size());
+    for (JobId id : ids) encode_job_spec(w, expected_.at(id));
+  }
+  {
+    std::vector<std::pair<GroupId, JobId>> groups(group_to_job_.begin(),
+                                                  group_to_job_.end());
+    std::sort(groups.begin(), groups.end());
+    w.put_u64(groups.size());
+    for (const auto& [g, j] : groups) {
+      w.put_i64(g);
+      w.put_i64(j);
+    }
+  }
+  {
+    std::vector<std::tuple<JobId, JobId, Duration>> deps;
+    deps.reserve(dependents_.size());
+    for (const auto& [dep, val] : dependents_)
+      deps.emplace_back(dep, val.first, val.second);
+    std::sort(deps.begin(), deps.end());
+    w.put_u64(deps.size());
+    for (const auto& [dep, dependent, delay] : deps) {
+      w.put_i64(dep);
+      w.put_i64(dependent);
+      w.put_i64(delay);
+    }
+  }
+  const auto write_set = [&w](const std::unordered_set<JobId>& s) {
+    std::vector<JobId> ids(s.begin(), s.end());
+    std::sort(ids.begin(), ids.end());
+    w.put_u64(ids.size());
+    for (JobId id : ids) w.put_i64(id);
+  };
+  write_set(ready_logged_);
+  write_set(fault_seen_);
+  write_set(unsync_pending_);
+
+  w.put_bool(iteration_pending_);
+  w.put_bool(release_tick_pending_);
+  w.put_i64(release_tick_at_);
+  w.put_bool(periodic_armed_);
+  w.put_i64(periodic_at_);
+  w.put_u64(yield_retries_.size());
+  for (const auto& [at, id] : yield_retries_) {
+    w.put_i64(at);
+    w.put_i64(id);
+  }
+
+  sched_.snapshot(w);
+}
+
+void Cluster::apply_snapshot(WireReader& r) {
+  incarnation_ = r.get_u64();
+  iterations_run_ = r.get_u64();
+  try_start_requests_ = r.get_u64();
+  forced_releases_ = r.get_u64();
+  unknown_status_decisions_ = r.get_u64();
+  unsync_starts_ = r.get_u64();
+  degraded_forced_releases_ = r.get_u64();
+
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const JobSpec spec = decode_job_spec(r);
+    expected_.emplace(spec.id, spec);
+  }
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const GroupId g = r.get_i64();
+    const JobId j = r.get_i64();
+    group_to_job_.emplace(g, j);
+  }
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const JobId dep = r.get_i64();
+    const JobId dependent = r.get_i64();
+    const Duration delay = r.get_i64();
+    dependents_.emplace(dep, std::make_pair(dependent, delay));
+  }
+  const auto read_set = [&r](std::unordered_set<JobId>& s) {
+    for (std::uint64_t n = r.get_u64(); n > 0; --n) s.insert(r.get_i64());
+  };
+  read_set(ready_logged_);
+  read_set(fault_seen_);
+  read_set(unsync_pending_);
+
+  iteration_pending_ = r.get_bool();
+  release_tick_pending_ = r.get_bool();
+  release_tick_at_ = r.get_i64();
+  periodic_armed_ = r.get_bool();
+  periodic_at_ = r.get_i64();
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const Time at = r.get_i64();
+    const JobId id = r.get_i64();
+    yield_retries_.insert({at, id});
+  }
+
+  sched_.restore(r);
+}
+
+void Cluster::wipe_for_recovery() {
+  for (auto& [id, ev] : completion_events_) engine_.cancel(ev);
+  completion_events_.clear();
+  if (iteration_event_) engine_.cancel(*iteration_event_);
+  if (tick_event_) engine_.cancel(*tick_event_);
+  if (periodic_event_) engine_.cancel(*periodic_event_);
+  iteration_event_.reset();
+  tick_event_.reset();
+  periodic_event_.reset();
+
+  group_to_job_.clear();
+  expected_.clear();
+  dependents_.clear();
+  committing_.clear();
+  ready_logged_.clear();
+  fault_seen_.clear();
+  unsync_pending_.clear();
+  yield_retries_.clear();
+  replay_last_iterate_ = kNoTime;
+  iteration_pending_ = false;
+  release_tick_pending_ = false;
+  periodic_armed_ = false;
+  release_tick_at_ = kNoTime;
+  periodic_at_ = kNoTime;
+  iterations_run_ = 0;
+  try_start_requests_ = 0;
+  forced_releases_ = 0;
+  unknown_status_decisions_ = 0;
+  unsync_starts_ = 0;
+  degraded_forced_releases_ = 0;
+  incarnation_ = 1;
+  starting_from_hold_ = false;
+}
+
+void Cluster::restore_snapshot(WireReader& r) {
+  journal_ = nullptr;  // a restore does not adopt a journal by itself
+  wipe_for_recovery();
+  replaying_ = true;
+  apply_snapshot(r);
+  replaying_ = false;
+}
+
+void Cluster::apply_record(const JournalRecord& rec) {
+  WireReader r(rec.payload);
+  switch (rec.kind) {
+    case JournalRecordKind::kSnapshot:
+      // Compaction rewrites the whole journal, so a snapshot can only be the
+      // first record — recover_from_journal() handles it there.
+      COSCHED_CHECK_MSG(false, name_ << ": snapshot record mid-journal");
+      break;
+    case JournalRecordKind::kIncarnation:
+      incarnation_ = r.get_u64();
+      break;
+    case JournalRecordKind::kExpected: {
+      const JobSpec spec = decode_job_spec(r);
+      if (spec.is_paired()) group_to_job_.emplace(spec.group, spec.id);
+      expected_.emplace(spec.id, spec);
+      break;
+    }
+    case JournalRecordKind::kSubmit: {
+      const JobSpec spec = decode_job_spec(r);
+      const Time t = r.get_i64();
+      if (spec.is_paired() && !group_to_job_.count(spec.group))
+        group_to_job_.emplace(spec.group, spec.id);
+      expected_.erase(spec.id);
+      sched_.submit(spec, t);
+      // Re-register the dependency link only while it can still fire; wakes
+      // for already-finished dependencies are re-derived by
+      // rearm_after_restore().
+      if (spec.has_dependency()) {
+        const RuntimeJob* dep = sched_.find(spec.after);
+        if (dep == nullptr || dep->state != JobState::kFinished)
+          dependents_.emplace(spec.after,
+                              std::make_pair(spec.id, spec.after_delay));
+      }
+      break;
+    }
+    case JournalRecordKind::kReady: {
+      const JobId id = r.get_i64();
+      const Time first_ready = r.get_i64();
+      ready_logged_.insert(id);
+      if (RuntimeJob* j = sched_.find_mut(id))
+        if (j->first_ready == kNoTime) j->first_ready = first_ready;
+      break;
+    }
+    case JournalRecordKind::kStart: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      const Time first_ready = r.get_i64();
+      const NodeCount allocated = r.get_i64();
+      const bool from_hold = r.get_bool();
+      r.get_bool();  // was_unsync: reproduced via replayed kDegraded state
+      if (from_hold)
+        sched_.start_holding(id, t);
+      else
+        sched_.replay_start(id, t, first_ready, allocated);
+      break;
+    }
+    case JournalRecordKind::kHold: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      const Time first_ready = r.get_i64();
+      const NodeCount allocated = r.get_i64();
+      sched_.replay_hold(id, t, first_ready, allocated);
+      break;
+    }
+    case JournalRecordKind::kHoldRelease: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      const bool degraded = r.get_bool();
+      sched_.release_hold(id, t);
+      ++forced_releases_;
+      if (degraded) ++degraded_forced_releases_;
+      break;
+    }
+    case JournalRecordKind::kYield: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      const Time first_ready = r.get_i64();
+      const double boost = r.get_double();
+      sched_.replay_yield(id, first_ready, boost);
+      if (cfg_.yield_retry_period > 0)
+        yield_retries_.insert({t + cfg_.yield_retry_period, id});
+      break;
+    }
+    case JournalRecordKind::kFinish: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      sched_.finish(id, t);
+      dependents_.erase(id);
+      break;
+    }
+    case JournalRecordKind::kKill: {
+      const JobId id = r.get_i64();
+      const Time t = r.get_i64();
+      sched_.kill(id, t);
+      break;
+    }
+    case JournalRecordKind::kIterate:
+      replay_last_iterate_ = r.get_i64();
+      iteration_pending_ = false;
+      ++iterations_run_;
+      sched_.replay_clear_demotions();
+      break;
+    case JournalRecordKind::kTickArmed:
+      release_tick_pending_ = true;
+      release_tick_at_ = r.get_i64();
+      break;
+    case JournalRecordKind::kTickFired:
+      release_tick_pending_ = false;
+      release_tick_at_ = kNoTime;
+      break;
+    case JournalRecordKind::kIterArmed:
+      iteration_pending_ = true;
+      break;
+    case JournalRecordKind::kPeriodicArmed:
+      periodic_armed_ = true;
+      periodic_at_ = r.get_i64();
+      break;
+    case JournalRecordKind::kDegraded: {
+      const JobId id = r.get_i64();
+      const std::uint64_t unknown_delta = r.get_u64();
+      const bool fault_now = r.get_bool();
+      const bool unsync_now = r.get_bool();
+      unknown_status_decisions_ += unknown_delta;
+      if (fault_now)
+        fault_seen_.insert(id);
+      else
+        fault_seen_.erase(id);
+      if (unsync_now)
+        unsync_pending_.insert(id);
+      else
+        unsync_pending_.erase(id);
+      break;
+    }
+    case JournalRecordKind::kDedup:
+      break;  // owned by the RPC layer, not scheduler state
+  }
+}
+
+Cluster::RecoveryStats Cluster::recover_from_journal(Journal& journal) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::uint8_t> bytes = journal.sink().contents();
+  const JournalReplay rep = read_journal(bytes);
+  COSCHED_CHECK_MSG(!rep.records.empty() &&
+                        rep.records.front().kind == JournalRecordKind::kSnapshot,
+                    name_ << ": journal does not begin with a snapshot");
+
+  journal_ = nullptr;  // never journal while wiping or replaying
+  wipe_for_recovery();
+  replaying_ = true;
+  {
+    WireReader sr(rep.records.front().payload);
+    apply_snapshot(sr);
+  }
+  for (std::size_t i = 1; i < rep.records.size(); ++i)
+    apply_record(rep.records[i]);
+  replaying_ = false;
+  rearm_after_restore();
+
+  // New life: bump the incarnation and make it durable so peers (and the
+  // RPC dedup cache) can tell pre-crash requests from post-crash ones.
+  ++incarnation_;
+  journal_ = &journal;
+  WireWriter inc;
+  inc.put_u64(incarnation_);
+  journal_->append(JournalRecordKind::kIncarnation, inc.bytes());
+  journal_->commit();
+
+  RecoveryStats stats;
+  stats.records_replayed = rep.records.size();
+  stats.bytes_scanned = rep.bytes_scanned;
+  stats.tail_torn = rep.tail_torn;
+  stats.incarnation = incarnation_;
+  stats.replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+void Cluster::rearm_after_restore() {
+  const Time now = engine_.now();
+
+  // Completions for every running job, armed at the job's absolute end time
+  // in (end, start, id) order so same-instant completions pop in the same
+  // sequence an uncrashed run would produce.
+  struct Completion {
+    Time end;
+    Time start;
+    JobId id;
+  };
+  std::vector<Completion> completions;
+  for (const auto& [id, job] : sched_.jobs()) {
+    if (job.state != JobState::kRunning) continue;
+    completions.push_back({job.start + job.spec.runtime, job.start, id});
+  }
+  std::sort(completions.begin(), completions.end(),
+            [](const Completion& a, const Completion& b) {
+              return std::tie(a.end, a.start, a.id) <
+                     std::tie(b.end, b.start, b.id);
+            });
+  for (const Completion& c : completions) {
+    const JobId id = c.id;
+    completion_events_[id] =
+        engine_.schedule_at(std::max(now, c.end), EventPriority::kJobEnd,
+                            [this, id] { on_job_finished(id); });
+  }
+
+  if (release_tick_pending_) {
+    if (release_tick_at_ >= now) {
+      tick_event_ = engine_.schedule_at(release_tick_at_,
+                                        EventPriority::kHoldRelease,
+                                        [this] { hold_release_tick(); });
+    } else {
+      // The tick fired before the crash but its kTickFired never committed
+      // together with a state change we kept — treat it as spent.
+      release_tick_pending_ = false;
+      release_tick_at_ = kNoTime;
+    }
+  }
+
+  if (periodic_armed_) {
+    if (periodic_at_ >= now) {
+      periodic_event_ = engine_.schedule_at(periodic_at_, EventPriority::kStats,
+                                            [this] { periodic_body(); });
+    } else {
+      // A quiescent periodic fire journals nothing; an armed-in-the-past
+      // timer therefore means it already fired and found no work.
+      periodic_armed_ = false;
+      periodic_at_ = kNoTime;
+    }
+  }
+
+  for (auto it = yield_retries_.begin(); it != yield_retries_.end();) {
+    const Time at = it->first;
+    const JobId id = it->second;
+    if (at < now || (at == now && replay_last_iterate_ == now)) {
+      // Fired before the crash.  The at == now case is provable because a
+      // retry at a timestamp is always armed earlier (at - period), so it
+      // sorts before — and runs before — the iteration armed at that
+      // timestamp; a committed kIterate at `now` therefore means every retry
+      // due at `now` was already consumed.  kYield replay re-derives the set
+      // entry unconditionally, so without this prune the re-armed twin would
+      // fire again after recovery and schedule an extra iteration.
+      it = yield_retries_.erase(it);
+      continue;
+    }
+    arm_yield_retry_event(at, id);
+    ++it;
+  }
+
+  // Dependency wakes whose dependency finished before the crash: a job
+  // still queued behind a satisfied-later constraint re-checks at its ready
+  // time (this re-derives both the delayed finish-side wakes and the
+  // track_dependency() direct wakes).
+  for (const auto& [id, job] : sched_.jobs()) {
+    if (job.state != JobState::kQueued || !job.spec.has_dependency()) continue;
+    const RuntimeJob* dep = sched_.find(job.spec.after);
+    if (dep == nullptr || dep->state != JobState::kFinished) continue;
+    const Time ready_at = dep->end + job.spec.after_delay;
+    if (ready_at > now)
+      engine_.schedule_at(ready_at, EventPriority::kSchedule,
+                          [this] { request_iteration(); });
+  }
+
+  // The pending iteration is re-armed LAST.  In live operation the
+  // iteration event is always the newest same-priority event at its
+  // timestamp (it is armed by whichever trigger fired first), so it runs
+  // after every same-instant retry/wake and their requests coalesce into
+  // it.  Re-arming it before the yield retries above would invert that
+  // order at the crash instant: a retry firing after the iteration would
+  // schedule a second iteration at the same time, yielding paired jobs once
+  // more than the uncrashed run.
+  if (iteration_pending_)
+    iteration_event_ = engine_.schedule_at(now, EventPriority::kSchedule,
+                                           [this] { run_iteration_body(); });
 }
 
 }  // namespace cosched

@@ -16,13 +16,16 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
 #include "core/event_log.h"
+#include "core/journal.h"
 #include "proto/peer.h"
 #include "proto/service.h"
 #include "sched/scheduler.h"
@@ -101,22 +104,86 @@ class Cluster final : public CoschedService {
   /// Schedules a scheduling iteration at the current time (coalesced).
   void request_iteration();
 
+  // -- crash-consistent persistence (core/journal.h) ---------------------
+
+  /// Outcome of one journal recovery.
+  struct RecoveryStats {
+    std::size_t records_replayed = 0;  ///< snapshot + tail records applied
+    std::size_t bytes_scanned = 0;     ///< intact journal bytes consumed
+    bool tail_torn = false;            ///< the torn-tail rule fired
+    std::uint64_t incarnation = 0;     ///< incarnation after the bump
+    double replay_seconds = 0.0;       ///< wall-clock spent wiping+replaying
+  };
+
+  /// Attaches a write-ahead journal (not owned; nullptr detaches).  Writes
+  /// an initial snapshot (which carries the incarnation) so the journal is
+  /// always recoverable on its own.  When `compact_every` > 0, the journal
+  /// is compacted back to a single snapshot record every time that many
+  /// records accumulate.
+  void set_journal(Journal* journal, std::uint64_t compact_every = 0);
+  Journal* journal() { return journal_; }
+
+  /// Daemon incarnation: starts at 1, bumped by every recovery.
+  std::uint64_t incarnation() const { return incarnation_; }
+
+  /// Full crash recovery on this object: cancels tracked timers, wipes all
+  /// mutable state, applies the journal's snapshot, replays the tail
+  /// (stopping at a torn frame), re-arms timers, bumps the incarnation and
+  /// journals it.  The journal stays attached for the new life.
+  RecoveryStats recover_from_journal(Journal& journal);
+
+  /// Serializes the complete mutable state (including the scheduler's) in a
+  /// canonical order.  Construction facts (capacity, policy, config, peers)
+  /// are not included.
+  void write_snapshot(WireWriter& w) const;
+
+  /// Wipes state and applies a snapshot written by write_snapshot().  The
+  /// caller must advance the engine to the snapshot time and then call
+  /// rearm_after_restore() (CoupledSim::restore does both).
+  void restore_snapshot(WireReader& r);
+
+  /// Re-arms completion/iteration/tick/periodic/retry timers from restored
+  /// state at their absolute journaled times.  Idempotent per recovery.
+  void rearm_after_restore();
+
  private:
+  /// Journaling wrapper around Algorithm 1: logs/journals the first-ready
+  /// transition and any degraded-mode set/counter deltas around the
+  /// decision.
+  RunDecision run_job_hook(RuntimeJob& job, bool try_context);
+
   /// The paper's Run_Job coscheduling logic (Algorithm 1).  `try_context`
   /// is true when invoked underneath a remote tryStartMate: the job must
   /// either start or decline without side effects (no hold/yield).
-  RunDecision run_job_hook(RuntimeJob& job, bool try_context);
+  RunDecision run_job_decision(RuntimeJob& job, bool try_context);
 
   /// Applies the local scheme + enhancement thresholds (§IV-E2).
   RunDecision scheme_decision(RuntimeJob& job, bool try_context);
 
   void track_dependency(const JobSpec& spec);
+  void do_submit(const JobSpec& spec);
   void arm_periodic_iteration();
   void on_job_started(const RuntimeJob& job);
   void on_job_finished(JobId id);
   void schedule_hold_release(JobId id);
   void schedule_yield_retry(JobId id);
   void log_event(JobEventKind kind, const RuntimeJob& job);
+
+  // Timer event bodies, named so recovery can re-arm them at absolute
+  // journaled times.
+  void run_iteration_body();
+  void hold_release_tick();
+  void periodic_body();
+  void arm_yield_retry_event(Time at, JobId id);
+
+  // -- journaling internals ----------------------------------------------
+  bool journaling() const { return journal_ != nullptr && !replaying_; }
+  /// Group-commit point at the end of every journaling entry body; also
+  /// triggers compaction once compact_every_ records accumulate.
+  void journal_commit();
+  void wipe_for_recovery();
+  void apply_snapshot(WireReader& r);
+  void apply_record(const JournalRecord& rec);
 
   Engine& engine_;
   std::string name_;
@@ -148,6 +215,32 @@ class Cluster final : public CoschedService {
   std::uint64_t unknown_status_decisions_ = 0;
   std::uint64_t unsync_starts_ = 0;
   std::uint64_t degraded_forced_releases_ = 0;
+
+  // -- crash-consistent persistence ---------------------------------------
+  Journal* journal_ = nullptr;   ///< not owned
+  std::uint64_t compact_every_ = 0;
+  bool replaying_ = false;
+  std::uint64_t incarnation_ = 1;
+  /// True while start_job() promotes a holder, so the kStart record can
+  /// distinguish holding-origin from queued-origin starts.
+  bool starting_from_hold_ = false;
+  /// Tracked timers a crash cancels and recovery re-arms.  Untracked events
+  /// (trace submits, yield retries, dependency wakes) survive a crash and
+  /// carry state guards instead.
+  std::unordered_map<JobId, EventId> completion_events_;
+  std::optional<EventId> iteration_event_;
+  std::optional<EventId> tick_event_;
+  std::optional<EventId> periodic_event_;
+  Time release_tick_at_ = kNoTime;  ///< absolute time of the armed tick
+  Time periodic_at_ = kNoTime;      ///< absolute time of the armed periodic
+  /// Pending yield-retry checks as (absolute time, job); snapshotted so a
+  /// fresh-process restore can re-arm them.
+  std::set<std::pair<Time, JobId>> yield_retries_;
+  /// Timestamp of the newest kIterate record seen during replay; kNoTime
+  /// outside recovery.  Lets rearm_after_restore() drop yield retries at the
+  /// crash instant that provably fired before the crash (retries at a
+  /// timestamp always run before the iteration armed there).
+  Time replay_last_iterate_ = kNoTime;
 };
 
 }  // namespace cosched

@@ -140,15 +140,86 @@ EventLog& CoupledSim::enable_event_log() {
   return *event_log_;
 }
 
+// -- crash recovery ----------------------------------------------------------
+
+void CoupledSim::enable_journaling(std::uint64_t compact_every) {
+  if (!journals_.empty()) return;
+  recoveries_.resize(clusters_.size());
+  journals_.reserve(clusters_.size());
+  for (auto& c : clusters_) {
+    journals_.push_back(
+        std::make_unique<Journal>(std::make_unique<MemoryJournalSink>()));
+    c->set_journal(journals_.back().get(), compact_every);
+  }
+}
+
+void CoupledSim::schedule_crash_recovery(std::size_t domain,
+                                         std::uint64_t at_seq) {
+  COSCHED_CHECK(domain < clusters_.size());
+  COSCHED_CHECK_MSG(!journals_.empty(),
+                    "schedule_crash_recovery needs enable_journaling()");
+  journals_[domain]->set_on_commit([this, domain, at_seq](std::uint64_t seq) {
+    if (seq < at_seq) return;
+    // Disarm first: the crash event itself commits records while recovering.
+    journals_[domain]->set_on_commit(nullptr);
+    // kMessage priority: the crash lands right after the committing event
+    // body, before any same-time scheduling activity.
+    engine_.schedule_at(engine_.now(), EventPriority::kMessage,
+                        [this, domain] { crash_and_recover(domain); });
+  });
+}
+
+void CoupledSim::crash_and_recover(std::size_t domain) {
+  Journal& journal = *journals_[domain];
+  COSCHED_LOG(kInfo) << clusters_[domain]->name()
+                     << ": process crash at t=" << engine_.now()
+                     << " (durable seq " << journal.last_committed_seq()
+                     << ")";
+  // The crash loses everything appended but not committed; reopen re-syncs
+  // the journal's counters to its durable image.
+  journal.reopen();
+  recoveries_[domain] = clusters_[domain]->recover_from_journal(journal);
+  COSCHED_LOG(kInfo) << clusters_[domain]->name() << ": recovered "
+                     << recoveries_[domain]->records_replayed
+                     << " records, incarnation "
+                     << recoveries_[domain]->incarnation;
+}
+
+void CoupledSim::snapshot(WireWriter& w) const {
+  w.put_i64(engine_.now());
+  for (const auto& c : clusters_) c->write_snapshot(w);
+}
+
+void CoupledSim::restore(WireReader& r) {
+  const Time t = r.get_i64();
+  // Apply state first so the trace-submit events re-firing below see their
+  // jobs as already known and no-op.
+  for (auto& c : clusters_) c->restore_snapshot(r);
+  engine_.run_until(t);
+  for (auto& c : clusters_) c->rearm_after_restore();
+}
+
 SimResult CoupledSim::run(Time max_time) {
+  abort_invariants_.reset();
   bool aborted = false;
-  while (engine_.step()) {
-    if (max_time > 0 && engine_.now() > max_time) {
-      COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
-                         << " (max_time exceeded)";
-      aborted = true;
-      break;
+  try {
+    while (engine_.step()) {
+      if (max_time > 0 && engine_.now() > max_time) {
+        COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
+                           << " (max_time exceeded)";
+        aborted = true;
+        break;
+      }
     }
+  } catch (...) {
+    // Even an exceptional exit reports invariants: a half-completed run
+    // that leaked nodes or double-started a pair is a second bug worth
+    // surfacing next to the thrown one.
+    SimResult partial;
+    partial.end_time = engine_.now();
+    check_invariants(partial, /*aborted=*/true);
+    abort_invariants_ = partial.invariants;
+    throw;
   }
 
   SimResult result;

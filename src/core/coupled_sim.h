@@ -7,12 +7,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/config.h"
 #include "core/fault.h"
+#include "core/journal.h"
 #include "metrics/report.h"
 #include "sim/engine.h"
 #include "workload/trace.h"
@@ -112,14 +114,58 @@ class CoupledSim {
   };
   ProtocolStats protocol_stats() const;
 
+  // -- crash recovery ----------------------------------------------------
+
+  /// Attaches one in-memory write-ahead journal per domain (idempotent).
+  /// Call before run().  `compact_every` > 0 also enables periodic
+  /// compaction (see Cluster::set_journal).
+  void enable_journaling(std::uint64_t compact_every = 0);
+  bool journaling_enabled() const { return !journals_.empty(); }
+  Journal& journal(std::size_t i) { return *journals_.at(i); }
+
+  /// Schedules an in-process crash + journal recovery of `domain`, fired by
+  /// the first commit whose durable sequence number reaches `at_seq`.  The
+  /// crash cancels the domain's tracked timers, wipes its state, and
+  /// rebuilds it from the journal — peers observe no outage (the recovery
+  /// itself is instantaneous in simulated time).  Requires
+  /// enable_journaling(); at most one trigger per domain at a time.
+  void schedule_crash_recovery(std::size_t domain, std::uint64_t at_seq);
+
+  /// Stats of the most recent journal recovery of domain `i`
+  /// (nullopt = that domain never recovered).
+  const std::optional<Cluster::RecoveryStats>& last_recovery(
+      std::size_t i) const {
+    return recoveries_.at(i);
+  }
+
+  /// Serializes the simulation clock plus every domain's state.  Call only
+  /// between events (before run(), or from a paused engine).
+  void snapshot(WireWriter& w) const;
+
+  /// Restores a snapshot() image into a freshly constructed CoupledSim
+  /// built with the same specs and traces: wipes each domain, applies its
+  /// snapshot, advances the engine to the snapshot time (pre-snapshot trace
+  /// submits re-fire as guarded no-ops), and re-arms all timers.
+  void restore(WireReader& r);
+
+  /// Invariants computed when run() aborts by exception (nullopt = the last
+  /// run() returned normally).
+  const std::optional<InvariantReport>& abort_invariants() const {
+    return abort_invariants_;
+  }
+
  private:
   void check_invariants(SimResult& result, bool aborted) const;
+  void crash_and_recover(std::size_t domain);
 
   Engine engine_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   /// links_[from][to] (nullptr on the diagonal).
   std::vector<std::vector<std::unique_ptr<FaultInjectingPeer>>> links_;
   std::unique_ptr<EventLog> event_log_;
+  std::vector<std::unique_ptr<Journal>> journals_;  ///< empty unless enabled
+  std::vector<std::optional<Cluster::RecoveryStats>> recoveries_;
+  std::optional<InvariantReport> abort_invariants_;
 };
 
 /// Convenience for the common two-domain experiments: builds DomainSpecs for

@@ -1,0 +1,263 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace cosched {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+const char* to_string(JournalRecordKind k) {
+  switch (k) {
+    case JournalRecordKind::kSnapshot: return "snapshot";
+    case JournalRecordKind::kIncarnation: return "incarnation";
+    case JournalRecordKind::kExpected: return "expected";
+    case JournalRecordKind::kSubmit: return "submit";
+    case JournalRecordKind::kReady: return "ready";
+    case JournalRecordKind::kStart: return "start";
+    case JournalRecordKind::kHold: return "hold";
+    case JournalRecordKind::kHoldRelease: return "hold-release";
+    case JournalRecordKind::kYield: return "yield";
+    case JournalRecordKind::kFinish: return "finish";
+    case JournalRecordKind::kKill: return "kill";
+    case JournalRecordKind::kIterate: return "iterate";
+    case JournalRecordKind::kTickArmed: return "tick-armed";
+    case JournalRecordKind::kTickFired: return "tick-fired";
+    case JournalRecordKind::kIterArmed: return "iter-armed";
+    case JournalRecordKind::kPeriodicArmed: return "periodic-armed";
+    case JournalRecordKind::kDegraded: return "degraded";
+    case JournalRecordKind::kDedup: return "dedup";
+  }
+  return "?";
+}
+
+// -- FileJournalSink ---------------------------------------------------------
+
+FileJournalSink::FileJournalSink(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  COSCHED_CHECK_MSG(fd_ >= 0, "journal open " << path_ << ": "
+                                              << std::strerror(errno));
+}
+
+FileJournalSink::~FileJournalSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileJournalSink::append(std::span<const std::uint8_t> frame) {
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("journal write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void FileJournalSink::commit() {
+  if (::fsync(fd_) != 0)
+    throw Error(std::string("journal fsync: ") + std::strerror(errno));
+}
+
+void FileJournalSink::reset(std::vector<std::uint8_t> contents) {
+  const std::string tmp = path_ + ".compact";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  COSCHED_CHECK_MSG(tfd >= 0, "journal compact open " << tmp << ": "
+                                                      << std::strerror(errno));
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(tfd, contents.data() + off,
+                              contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(tfd);
+      throw Error(std::string("journal compact write: ") +
+                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(tfd);
+  ::close(tfd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw Error(std::string("journal compact rename: ") +
+                std::strerror(errno));
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+  COSCHED_CHECK_MSG(fd_ >= 0, "journal reopen " << path_ << ": "
+                                                << std::strerror(errno));
+}
+
+std::vector<std::uint8_t> FileJournalSink::contents() const {
+  std::vector<std::uint8_t> out;
+  const int rfd = ::open(path_.c_str(), O_RDONLY);
+  if (rfd < 0) return out;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(rfd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(rfd);
+  return out;
+}
+
+// -- Journal -----------------------------------------------------------------
+
+Journal::Journal(std::unique_ptr<JournalSink> sink) : sink_(std::move(sink)) {
+  COSCHED_CHECK(sink_ != nullptr);
+}
+
+std::vector<std::uint8_t> Journal::frame(
+    std::uint64_t seq, JournalRecordKind kind,
+    std::span<const std::uint8_t> payload) {
+  WireWriter pw;
+  pw.put_u64(seq);
+  pw.put_u8(static_cast<std::uint8_t>(kind));
+  std::vector<std::uint8_t> body = pw.take();
+  body.insert(body.end(), payload.begin(), payload.end());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 8);
+  put_le32(out, static_cast<std::uint32_t>(body.size()));
+  put_le32(out, crc32(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::uint64_t Journal::append(JournalRecordKind kind,
+                              std::span<const std::uint8_t> payload) {
+  const std::uint64_t seq = next_seq_++;
+  sink_->append(frame(seq, kind, payload));
+  last_appended_seq_ = seq;
+  ++records_since_compaction_;
+  dirty_ = true;
+  return seq;
+}
+
+void Journal::commit() {
+  if (!dirty_) return;
+  sink_->commit();
+  dirty_ = false;
+  last_committed_seq_ = last_appended_seq_;
+  // Call through a copy: the hook may clear/replace itself (the kill-anywhere
+  // harness disarms its crash trigger from inside the callback).
+  if (on_commit_) {
+    const auto fn = on_commit_;
+    fn(last_committed_seq_);
+  }
+}
+
+void Journal::reopen() {
+  // Whatever was appended but never committed is gone — model the crash by
+  // resetting the sink to its durable image, then re-sync counters from it.
+  sink_->reset(sink_->contents());
+  const std::vector<std::uint8_t> bytes = sink_->contents();
+  const JournalReplay rep = read_journal(bytes);
+  std::uint64_t last = 0;
+  std::uint64_t non_snapshot = 0;
+  for (const JournalRecord& rec : rep.records) {
+    last = rec.seq;
+    if (rec.kind != JournalRecordKind::kSnapshot) ++non_snapshot;
+  }
+  next_seq_ = last + 1;
+  last_appended_seq_ = last;
+  last_committed_seq_ = last;
+  records_since_compaction_ = non_snapshot;
+  dirty_ = false;
+}
+
+void Journal::compact(std::span<const std::uint8_t> snapshot_payload) {
+  const std::uint64_t seq = next_seq_++;
+  sink_->reset(frame(seq, JournalRecordKind::kSnapshot, snapshot_payload));
+  last_appended_seq_ = seq;
+  last_committed_seq_ = seq;
+  records_since_compaction_ = 0;
+  dirty_ = false;
+}
+
+JournalReplay read_journal(std::span<const std::uint8_t> bytes) {
+  JournalReplay out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      out.tail_torn = true;  // truncated header
+      break;
+    }
+    const std::uint32_t len = get_le32(bytes.data() + pos);
+    const std::uint32_t crc = get_le32(bytes.data() + pos + 4);
+    if (bytes.size() - pos - 8 < len) {
+      out.tail_torn = true;  // truncated body
+      break;
+    }
+    const std::span<const std::uint8_t> body(bytes.data() + pos + 8, len);
+    if (crc32(body) != crc) {
+      out.tail_torn = true;  // corrupt body (or header)
+      break;
+    }
+    JournalRecord rec;
+    try {
+      WireReader r(body);
+      rec.seq = r.get_u64();
+      const std::uint8_t k = r.get_u8();
+      if (k > static_cast<std::uint8_t>(JournalRecordKind::kDedup))
+        throw ParseError("journal: unknown record kind");
+      rec.kind = static_cast<JournalRecordKind>(k);
+      rec.payload.assign(body.begin() + (len - r.remaining()), body.end());
+    } catch (const ParseError&) {
+      out.tail_torn = true;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+    pos += 8 + len;
+    out.bytes_scanned = pos;
+  }
+  return out;
+}
+
+}  // namespace cosched

@@ -1,0 +1,200 @@
+// Write-ahead journal of state-mutating coscheduling decisions.
+//
+// The paper's fault story (§IV-C) only covers a *remote* domain dying: the
+// mate becomes `unknown` and the local job starts normally.  It says nothing
+// about the local daemon crashing while jobs hold nodes or a tryStartMate is
+// in flight — in production that leaks held nodes or double-starts mates.
+// This module closes that gap: every externally visible scheduler decision
+// (submit, ready, start, hold, release, yield, finish, kill, demotion-clear,
+// timer arms) is framed, CRC-checked, and appended to a journal *before* its
+// effects become visible to peers; recovery replays snapshot + tail and
+// reconstructs bit-identical scheduler state.
+//
+// Frame layout (little-endian):
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//   payload = varint seq ++ u8 kind ++ kind-specific body (wire varints)
+//
+// Torn-tail rule: replay stops at the first frame whose length prefix is
+// incomplete, overruns the buffer, or fails its CRC.  Everything before it
+// is applied; the torn frame and anything after are discarded (a frame is
+// only semantically required once its commit() returned — see RECOVERY.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/wire.h"
+
+namespace cosched {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Record kinds.  Values are wire format — append only, never renumber.
+enum class JournalRecordKind : std::uint8_t {
+  kSnapshot = 0,      ///< full Cluster+Scheduler state (compaction point)
+  kIncarnation = 1,   ///< daemon incarnation number after (re)start
+  kExpected = 2,      ///< register_expected() of a paired job
+  kSubmit = 3,        ///< job entered the queue
+  kReady = 4,         ///< scheduler first selected the job (first_ready set)
+  kStart = 5,         ///< job started (queued or holding origin)
+  kHold = 6,          ///< job holds its assigned nodes
+  kHoldRelease = 7,   ///< forced release (deadlock breaker)
+  kYield = 8,         ///< job yielded its turn
+  kFinish = 9,        ///< job completed
+  kKill = 10,         ///< job killed (fault injection)
+  kIterate = 11,      ///< scheduling iteration ran (clears demotions)
+  kTickArmed = 12,    ///< hold-release tick armed at absolute time
+  kTickFired = 13,    ///< hold-release tick fired
+  kIterArmed = 14,    ///< coalesced iteration request armed
+  kPeriodicArmed = 15,///< periodic iteration timer armed at absolute time
+  kDegraded = 16,     ///< decision path saw transport faults (§IV-C rule)
+  kDedup = 17,        ///< RPC dedup verdict (exactly-once cache entry)
+};
+
+const char* to_string(JournalRecordKind k);
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  JournalRecordKind kind = JournalRecordKind::kSnapshot;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Durable byte store under a journal.  append() may buffer; commit() makes
+/// everything appended so far durable (the group-commit fsync point).
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  virtual void append(std::span<const std::uint8_t> frame) = 0;
+  virtual void commit() = 0;
+  /// Atomically replaces the durable contents (compaction rewrite).
+  virtual void reset(std::vector<std::uint8_t> contents) = 0;
+  /// The bytes that would survive a crash right now (committed only).
+  virtual std::vector<std::uint8_t> contents() const = 0;
+};
+
+/// In-memory sink modeling an fsync boundary: appended bytes sit in a
+/// buffer until commit(); contents() returns only the committed prefix.
+/// This is what the kill-anywhere harness "crashes": uncommitted bytes
+/// vanish, exactly like a page cache on power loss.
+class MemoryJournalSink final : public JournalSink {
+ public:
+  void append(std::span<const std::uint8_t> frame) override {
+    buffered_.insert(buffered_.end(), frame.begin(), frame.end());
+  }
+  void commit() override {
+    durable_.insert(durable_.end(), buffered_.begin(), buffered_.end());
+    buffered_.clear();
+  }
+  void reset(std::vector<std::uint8_t> contents) override {
+    durable_ = std::move(contents);
+    buffered_.clear();
+  }
+  std::vector<std::uint8_t> contents() const override { return durable_; }
+
+  std::size_t durable_bytes() const { return durable_.size(); }
+  std::size_t buffered_bytes() const { return buffered_.size(); }
+
+ private:
+  std::vector<std::uint8_t> durable_;
+  std::vector<std::uint8_t> buffered_;
+};
+
+/// File-backed sink for the live daemons: append() writes to the file,
+/// commit() flushes and fsyncs once per batch (group commit), reset()
+/// rewrites via a temp file + rename so compaction is crash-atomic.
+class FileJournalSink final : public JournalSink {
+ public:
+  /// Opens (creating if absent) `path` for appending.  Throws Error on
+  /// failure.
+  explicit FileJournalSink(std::string path);
+  ~FileJournalSink() override;
+
+  void append(std::span<const std::uint8_t> frame) override;
+  void commit() override;
+  void reset(std::vector<std::uint8_t> contents) override;
+  std::vector<std::uint8_t> contents() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Write-ahead journal: frames records over a sink with group commit,
+/// monotone sequence numbers, and compaction.
+class Journal {
+ public:
+  explicit Journal(std::unique_ptr<JournalSink> sink);
+
+  /// Frames and appends one record (buffered until commit()).  Returns the
+  /// record's sequence number.
+  std::uint64_t append(JournalRecordKind kind,
+                       std::span<const std::uint8_t> payload);
+
+  /// Makes all appended records durable (one sink commit per batch) and
+  /// fires the on_commit hook.  No-op if nothing was appended since the
+  /// last commit.
+  void commit();
+
+  /// Hook invoked after each effective commit with the highest durable
+  /// sequence number.  Used by the kill-anywhere harness as its crash
+  /// trigger.
+  void set_on_commit(std::function<void(std::uint64_t)> fn) {
+    on_commit_ = std::move(fn);
+  }
+
+  /// Replaces the journal contents with a single snapshot record
+  /// (compaction).  Durable on return.  Sequence numbers keep counting.
+  void compact(std::span<const std::uint8_t> snapshot_payload);
+
+  /// Crash-restart over the same sink: drops any uncommitted (buffered)
+  /// bytes, rescans the durable image, and re-syncs the sequence counters to
+  /// its last intact record so new appends continue the same journal.
+  void reopen();
+
+  /// Records appended since the last compact() (or construction).
+  std::uint64_t records_since_compaction() const {
+    return records_since_compaction_;
+  }
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t last_committed_seq() const { return last_committed_seq_; }
+
+  JournalSink& sink() { return *sink_; }
+  const JournalSink& sink() const { return *sink_; }
+
+ private:
+  static std::vector<std::uint8_t> frame(std::uint64_t seq,
+                                         JournalRecordKind kind,
+                                         std::span<const std::uint8_t> payload);
+
+  std::unique_ptr<JournalSink> sink_;
+  std::function<void(std::uint64_t)> on_commit_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t last_appended_seq_ = 0;
+  std::uint64_t last_committed_seq_ = 0;
+  std::uint64_t records_since_compaction_ = 0;
+  bool dirty_ = false;
+};
+
+/// Result of scanning a journal byte image.
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  /// True when the scan stopped at a torn/corrupt frame before the end of
+  /// the buffer (the torn-tail rule fired).
+  bool tail_torn = false;
+  /// Bytes of intact frames consumed.
+  std::size_t bytes_scanned = 0;
+};
+
+/// Decodes every intact frame from `bytes`, stopping (not throwing) at the
+/// first torn or corrupt one.
+JournalReplay read_journal(std::span<const std::uint8_t> bytes);
+
+}  // namespace cosched

@@ -48,15 +48,34 @@ WirePeer::TransportStats WirePeer::stats() const {
   return stats_;
 }
 
+std::optional<std::uint64_t> WirePeer::server_incarnation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_incarnation_;
+}
+
 bool WirePeer::ensure_channel() {
-  if (channel_) return true;
-  if (!factory_) return false;
-  auto fresh = factory_();
-  if (!fresh) return false;
-  channel_.emplace(std::move(*fresh));
-  channel_->set_read_deadline_ms(config_.call_deadline_ms);
-  channel_->set_write_deadline_ms(config_.call_deadline_ms);
-  ++stats_.reconnects;
+  if (!channel_) {
+    if (!factory_) return false;
+    auto fresh = factory_();
+    if (!fresh) return false;
+    channel_.emplace(std::move(*fresh));
+    channel_->set_read_deadline_ms(config_.call_deadline_ms);
+    channel_->set_write_deadline_ms(config_.call_deadline_ms);
+    ++stats_.reconnects;
+    hello_done_ = false;
+  }
+  // Incarnation handshake, once per connection, before any protocol call.
+  // Learning the server's incarnation here is what lets attempt() reject
+  // stale replies if the server restarts mid-conversation.
+  if (config_.incarnation != 0 && !hello_done_) {
+    ++stats_.hellos;
+    const auto resp =
+        attempt(make_hello_req(next_rid_++, config_.incarnation),
+                MsgType::kHelloResp);
+    if (!resp) return false;  // attempt() already dropped the channel
+    server_incarnation_ = resp->incarnation;
+    hello_done_ = true;
+  }
   return true;
 }
 
@@ -110,6 +129,7 @@ std::optional<Message> WirePeer::attempt(const Message& req, MsgType expect) {
     if (!frame) {
       COSCHED_LOG(kWarn) << "wire peer: connection closed by remote";
       channel_.reset();
+      hello_done_ = false;
       return std::nullopt;
     }
     Message resp = Message::decode(*frame);
@@ -119,6 +139,20 @@ std::optional<Message> WirePeer::attempt(const Message& req, MsgType expect) {
       // connection restores it.
       COSCHED_LOG(kWarn) << "wire peer: unexpected response";
       channel_.reset();
+      hello_done_ = false;
+      return std::nullopt;
+    }
+    // Even a well-aligned reply is stale if the server restarted since this
+    // connection's hello: its verdict belongs to a dead incarnation's state.
+    // Drop the channel so the next attempt re-handshakes.
+    if (config_.incarnation != 0 && hello_done_ &&
+        resp.incarnation != *server_incarnation_) {
+      ++stats_.stale_rejected;
+      COSCHED_LOG(kWarn) << "wire peer: stale response (server incarnation "
+                         << resp.incarnation << " != handshaken "
+                         << *server_incarnation_ << ")";
+      channel_.reset();
+      hello_done_ = false;
       return std::nullopt;
     }
     return resp;
@@ -127,18 +161,20 @@ std::optional<Message> WirePeer::attempt(const Message& req, MsgType expect) {
     COSCHED_LOG(kWarn) << "wire peer: " << e.what();
     // The reply may still arrive later and would desync the next call.
     channel_.reset();
+    hello_done_ = false;
     return std::nullopt;
   } catch (const std::exception& e) {
     COSCHED_LOG(kWarn) << "wire peer: transport failure: " << e.what();
     channel_.reset();
+    hello_done_ = false;
     return std::nullopt;
   }
 }
 
-std::optional<Message> WirePeer::round_trip(const Message& req,
-                                            MsgType expect) {
+std::optional<Message> WirePeer::round_trip(Message req, MsgType expect) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.calls;
+  req.incarnation = config_.incarnation;
 
   bool probing = false;
   if (state_ == BreakerState::kOpen) {
@@ -206,8 +242,9 @@ std::optional<bool> WirePeer::start_job(JobId job) {
   return resp->ok;
 }
 
-void serve_channel(FramedChannel& channel, CoschedService& service) {
-  ServiceDispatcher dispatcher(service);
+void serve_channel(FramedChannel& channel, CoschedService& service,
+                   DispatcherConfig config) {
+  ServiceDispatcher dispatcher(service, config);
   for (;;) {
     std::optional<std::vector<std::uint8_t>> frame;
     try {

@@ -50,6 +50,12 @@ struct WirePeerConfig {
   BreakerConfig breaker;
   /// Seed for backoff jitter (deterministic, per-peer stream).
   std::uint64_t jitter_seed = 0x77199db5u;
+  /// This client's incarnation, stamped on every request (scopes request
+  /// ids for the server's exactly-once dedup) and exchanged via a hello
+  /// handshake on every (re)connection; responses whose server incarnation
+  /// differs from the handshaken one are rejected as stale.  0 disables
+  /// incarnation semantics entirely (legacy/loopback behaviour).
+  std::uint64_t incarnation = 1;
 };
 
 enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
@@ -95,11 +101,19 @@ class WirePeer final : public PeerClient {
     std::uint64_t breaker_opens = 0;    ///< closed/half-open -> open
     std::uint64_t breaker_closes = 0;   ///< half-open probe succeeded
     std::uint64_t fast_fails = 0;       ///< calls rejected while open
+    std::uint64_t hellos = 0;           ///< incarnation handshakes sent
+    std::uint64_t stale_rejected = 0;   ///< responses dropped: wrong server
+                                        ///< incarnation (server restarted)
   };
   TransportStats stats() const;
 
+  /// Server incarnation learned from the last completed hello handshake
+  /// (nullopt before the first handshake or with incarnation semantics
+  /// disabled).
+  std::optional<std::uint64_t> server_incarnation() const;
+
  private:
-  std::optional<Message> round_trip(const Message& req, MsgType expect);
+  std::optional<Message> round_trip(Message req, MsgType expect);
   /// One wire attempt on the current channel.  nullopt = transport failure
   /// (the channel has been dropped).
   std::optional<Message> attempt(const Message& req, MsgType expect);
@@ -113,9 +127,19 @@ class WirePeer final : public PeerClient {
   ChannelFactory factory_;
   std::optional<FramedChannel> channel_;
   Rng jitter_rng_;
+  /// Request ids are monotone for the lifetime of this peer (one client
+  /// incarnation) and are never reset on reconnect: the server's
+  /// exactly-once cache is keyed (client incarnation, rid), so a reused rid
+  /// after a reconnect would alias a *different* logical call into an old
+  /// verdict.  Response/request matching is instead scoped per connection
+  /// plus the server incarnation learned from that connection's hello.
   /// Atomic because requests are built (rid allocated) before round_trip
   /// takes the peer mutex.
   std::atomic<std::uint64_t> next_rid_{1};
+  /// True once the hello handshake completed on the *current* channel;
+  /// cleared whenever the channel drops.
+  bool hello_done_ = false;
+  std::optional<std::uint64_t> server_incarnation_;
 
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;
@@ -129,6 +153,10 @@ class WirePeer final : public PeerClient {
 /// job); read deadlines configured on the channel are treated as "still
 /// idle", not as errors, so a quiet client never kills the loop.
 /// Runs on the caller's thread; intended for a dedicated server thread.
-void serve_channel(FramedChannel& channel, CoschedService& service);
+/// `config` carries the server incarnation and optional exactly-once cache
+/// (RpcDedup is internally synchronized, so one cache may be shared by all
+/// of a daemon's channel threads).
+void serve_channel(FramedChannel& channel, CoschedService& service,
+                   DispatcherConfig config = {});
 
 }  // namespace cosched

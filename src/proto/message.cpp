@@ -21,6 +21,7 @@ std::vector<std::uint8_t> Message::encode() const {
   WireWriter w;
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_u64(request_id);
+  w.put_u64(incarnation);
   switch (type) {
     case MsgType::kGetMateJobReq:
       w.put_i64(group);
@@ -44,6 +45,9 @@ std::vector<std::uint8_t> Message::encode() const {
     case MsgType::kStartJobResp:
       w.put_bool(ok);
       break;
+    case MsgType::kHelloReq:
+    case MsgType::kHelloResp:
+      break;  // the incarnation field is the whole payload
     case MsgType::kErrorResp:
       w.put_string(error);
       break;
@@ -56,13 +60,15 @@ Message Message::decode(std::span<const std::uint8_t> data) {
   Message m;
   const std::uint8_t t = r.get_u8();
   switch (t) {
-    case 1: case 2: case 3: case 4: case 5: case 6: case 7: case 8: case 15:
+    case 1: case 2: case 3: case 4: case 5: case 6: case 7: case 8:
+    case 9: case 10: case 15:
       m.type = static_cast<MsgType>(t);
       break;
     default:
       throw ParseError("message: unknown type " + std::to_string(t));
   }
   m.request_id = r.get_u64();
+  m.incarnation = r.get_u64();
   switch (m.type) {
     case MsgType::kGetMateJobReq:
       m.group = r.get_i64();
@@ -89,6 +95,9 @@ Message Message::decode(std::span<const std::uint8_t> data) {
     case MsgType::kTryStartMateResp:
     case MsgType::kStartJobResp:
       m.ok = r.get_bool();
+      break;
+    case MsgType::kHelloReq:
+    case MsgType::kHelloResp:
       break;
     case MsgType::kErrorResp:
       m.error = r.get_string();
@@ -164,12 +173,54 @@ Message make_start_job_resp(std::uint64_t rid, bool ok) {
   return m;
 }
 
+Message make_hello_req(std::uint64_t rid, std::uint64_t client_incarnation) {
+  Message m;
+  m.type = MsgType::kHelloReq;
+  m.request_id = rid;
+  m.incarnation = client_incarnation;
+  return m;
+}
+
+Message make_hello_resp(std::uint64_t rid, std::uint64_t server_incarnation) {
+  Message m;
+  m.type = MsgType::kHelloResp;
+  m.request_id = rid;
+  m.incarnation = server_incarnation;
+  return m;
+}
+
 Message make_error_resp(std::uint64_t rid, std::string error) {
   Message m;
   m.type = MsgType::kErrorResp;
   m.request_id = rid;
   m.error = std::move(error);
   return m;
+}
+
+void encode_job_spec(WireWriter& w, const JobSpec& spec) {
+  w.put_i64(spec.id);
+  w.put_i64(spec.submit);
+  w.put_i64(spec.runtime);
+  w.put_i64(spec.walltime);
+  w.put_i64(spec.nodes);
+  w.put_i64(spec.group);
+  w.put_i64(spec.after);
+  w.put_i64(spec.after_delay);
+  w.put_i64(spec.user);
+}
+
+JobSpec decode_job_spec(WireReader& r) {
+  JobSpec spec;
+  spec.id = r.get_i64();
+  spec.submit = r.get_i64();
+  spec.runtime = r.get_i64();
+  spec.walltime = r.get_i64();
+  spec.nodes = r.get_i64();
+  spec.group = r.get_i64();
+  spec.after = r.get_i64();
+  spec.after_delay = r.get_i64();
+  spec.user = static_cast<std::int32_t>(r.get_i64());
+  return spec;
 }
 
 }  // namespace cosched

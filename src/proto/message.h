@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "proto/wire.h"
 #include "util/types.h"
 #include "workload/job.h"
 
@@ -45,6 +46,12 @@ enum class MsgType : std::uint8_t {
   kTryStartMateResp = 6,
   kStartJobReq = 7,
   kStartJobResp = 8,
+  /// Incarnation handshake, sent once per (re)connection before any call:
+  /// the request carries the client's incarnation, the response the
+  /// server's.  Responses whose incarnation no longer matches the
+  /// handshaken value are stale (the server restarted) and are rejected.
+  kHelloReq = 9,
+  kHelloResp = 10,
   kErrorResp = 15,
 };
 
@@ -53,6 +60,12 @@ enum class MsgType : std::uint8_t {
 struct Message {
   MsgType type = MsgType::kErrorResp;
   std::uint64_t request_id = 0;
+
+  /// Incarnation of the sender: the client's on requests (scopes request
+  /// ids for exactly-once dedup), the server's on responses (rejects stale
+  /// replies across a server restart).  0 = no incarnation semantics (the
+  /// in-process loopback path).
+  std::uint64_t incarnation = 0;
 
   GroupId group = kNoGroup;     // GetMateJobReq
   JobId job = kNoJob;           // asking/mate/target job id
@@ -79,6 +92,13 @@ Message make_try_start_mate_req(std::uint64_t rid, JobId mate);
 Message make_try_start_mate_resp(std::uint64_t rid, bool started);
 Message make_start_job_req(std::uint64_t rid, JobId job);
 Message make_start_job_resp(std::uint64_t rid, bool ok);
+Message make_hello_req(std::uint64_t rid, std::uint64_t client_incarnation);
+Message make_hello_resp(std::uint64_t rid, std::uint64_t server_incarnation);
 Message make_error_resp(std::uint64_t rid, std::string error);
+
+/// Canonical JobSpec codec, shared by the wire protocol layer and the
+/// crash-recovery snapshot/journal (core/journal.h).
+void encode_job_spec(WireWriter& w, const JobSpec& spec);
+JobSpec decode_job_spec(WireReader& r);
 
 }  // namespace cosched

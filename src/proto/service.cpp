@@ -8,37 +8,64 @@ namespace cosched {
 std::vector<std::uint8_t> ServiceDispatcher::dispatch(
     std::span<const std::uint8_t> request) {
   Message req;
+  // Every response carries this daemon's incarnation so clients can reject
+  // replies that straddle a server restart.
+  const auto finish = [this](Message resp) {
+    resp.incarnation = config_.incarnation;
+    return resp.encode();
+  };
   try {
     req = Message::decode(request);
   } catch (const ParseError& e) {
     COSCHED_LOG(kWarn) << "dispatcher: malformed request: " << e.what();
-    return make_error_resp(0, e.what()).encode();
+    return finish(make_error_resp(0, e.what()));
+  }
+
+  // Exactly-once: side-effecting calls from incarnated clients are answered
+  // from the dedup cache on retry instead of re-executing.
+  const bool dedupable = config_.dedup != nullptr && req.incarnation != 0 &&
+                         (req.type == MsgType::kTryStartMateReq ||
+                          req.type == MsgType::kStartJobReq);
+  if (dedupable) {
+    if (auto hit = config_.dedup->lookup(req.incarnation, req.request_id)) {
+      return finish(req.type == MsgType::kTryStartMateReq
+                        ? make_try_start_mate_resp(req.request_id, hit->verdict)
+                        : make_start_job_resp(req.request_id, hit->verdict));
+    }
   }
 
   try {
     switch (req.type) {
       case MsgType::kGetMateJobReq:
-        return make_get_mate_job_resp(
-                   req.request_id, service_.get_mate_job(req.group, req.job))
-            .encode();
+        return finish(make_get_mate_job_resp(
+            req.request_id, service_.get_mate_job(req.group, req.job)));
       case MsgType::kGetMateStatusReq:
-        return make_get_mate_status_resp(req.request_id,
-                                         service_.get_mate_status(req.job))
-            .encode();
-      case MsgType::kTryStartMateReq:
-        return make_try_start_mate_resp(req.request_id,
-                                        service_.try_start_mate(req.job))
-            .encode();
-      case MsgType::kStartJobReq:
-        return make_start_job_resp(req.request_id, service_.start_job(req.job))
-            .encode();
+        return finish(make_get_mate_status_resp(
+            req.request_id, service_.get_mate_status(req.job)));
+      case MsgType::kTryStartMateReq: {
+        const bool started = service_.try_start_mate(req.job);
+        if (dedupable)
+          config_.dedup->record(req.incarnation, req.request_id, req.type,
+                                started);
+        return finish(make_try_start_mate_resp(req.request_id, started));
+      }
+      case MsgType::kStartJobReq: {
+        const bool ok = service_.start_job(req.job);
+        if (dedupable)
+          config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+        return finish(make_start_job_resp(req.request_id, ok));
+      }
+      case MsgType::kHelloReq:
+        if (config_.dedup && req.incarnation != 0)
+          config_.dedup->on_hello(req.incarnation);
+        return finish(make_hello_resp(req.request_id, config_.incarnation));
       default:
-        return make_error_resp(req.request_id, "unexpected message type")
-            .encode();
+        return finish(
+            make_error_resp(req.request_id, "unexpected message type"));
     }
   } catch (const std::exception& e) {
     COSCHED_LOG(kError) << "dispatcher: service error: " << e.what();
-    return make_error_resp(req.request_id, e.what()).encode();
+    return finish(make_error_resp(req.request_id, e.what()));
   }
 }
 

@@ -6,8 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "proto/message.h"
@@ -36,17 +41,130 @@ class CoschedService {
   virtual bool start_job(JobId job) = 0;
 };
 
+/// Exactly-once verdict cache for the side-effecting calls (tryStartMate,
+/// startJob).  A retried request — same (client incarnation, request id) —
+/// returns the recorded verdict instead of re-running the scheduling
+/// iteration, so a lost response can never double-start a mate.
+///
+/// Keys are (client incarnation, request id).  Request ids are monotone per
+/// client incarnation and never reused (see net/rpc.h), so an entry is hit
+/// only by a genuine retry of the same logical call.  The persist hook fires
+/// *before* record() returns; the owner journals a kDedup record and commits
+/// it, making the verdict durable before the reply leaves the daemon.
+///
+/// Thread-safe: one cache is shared by every dispatcher (= connection) of a
+/// daemon, and connection threads overlap during client reconnects.  The
+/// persist hook runs under the lock, serializing journal appends too.
+class RpcDedup {
+ public:
+  struct Entry {
+    MsgType op = MsgType::kErrorResp;
+    bool verdict = false;
+  };
+
+  explicit RpcDedup(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Recorded verdict of a completed call, or nullopt if never executed
+  /// (or evicted — the call then re-executes, degrading to at-least-once).
+  std::optional<Entry> lookup(std::uint64_t client_incarnation,
+                              std::uint64_t rid) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find({client_incarnation, rid});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Records a verdict and fires the persist hook (durable-before-reply).
+  void record(std::uint64_t client_incarnation, std::uint64_t rid, MsgType op,
+              bool verdict) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(client_incarnation, rid, op, verdict);
+    if (persist_) persist_(client_incarnation, rid, op, verdict);
+  }
+
+  /// Inserts without persisting — journal replay during recovery.
+  void insert_restored(std::uint64_t client_incarnation, std::uint64_t rid,
+                       MsgType op, bool verdict) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(client_incarnation, rid, op, verdict);
+  }
+
+  /// Hello from a (re)connecting client: drops entries of *older*
+  /// incarnations of the same client.  "Same client" = same high 32 bits of
+  /// the incarnation; deployments with several clients should allocate
+  /// incarnations as (client_id << 32) | restart_count.  The all-low-bits
+  /// counters used by the simulator collapse every client into id 0, which
+  /// is fine there: a restart wipes the whole simulated coupled system.
+  void on_hello(std::uint64_t client_incarnation) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t client = client_incarnation >> 32;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if ((it->first.first >> 32) == client &&
+          it->first.first < client_incarnation)
+        it = entries_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  void set_persist(std::function<void(std::uint64_t, std::uint64_t, MsgType,
+                                      bool)> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    persist_ = std::move(fn);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  void insert_locked(std::uint64_t client_incarnation, std::uint64_t rid,
+                     MsgType op, bool verdict) {
+    const Key key{client_incarnation, rid};
+    if (entries_.emplace(key, Entry{op, verdict}).second) {
+      order_.push_back(key);
+      while (order_.size() > max_entries_) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+  }
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::deque<Key> order_;
+  std::function<void(std::uint64_t, std::uint64_t, MsgType, bool)> persist_;
+};
+
+/// Server-side identity and exactly-once wiring for a dispatcher.
+struct DispatcherConfig {
+  /// This daemon's incarnation, stamped on every response (0 = loopback,
+  /// no incarnation semantics).
+  std::uint64_t incarnation = 0;
+  /// Optional exactly-once cache; consulted only for side-effecting calls
+  /// from clients that declare an incarnation.
+  RpcDedup* dedup = nullptr;
+};
+
 /// Decodes a request, invokes the service, encodes the response.
 /// Malformed requests produce a kErrorResp rather than an exception so a
 /// bad peer cannot crash a daemon.
 class ServiceDispatcher {
  public:
-  explicit ServiceDispatcher(CoschedService& service) : service_(service) {}
+  explicit ServiceDispatcher(CoschedService& service,
+                             DispatcherConfig config = {})
+      : service_(service), config_(config) {}
 
   std::vector<std::uint8_t> dispatch(std::span<const std::uint8_t> request);
 
  private:
   CoschedService& service_;
+  DispatcherConfig config_;
 };
 
 }  // namespace cosched

@@ -6,6 +6,7 @@
 // simulator and the socket channel used by the live daemons.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -21,6 +22,9 @@ class WireWriter {
   void put_u64(std::uint64_t v);
   void put_i64(std::int64_t v) { put_u64(zigzag(v)); }
   void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// Doubles travel as IEEE-754 bit patterns (exact round-trip; used by the
+  /// snapshot codec, never by protocol messages).
+  void put_double(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
   void put_string(const std::string& s);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
@@ -43,6 +47,7 @@ class WireReader {
   std::uint64_t get_u64();
   std::int64_t get_i64() { return unzigzag(get_u64()); }
   bool get_bool() { return get_u8() != 0; }
+  double get_double() { return std::bit_cast<double>(get_u64()); }
   std::string get_string();
 
   bool exhausted() const { return pos_ == data_.size(); }

@@ -65,6 +65,26 @@ class NodePool {
   /// utilization rate").
   double held_fraction(Time now) const;
 
+  /// Raw accounting state for snapshot/restore (core/journal.h).  Capacity
+  /// and allocation model are construction-time facts and are not included.
+  struct Accounting {
+    NodeCount busy = 0;
+    NodeCount held = 0;
+    Time last_update = 0;
+    double busy_ns = 0.0;
+    double held_ns = 0.0;
+  };
+  Accounting accounting() const {
+    return {busy_, held_, last_update_, busy_ns_, held_ns_};
+  }
+  void restore(const Accounting& a) {
+    busy_ = a.busy;
+    held_ = a.held;
+    last_update_ = a.last_update;
+    busy_ns_ = a.busy_ns;
+    held_ns_ = a.held_ns;
+  }
+
  private:
   NodeCount capacity_;
   std::shared_ptr<const AllocationModel> model_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "proto/message.h"
 #include "sched/profile.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -396,6 +397,173 @@ void Scheduler::erase_running_end(const RuntimeJob& job) {
   }
   COSCHED_CHECK_MSG(false, "running job " << job.spec.id
                                           << " missing from end index");
+}
+
+void Scheduler::snapshot(WireWriter& w) const {
+  const NodePool::Accounting a = pool_.accounting();
+  w.put_i64(a.busy);
+  w.put_i64(a.held);
+  w.put_i64(a.last_update);
+  w.put_double(a.busy_ns);
+  w.put_double(a.held_ns);
+
+  const auto write_jobs =
+      [&w](const std::unordered_map<JobId, RuntimeJob>& table) {
+        std::vector<JobId> ids;
+        ids.reserve(table.size());
+        for (const auto& [id, job] : table) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        w.put_u64(ids.size());
+        for (JobId id : ids) {
+          const RuntimeJob& j = table.at(id);
+          encode_job_spec(w, j.spec);
+          w.put_u8(static_cast<std::uint8_t>(j.state));
+          w.put_i64(j.start);
+          w.put_i64(j.end);
+          w.put_i64(j.first_ready);
+          w.put_i64(j.hold_since);
+          w.put_i64(j.allocated);
+          w.put_i64(j.yield_count);
+          w.put_i64(j.forced_releases);
+          w.put_bool(j.demoted);
+          w.put_double(j.priority_boost);
+        }
+      };
+  write_jobs(jobs_);
+  write_jobs(archived_);
+
+  // The running-end index in iteration order: equal walltime-end keys keep
+  // multimap insertion (= start) order, which the shadow/profile scans
+  // depend on for determinism.
+  w.put_u64(running_ends_.size());
+  for (const auto& [end, id] : running_ends_) w.put_i64(id);
+}
+
+void Scheduler::restore(WireReader& r) {
+  NodePool::Accounting a;
+  a.busy = r.get_i64();
+  a.held = r.get_i64();
+  a.last_update = r.get_i64();
+  a.busy_ns = r.get_double();
+  a.held_ns = r.get_double();
+  pool_.restore(a);
+
+  jobs_.clear();
+  archived_.clear();
+  queued_.clear();
+  queue_pos_.clear();
+  running_ends_.clear();
+  holding_.clear();
+
+  const auto read_jobs = [&r](std::unordered_map<JobId, RuntimeJob>& table) {
+    const std::uint64_t n = r.get_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      RuntimeJob j;
+      j.spec = decode_job_spec(r);
+      const std::uint8_t s = r.get_u8();
+      COSCHED_CHECK_MSG(s <= static_cast<std::uint8_t>(JobState::kFinished),
+                        "snapshot: bad job state " << int(s));
+      j.state = static_cast<JobState>(s);
+      j.start = r.get_i64();
+      j.end = r.get_i64();
+      j.first_ready = r.get_i64();
+      j.hold_since = r.get_i64();
+      j.allocated = r.get_i64();
+      j.yield_count = static_cast<int>(r.get_i64());
+      j.forced_releases = static_cast<int>(r.get_i64());
+      j.demoted = r.get_bool();
+      j.priority_boost = r.get_double();
+      table.emplace(j.spec.id, std::move(j));
+    }
+  };
+  read_jobs(jobs_);
+  read_jobs(archived_);
+
+  // Rebuild indices.  Queue order is behaviorally irrelevant (priority_order
+  // is a total order with an id tiebreak), so sorted-by-id is canonical.
+  std::vector<JobId> qids;
+  std::size_t running = 0;
+  for (const auto& [id, j] : jobs_) {
+    switch (j.state) {
+      case JobState::kQueued: qids.push_back(id); break;
+      case JobState::kHolding: holding_.insert(id); break;
+      case JobState::kRunning: ++running; break;
+      case JobState::kFinished:
+        COSCHED_CHECK_MSG(false, "snapshot: finished job " << id
+                                                           << " in live table");
+    }
+  }
+  std::sort(qids.begin(), qids.end());
+  for (JobId id : qids) {
+    queue_pos_.emplace(id, queued_.size());
+    queued_.push_back(id);
+  }
+  const std::uint64_t nrun = r.get_u64();
+  COSCHED_CHECK_MSG(nrun == running, "snapshot: running-end index count "
+                                         << nrun << " != running jobs "
+                                         << running);
+  for (std::uint64_t i = 0; i < nrun; ++i) {
+    const JobId id = r.get_i64();
+    const RuntimeJob& j = jobs_.at(id);
+    COSCHED_CHECK_MSG(j.state == JobState::kRunning,
+                      "snapshot: job " << id << " in end index not running");
+    running_ends_.emplace(j.start + j.spec.walltime, id);
+  }
+  touch();
+}
+
+void Scheduler::replay_start(JobId id, Time t, Time first_ready,
+                             NodeCount allocated) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "replay start: unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kQueued,
+                    "replay start: job " << id << " not queued");
+  job.allocated = allocated;
+  job.first_ready = first_ready;
+  pool_.allocate(allocated, t);
+  do_start(job, t);
+}
+
+void Scheduler::replay_hold(JobId id, Time t, Time first_ready,
+                            NodeCount allocated) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "replay hold: unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kQueued,
+                    "replay hold: job " << id << " not queued");
+  job.allocated = allocated;
+  job.first_ready = first_ready;
+  pool_.hold(allocated, t);
+  job.state = JobState::kHolding;
+  job.hold_since = t;
+  remove_from_queue(id);
+  holding_.insert(id);
+  touch();
+}
+
+void Scheduler::replay_yield(JobId id, Time first_ready, double boost) {
+  auto it = jobs_.find(id);
+  COSCHED_CHECK_MSG(it != jobs_.end(), "replay yield: unknown job " << id);
+  RuntimeJob& job = it->second;
+  COSCHED_CHECK_MSG(job.state == JobState::kQueued,
+                    "replay yield: job " << id << " not queued");
+  job.first_ready = first_ready;
+  ++job.yield_count;
+  job.priority_boost = boost;
+  touch();
+}
+
+void Scheduler::replay_clear_demotions() {
+  bool any = false;
+  for (JobId id : queued_) {
+    RuntimeJob& j = jobs_.at(id);
+    if (j.demoted) {
+      j.demoted = false;
+      any = true;
+    }
+  }
+  if (any) touch();
 }
 
 void Scheduler::validate_indices() const {

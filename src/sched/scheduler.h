@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "proto/wire.h"
 #include "sched/node_pool.h"
 #include "sched/policy.h"
 #include "sched/runtime_job.h"
@@ -162,6 +163,30 @@ class Scheduler {
   void validate_indices() const;
 
   const PriorityPolicy& policy() const { return *policy_; }
+
+  // -- crash-consistent persistence (core/journal.h) ---------------------
+  //
+  // snapshot()/restore() serialize the complete mutable state (job tables,
+  // pool accounting, running-end tie order) in a canonical order; capacity,
+  // policy, config, and the allocation model are construction facts and are
+  // not included — restore() must be called on a Scheduler built with the
+  // same ones.  The replay_* mutators re-apply journaled decisions through
+  // the same code paths normal operation uses, so every index and pool
+  // integral is rebuilt identically (validate after with validate_indices).
+
+  void snapshot(WireWriter& w) const;
+  void restore(WireReader& r);
+
+  /// Replays a journaled start of a *queued* job (holding-origin starts
+  /// replay through start_holding()).
+  void replay_start(JobId id, Time t, Time first_ready, NodeCount allocated);
+  /// Replays a journaled hold acquisition.
+  void replay_hold(JobId id, Time t, Time first_ready, NodeCount allocated);
+  /// Replays a journaled yield (re-applies the count, boost, first_ready).
+  void replay_yield(JobId id, Time first_ready, double boost);
+  /// Replays the end-of-iteration demotion clear (paper §IV-E1: demotion
+  /// lasts exactly one iteration) — an otherwise unjournaled mutation.
+  void replay_clear_demotions();
 
  private:
   // EASY reservation for a blocked head job.

@@ -283,6 +283,36 @@ TEST(FaultPlan, OutageWindowDegradesThenResynchronizes) {
   EXPECT_GT(sim.fault_stats().outage_blocked, 0u);
 }
 
+TEST(FaultPlan, HoldReleaseDemotionDuringOutageWindow) {
+  // A holder established *before* an outage window is forcibly released by
+  // the hold-release tick while its link is down.  With the mate unreachable
+  // the demoted job restarts uncoordinated instead of deadlocking, and a
+  // pair arriving after the window still co-starts exactly.
+  auto specs = two_domains(kHH, /*release=*/600);
+  Trace a, b;
+  b.add(job(90, 0, 6000, 80));       // blocks the mate: job 10 must queue
+  // The pair arrives after the filler is running (at t=0 beta's pool is
+  // still empty and a try-start would co-start the pair immediately).
+  a.add(job(1, 50, 300, 50, 7));     // ready at 50 -> holds for job 10
+  b.add(job(10, 50, 300, 30, 7));
+  a.add(job(2, 8000, 300, 50, 8));   // post-outage pair: must co-start
+  b.add(job(20, 8200, 300, 30, 8));
+  CoupledSim sim(specs, {a, b});
+  FaultPlan plan;
+  plan.outages.push_back({100, 4000});
+  sim.set_fault_plan(0, 1, plan);
+  sim.set_fault_plan(1, 0, plan);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok());
+  const RuntimeJob& holder = find_job(sim, 0, 1);
+  EXPECT_GE(holder.forced_releases, 1);
+  EXPECT_GT(holder.start, 0);    // held first, restarted after the release
+  EXPECT_LT(holder.start, 4000); // ...without waiting out the outage
+  EXPECT_EQ(find_job(sim, 0, 2).start, find_job(sim, 1, 20).start);
+  EXPECT_GT(sim.fault_stats().outage_blocked, 0u);
+}
+
 TEST(FaultPlan, FlappingLinkStillCompletes) {
   // Link down half of every 200 s; the workload must drain regardless, with
   // at least some calls blocked and some delivered.

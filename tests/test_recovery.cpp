@@ -1,0 +1,650 @@
+// Crash consistency: journal framing, snapshot/restore, kill-anywhere
+// recovery, and exactly-once RPC semantics (docs/RECOVERY.md).
+#include "core/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core_test_util.h"
+#include "net/rpc.h"
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+using testutil::find_job;
+using testutil::job;
+using testutil::two_domains;
+
+// -- journal framing ------------------------------------------------------
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> p;
+  for (int b : bytes) p.push_back(static_cast<std::uint8_t>(b));
+  return p;
+}
+
+TEST(Journal, AppendCommitReadRoundTrip) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  const auto p1 = payload_of({1, 2, 3});
+  const auto p2 = payload_of({});
+  const auto p3 = payload_of({0xff, 0x00, 0x7f});
+  EXPECT_EQ(j.append(JournalRecordKind::kSubmit, p1), 1u);
+  EXPECT_EQ(j.append(JournalRecordKind::kStart, p2), 2u);
+  EXPECT_EQ(j.append(JournalRecordKind::kFinish, p3), 3u);
+  j.commit();
+  EXPECT_EQ(j.last_committed_seq(), 3u);
+
+  const JournalReplay rep = read_journal(j.sink().contents());
+  EXPECT_FALSE(rep.tail_torn);
+  ASSERT_EQ(rep.records.size(), 3u);
+  EXPECT_EQ(rep.records[0].seq, 1u);
+  EXPECT_EQ(rep.records[0].kind, JournalRecordKind::kSubmit);
+  EXPECT_EQ(rep.records[0].payload, p1);
+  EXPECT_EQ(rep.records[1].payload, p2);
+  EXPECT_EQ(rep.records[2].seq, 3u);
+  EXPECT_EQ(rep.records[2].kind, JournalRecordKind::kFinish);
+  EXPECT_EQ(rep.records[2].payload, p3);
+  EXPECT_EQ(rep.bytes_scanned, j.sink().contents().size());
+}
+
+TEST(Journal, UncommittedAppendsAreNotDurable) {
+  auto sink = std::make_unique<MemoryJournalSink>();
+  MemoryJournalSink* raw = sink.get();
+  Journal j(std::move(sink));
+  j.append(JournalRecordKind::kSubmit, payload_of({1}));
+  // A crash here loses the record: nothing reached the durable image.
+  EXPECT_EQ(raw->durable_bytes(), 0u);
+  EXPECT_GT(raw->buffered_bytes(), 0u);
+  EXPECT_TRUE(read_journal(j.sink().contents()).records.empty());
+
+  j.commit();
+  EXPECT_EQ(raw->buffered_bytes(), 0u);
+  EXPECT_EQ(read_journal(j.sink().contents()).records.size(), 1u);
+}
+
+TEST(Journal, TornTailDiscardsOnlyTheIncompleteFrame) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  j.append(JournalRecordKind::kSubmit, payload_of({1, 2}));
+  j.append(JournalRecordKind::kStart, payload_of({3, 4}));
+  j.append(JournalRecordKind::kFinish, payload_of({5, 6}));
+  j.commit();
+
+  std::vector<std::uint8_t> bytes = j.sink().contents();
+  for (std::size_t cut = 1; cut <= 9; ++cut) {
+    std::vector<std::uint8_t> torn(bytes.begin(), bytes.end() - cut);
+    const JournalReplay rep = read_journal(torn);
+    EXPECT_TRUE(rep.tail_torn) << "cut=" << cut;
+    ASSERT_EQ(rep.records.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(rep.records[1].seq, 2u);
+  }
+}
+
+TEST(Journal, CorruptFrameStopsReplayAtTheCrc) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  j.append(JournalRecordKind::kSubmit, payload_of({1, 2, 3}));
+  j.append(JournalRecordKind::kStart, payload_of({4, 5, 6}));
+  j.commit();
+
+  std::vector<std::uint8_t> bytes = j.sink().contents();
+  // Locate frame 2 via frame 1's length prefix and flip one payload byte.
+  const std::uint32_t len1 = static_cast<std::uint32_t>(bytes[0]) |
+                             (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                             (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                             (static_cast<std::uint32_t>(bytes[3]) << 24);
+  const std::size_t frame2 = 8 + len1;
+  ASSERT_LT(frame2 + 8, bytes.size());
+  bytes[frame2 + 8] ^= 0x40;
+
+  const JournalReplay rep = read_journal(bytes);
+  EXPECT_TRUE(rep.tail_torn);
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.records[0].seq, 1u);
+}
+
+TEST(Journal, CompactionKeepsOneSnapshotAndSequenceContinuity) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  for (int i = 0; i < 5; ++i)
+    j.append(JournalRecordKind::kIterate, payload_of({i}));
+  j.commit();
+  EXPECT_EQ(j.records_since_compaction(), 5u);
+
+  const auto snap = payload_of({9, 9, 9});
+  j.compact(snap);
+  EXPECT_EQ(j.records_since_compaction(), 0u);
+
+  const JournalReplay rep = read_journal(j.sink().contents());
+  EXPECT_FALSE(rep.tail_torn);
+  ASSERT_EQ(rep.records.size(), 1u);
+  EXPECT_EQ(rep.records[0].kind, JournalRecordKind::kSnapshot);
+  EXPECT_EQ(rep.records[0].payload, snap);
+  EXPECT_GT(rep.records[0].seq, 5u);
+
+  // Sequence numbers keep counting across the rewrite.
+  const std::uint64_t next = j.append(JournalRecordKind::kFinish, snap);
+  EXPECT_GT(next, rep.records[0].seq);
+}
+
+TEST(Journal, ReopenDropsBufferedBytesAndResyncsCounters) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  j.append(JournalRecordKind::kSubmit, payload_of({1}));
+  j.append(JournalRecordKind::kStart, payload_of({2}));
+  j.commit();
+  j.append(JournalRecordKind::kFinish, payload_of({3}));  // never committed
+
+  j.reopen();  // crash-restart: the buffered finish record vanishes
+  EXPECT_EQ(j.last_committed_seq(), 2u);
+  EXPECT_EQ(j.next_seq(), 3u);
+
+  EXPECT_EQ(j.append(JournalRecordKind::kKill, payload_of({4})), 3u);
+  j.commit();
+  const JournalReplay rep = read_journal(j.sink().contents());
+  ASSERT_EQ(rep.records.size(), 3u);
+  EXPECT_EQ(rep.records[2].kind, JournalRecordKind::kKill);
+  EXPECT_EQ(rep.records[2].seq, 3u);
+}
+
+TEST(Journal, FileSinkSurvivesReopenFromDisk) {
+  const std::string path = ::testing::TempDir() + "cosched_journal_test.wal";
+  std::remove(path.c_str());
+
+  {
+    Journal j(std::make_unique<FileJournalSink>(path));
+    j.append(JournalRecordKind::kSubmit, payload_of({1, 2}));
+    j.append(JournalRecordKind::kStart, payload_of({3}));
+    j.commit();
+  }
+  {
+    // A different process reopening the same file sees both records.
+    FileJournalSink sink(path);
+    const JournalReplay rep = read_journal(sink.contents());
+    EXPECT_FALSE(rep.tail_torn);
+    ASSERT_EQ(rep.records.size(), 2u);
+    EXPECT_EQ(rep.records[1].kind, JournalRecordKind::kStart);
+  }
+  {
+    // Compaction rewrites crash-atomically (temp file + rename).
+    Journal j(std::make_unique<FileJournalSink>(path));
+    j.reopen();
+    j.compact(payload_of({7}));
+    const JournalReplay rep = read_journal(j.sink().contents());
+    ASSERT_EQ(rep.records.size(), 1u);
+    EXPECT_EQ(rep.records[0].kind, JournalRecordKind::kSnapshot);
+  }
+  std::remove(path.c_str());
+}
+
+// -- kill-anywhere recovery ----------------------------------------------
+
+std::uint64_t fingerprint(CoupledSim& sim) {
+  struct Rec {
+    JobId id;
+    Time start, end;
+    int yields, releases;
+  };
+  std::vector<Rec> recs;
+  for (std::size_t d = 0; d < sim.size(); ++d) {
+    sim.cluster(d).scheduler().for_each_job(
+        [&](JobId id, const RuntimeJob& j) {
+          recs.push_back(
+              Rec{id, j.start, j.end, j.yield_count, j.forced_releases});
+        });
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Rec& a, const Rec& b) { return a.id < b.id; });
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const Rec& r : recs) {
+    mix(static_cast<std::uint64_t>(r.id));
+    mix(static_cast<std::uint64_t>(r.start));
+    mix(static_cast<std::uint64_t>(r.end));
+    mix(static_cast<std::uint64_t>(r.yields));
+    mix(static_cast<std::uint64_t>(r.releases));
+  }
+  return h;
+}
+
+struct Workload {
+  std::vector<DomainSpec> specs;
+  std::vector<Trace> traces;
+};
+
+/// Small deterministic two-domain workload that exercises holds, forced
+/// releases (15-minute budget), yields, and plain FCFS backfill pressure.
+Workload crash_workload(SchemeCombo combo) {
+  Workload w;
+  w.specs = two_domains(combo, /*release=*/15 * kMinute);
+  Trace a, b;
+  // Fillers stagger the domains so each paired job becomes ready while its
+  // mate is still blocked: the early side holds or yields.
+  a.add(job(1, 0, 30 * kMinute, 80));
+  b.add(job(10, 0, 50 * kMinute, 90));
+  a.add(job(2, 10 * kMinute, kHour, 50, 7));
+  b.add(job(20, 5 * kMinute, kHour, 60, 7));
+  a.add(job(3, 20 * kMinute, 40 * kMinute, 30));
+  b.add(job(30, 25 * kMinute, 30 * kMinute, 50, 8));
+  a.add(job(4, 30 * kMinute, 30 * kMinute, 40, 8));
+  b.add(job(40, 40 * kMinute, 20 * kMinute, 20));
+  w.traces = {a, b};
+  return w;
+}
+
+struct Baseline {
+  std::uint64_t fp = 0;
+  Time end_time = 0;
+  std::uint64_t last_seq[2] = {0, 0};
+};
+
+Baseline run_baseline(SchemeCombo combo, std::uint64_t compact_every = 0) {
+  Workload w = crash_workload(combo);
+  CoupledSim sim(w.specs, w.traces);
+  sim.enable_journaling(compact_every);
+  const SimResult r = sim.run(10 * kDay);
+  EXPECT_TRUE(r.completed) << combo.label;
+  EXPECT_TRUE(r.invariants.ok()) << combo.label;
+  Baseline base;
+  base.fp = fingerprint(sim);
+  base.end_time = r.end_time;
+  base.last_seq[0] = sim.journal(0).last_committed_seq();
+  base.last_seq[1] = sim.journal(1).last_committed_seq();
+  return base;
+}
+
+TEST(KillAnywhere, JournalingItselfIsTransparent) {
+  for (const SchemeCombo combo : {kHH, kHY, kYH, kYY}) {
+    Workload w = crash_workload(combo);
+    CoupledSim plain(w.specs, w.traces);
+    const SimResult rp = plain.run(10 * kDay);
+    ASSERT_TRUE(rp.completed) << combo.label;
+
+    CoupledSim journaled(w.specs, w.traces);
+    journaled.enable_journaling();
+    const SimResult rj = journaled.run(10 * kDay);
+    ASSERT_TRUE(rj.completed) << combo.label;
+
+    EXPECT_EQ(fingerprint(plain), fingerprint(journaled)) << combo.label;
+    EXPECT_EQ(rp.end_time, rj.end_time) << combo.label;
+    EXPECT_GT(journaled.journal(0).last_committed_seq(), 2u) << combo.label;
+  }
+}
+
+TEST(KillAnywhere, CrashAtSeededPointsReplaysToIdenticalResults) {
+  // The core robustness claim: crash either daemon at any committed journal
+  // point, recover from the journal alone, and the completed simulation is
+  // bit-identical to the uncrashed run.  6 points x 4 combos = 24 crashes.
+  const double fractions[] = {0.10, 0.25, 0.45, 0.60, 0.80, 0.95};
+  for (const SchemeCombo combo : {kHH, kHY, kYH, kYY}) {
+    const Baseline base = run_baseline(combo);
+    int which = 0;
+    for (const double f : fractions) {
+      const std::size_t domain = which++ % 2;
+      const std::uint64_t at_seq = std::max<std::uint64_t>(
+          2, static_cast<std::uint64_t>(
+                 static_cast<double>(base.last_seq[domain]) * f));
+      SCOPED_TRACE(std::string(combo.label) + " domain " +
+                   std::to_string(domain) + " seq " + std::to_string(at_seq));
+
+      Workload w = crash_workload(combo);
+      CoupledSim sim(w.specs, w.traces);
+      sim.enable_journaling();
+      sim.schedule_crash_recovery(domain, at_seq);
+      const SimResult r = sim.run(10 * kDay);
+
+      ASSERT_TRUE(sim.last_recovery(domain).has_value());
+      const Cluster::RecoveryStats& stats = *sim.last_recovery(domain);
+      EXPECT_GE(stats.records_replayed, 1u);
+      EXPECT_GT(stats.bytes_scanned, 0u);
+      EXPECT_EQ(stats.incarnation, 2u);
+      EXPECT_EQ(sim.cluster(domain).incarnation(), 2u);
+
+      ASSERT_TRUE(r.completed);
+      EXPECT_TRUE(r.invariants.ok())
+          << (r.invariants.violations.empty()
+                  ? ""
+                  : r.invariants.violations.front());
+      EXPECT_EQ(fingerprint(sim), base.fp);
+      EXPECT_EQ(r.end_time, base.end_time);
+    }
+  }
+}
+
+TEST(KillAnywhere, CrashAfterCompactionReplaysSnapshotPlusTail) {
+  // With aggressive compaction the journal a crash recovers from is a
+  // mid-run snapshot plus a short tail, not the full history.
+  const Baseline base = run_baseline(kHH, /*compact_every=*/12);
+  for (const std::uint64_t at_seq :
+       {base.last_seq[0] / 3, 2 * base.last_seq[0] / 3}) {
+    SCOPED_TRACE("seq " + std::to_string(at_seq));
+    Workload w = crash_workload(kHH);
+    CoupledSim sim(w.specs, w.traces);
+    sim.enable_journaling(/*compact_every=*/12);
+    sim.schedule_crash_recovery(0, std::max<std::uint64_t>(2, at_seq));
+    const SimResult r = sim.run(10 * kDay);
+    ASSERT_TRUE(sim.last_recovery(0).has_value());
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.invariants.ok());
+    EXPECT_EQ(fingerprint(sim), base.fp);
+    EXPECT_EQ(r.end_time, base.end_time);
+  }
+}
+
+TEST(KillAnywhere, BothDomainsCanCrashInOneRun) {
+  const Baseline base = run_baseline(kHY);
+  Workload w = crash_workload(kHY);
+  CoupledSim sim(w.specs, w.traces);
+  sim.enable_journaling();
+  sim.schedule_crash_recovery(0, base.last_seq[0] / 4);
+  sim.schedule_crash_recovery(1, 3 * base.last_seq[1] / 4);
+  const SimResult r = sim.run(10 * kDay);
+  ASSERT_TRUE(sim.last_recovery(0).has_value());
+  ASSERT_TRUE(sim.last_recovery(1).has_value());
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok());
+  EXPECT_EQ(fingerprint(sim), base.fp);
+  EXPECT_EQ(r.end_time, base.end_time);
+}
+
+// -- snapshot / restore ---------------------------------------------------
+
+TEST(SnapshotRestore, RestoredStateReserializesByteIdentically) {
+  Workload w = crash_workload(kHH);
+  CoupledSim a(w.specs, w.traces);
+  a.engine().run_until(35 * kMinute);
+  WireWriter w1;
+  a.snapshot(w1);
+
+  CoupledSim b(w.specs, w.traces);
+  WireReader r1(w1.bytes());
+  b.restore(r1);
+  WireWriter w2;
+  b.snapshot(w2);
+  EXPECT_EQ(w1.bytes(), w2.bytes());
+}
+
+TEST(SnapshotRestore, FreshSimResumesToIdenticalCompletion) {
+  for (const SchemeCombo combo : {kHH, kYY}) {
+    SCOPED_TRACE(combo.label);
+    Workload w = crash_workload(combo);
+    CoupledSim uninterrupted(w.specs, w.traces);
+    const SimResult ru = uninterrupted.run(10 * kDay);
+    ASSERT_TRUE(ru.completed);
+
+    CoupledSim first(w.specs, w.traces);
+    first.engine().run_until(35 * kMinute);
+    WireWriter snap;
+    first.snapshot(snap);
+
+    // "Migrate" the simulation: a brand-new process image resumes from the
+    // serialized state and must land on the same schedule.
+    CoupledSim second(w.specs, w.traces);
+    WireReader r(snap.bytes());
+    second.restore(r);
+    const SimResult rs = second.run(10 * kDay);
+    ASSERT_TRUE(rs.completed);
+    EXPECT_TRUE(rs.invariants.ok());
+    EXPECT_EQ(fingerprint(second), fingerprint(uninterrupted));
+    EXPECT_EQ(rs.end_time, ru.end_time);
+  }
+}
+
+TEST(AbortInvariants, ExceptionDuringRunStillReportsInvariants) {
+  Workload w = crash_workload(kHH);
+  CoupledSim sim(w.specs, w.traces);
+  sim.engine().schedule_at(20 * kMinute, EventPriority::kMessage,
+                           [] { throw Error("injected failure"); });
+  EXPECT_THROW(sim.run(10 * kDay), Error);
+  ASSERT_TRUE(sim.abort_invariants().has_value());
+  EXPECT_TRUE(sim.abort_invariants()->ok())
+      << (sim.abort_invariants()->violations.empty()
+              ? ""
+              : sim.abort_invariants()->violations.front());
+  // A normal run clears the abort report again.
+  CoupledSim clean(w.specs, w.traces);
+  EXPECT_TRUE(clean.run(10 * kDay).completed);
+  EXPECT_FALSE(clean.abort_invariants().has_value());
+}
+
+// -- exactly-once RPC -----------------------------------------------------
+
+class CountingService : public CoschedService {
+ public:
+  int try_start_calls = 0;
+  int start_calls = 0;
+  bool try_result = true;
+
+  std::optional<JobId> get_mate_job(GroupId, JobId) override {
+    return std::nullopt;
+  }
+  MateStatus get_mate_status(JobId) override { return MateStatus::kQueuing; }
+  bool try_start_mate(JobId) override {
+    ++try_start_calls;
+    return try_result;
+  }
+  bool start_job(JobId) override {
+    ++start_calls;
+    return true;
+  }
+};
+
+constexpr std::uint64_t kClientInc = (1ull << 32) | 1;
+
+TEST(ExactlyOnce, RetriedTryStartMateNeverDoubleStarts) {
+  CountingService service;
+  RpcDedup dedup;
+  ServiceDispatcher d(service, DispatcherConfig{/*incarnation=*/2, &dedup});
+
+  Message req = make_try_start_mate_req(/*rid=*/5, /*mate=*/30);
+  req.incarnation = kClientInc;
+  const auto bytes = req.encode();
+
+  const Message first = Message::decode(d.dispatch(bytes));
+  EXPECT_EQ(first.type, MsgType::kTryStartMateResp);
+  EXPECT_TRUE(first.ok);
+  EXPECT_EQ(first.incarnation, 2u);
+  EXPECT_EQ(service.try_start_calls, 1);
+
+  // The retry must replay the recorded verdict, not re-run the scheduling
+  // iteration — even though the service would now answer differently.
+  service.try_result = false;
+  const Message retry = Message::decode(d.dispatch(bytes));
+  EXPECT_EQ(retry.type, MsgType::kTryStartMateResp);
+  EXPECT_TRUE(retry.ok);
+  EXPECT_EQ(service.try_start_calls, 1);
+  EXPECT_EQ(dedup.size(), 1u);
+
+  // A *different* rid is a different logical call and does execute.
+  Message other = make_try_start_mate_req(/*rid=*/6, /*mate=*/30);
+  other.incarnation = kClientInc;
+  EXPECT_FALSE(Message::decode(d.dispatch(other.encode())).ok);
+  EXPECT_EQ(service.try_start_calls, 2);
+}
+
+TEST(ExactlyOnce, RetriedStartJobReplaysVerdict) {
+  CountingService service;
+  RpcDedup dedup;
+  ServiceDispatcher d(service, DispatcherConfig{7, &dedup});
+  Message req = make_start_job_req(9, 40);
+  req.incarnation = kClientInc;
+  const auto bytes = req.encode();
+  EXPECT_TRUE(Message::decode(d.dispatch(bytes)).ok);
+  EXPECT_TRUE(Message::decode(d.dispatch(bytes)).ok);
+  EXPECT_EQ(service.start_calls, 1);
+}
+
+TEST(ExactlyOnce, LoopbackClientsWithoutIncarnationAreNotDeduped) {
+  CountingService service;
+  RpcDedup dedup;
+  ServiceDispatcher d(service, DispatcherConfig{2, &dedup});
+  const auto bytes = make_try_start_mate_req(5, 30).encode();  // incarnation 0
+  (void)d.dispatch(bytes);
+  (void)d.dispatch(bytes);
+  EXPECT_EQ(service.try_start_calls, 2);
+  EXPECT_EQ(dedup.size(), 0u);
+}
+
+TEST(ExactlyOnce, DedupVerdictsPersistThroughJournalRestart) {
+  // durable-before-reply: the persist hook journals each verdict; a
+  // restarted daemon restores the cache and still answers retries from it.
+  Journal journal(std::make_unique<MemoryJournalSink>());
+  CountingService service;
+  RpcDedup dedup;
+  dedup.set_persist([&journal](std::uint64_t inc, std::uint64_t rid,
+                               MsgType op, bool verdict) {
+    WireWriter w;
+    w.put_u64(inc);
+    w.put_u64(rid);
+    w.put_u8(static_cast<std::uint8_t>(op));
+    w.put_bool(verdict);
+    journal.append(JournalRecordKind::kDedup, w.bytes());
+    journal.commit();
+  });
+  ServiceDispatcher d(service, DispatcherConfig{2, &dedup});
+  Message req = make_try_start_mate_req(11, 30);
+  req.incarnation = kClientInc;
+  EXPECT_TRUE(Message::decode(d.dispatch(req.encode())).ok);
+
+  // "Restart": rebuild the cache from the journal alone.
+  RpcDedup restored;
+  for (const JournalRecord& rec : read_journal(journal.sink().contents())
+                                      .records) {
+    ASSERT_EQ(rec.kind, JournalRecordKind::kDedup);
+    WireReader r(rec.payload);
+    const std::uint64_t inc = r.get_u64();
+    const std::uint64_t rid = r.get_u64();
+    const MsgType op = static_cast<MsgType>(r.get_u8());
+    restored.insert_restored(inc, rid, op, r.get_bool());
+  }
+  CountingService fresh_service;
+  ServiceDispatcher d2(fresh_service, DispatcherConfig{3, &restored});
+  EXPECT_TRUE(Message::decode(d2.dispatch(req.encode())).ok);
+  EXPECT_EQ(fresh_service.try_start_calls, 0);  // answered from the cache
+}
+
+TEST(ExactlyOnce, HelloEvictsOnlyOlderIncarnationsOfTheSameClient) {
+  CountingService service;
+  RpcDedup dedup;
+  dedup.insert_restored((7ull << 32) | 1, 1, MsgType::kTryStartMateReq, true);
+  dedup.insert_restored((7ull << 32) | 2, 1, MsgType::kTryStartMateReq, true);
+  dedup.insert_restored((8ull << 32) | 1, 1, MsgType::kTryStartMateReq, true);
+
+  ServiceDispatcher d(service, DispatcherConfig{2, &dedup});
+  Message hello = make_hello_req(1, (7ull << 32) | 2);
+  hello.incarnation = (7ull << 32) | 2;
+  const Message resp = Message::decode(d.dispatch(hello.encode()));
+  EXPECT_EQ(resp.type, MsgType::kHelloResp);
+  EXPECT_EQ(resp.incarnation, 2u);
+
+  EXPECT_EQ(dedup.size(), 2u);
+  EXPECT_FALSE(dedup.lookup((7ull << 32) | 1, 1).has_value());
+  EXPECT_TRUE(dedup.lookup((7ull << 32) | 2, 1).has_value());
+  EXPECT_TRUE(dedup.lookup((8ull << 32) | 1, 1).has_value());
+}
+
+// -- wire-level incarnation semantics -------------------------------------
+
+TEST(ExactlyOnce, RequestIdsNeverReusedAcrossReconnects) {
+  // Regression: rids are scoped to the client incarnation, not the TCP
+  // connection.  A peer that reconnects must keep counting, or a fresh
+  // logical call would alias an old dedup verdict.
+  std::mutex mu;
+  std::vector<std::uint64_t> rids;
+
+  TcpListener listener(0);
+  const std::uint16_t port = listener.port();
+  auto serve_one_connection = [&](int n_requests) {
+    Socket s = listener.accept();
+    FramedChannel ch(std::move(s));
+    int served = 0;
+    while (served < n_requests) {
+      auto f = ch.read_frame();
+      if (!f) return;
+      const Message req = Message::decode(*f);
+      if (req.type == MsgType::kHelloReq) {
+        ch.write_frame(make_hello_resp(req.request_id, 1).encode());
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        rids.push_back(req.request_id);
+      }
+      Message resp = make_get_mate_status_resp(req.request_id,
+                                               MateStatus::kQueuing);
+      resp.incarnation = 1;
+      ch.write_frame(resp.encode());
+      ++served;
+    }
+    // Channel closes here: the connection "crashes" under the client.
+  };
+  std::thread server([&] {
+    serve_one_connection(2);
+    serve_one_connection(3);
+  });
+
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 2000;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.base_backoff_ms = 1;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_cooldown_ms = 10;
+  WirePeer peer(
+      [port]() -> std::optional<FramedChannel> {
+        try {
+          return FramedChannel(tcp_connect(port));
+        } catch (const std::exception&) {
+          return std::nullopt;
+        }
+      },
+      cfg);
+
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(peer.get_mate_status(7), MateStatus::kQueuing) << "call " << i;
+  server.join();
+
+  ASSERT_EQ(rids.size(), 5u);
+  for (std::size_t i = 1; i < rids.size(); ++i)
+    EXPECT_GT(rids[i], rids[i - 1])
+        << "rid reused or reset across the reconnect";
+  EXPECT_GE(peer.stats().reconnects, 2u);
+  EXPECT_GE(peer.stats().hellos, 2u);
+}
+
+TEST(ExactlyOnce, StaleServerIncarnationIsRejected) {
+  // The server handshakes incarnation 1 but answers with incarnation 2 (it
+  // "restarted" mid-call): the reply must be dropped, not trusted.
+  auto [client_sock, server_sock] = Socket::pair();
+  std::thread server(
+      [s = std::make_shared<Socket>(std::move(server_sock))]() mutable {
+        FramedChannel ch(std::move(*s));
+        while (auto f = ch.read_frame()) {
+          const Message req = Message::decode(*f);
+          if (req.type == MsgType::kHelloReq) {
+            ch.write_frame(make_hello_resp(req.request_id, 1).encode());
+            continue;
+          }
+          Message resp =
+              make_get_mate_status_resp(req.request_id, MateStatus::kHolding);
+          resp.incarnation = 2;  // wrong: not the handshaken value
+          ch.write_frame(resp.encode());
+        }
+      });
+
+  WirePeerConfig cfg;
+  cfg.call_deadline_ms = 2000;
+  cfg.retry.max_attempts = 1;
+  WirePeer peer(FramedChannel(std::move(client_sock)), cfg);
+  EXPECT_EQ(peer.get_mate_status(9), std::nullopt);
+  EXPECT_GE(peer.stats().stale_rejected, 1u);
+  EXPECT_EQ(peer.server_incarnation(), 1u);
+  server.join();
+}
+
+}  // namespace
+}  // namespace cosched

@@ -177,13 +177,14 @@ TEST(WireRpc, RestartedServerIsRediscovered) {
 
   auto listener = std::make_unique<TcpListener>(0);
   const std::uint16_t port = listener->port();
-  // First incarnation: answers exactly one request, then "crashes" (socket
-  // and listener closed below).
+  // First incarnation: answers the incarnation hello plus exactly one
+  // request, then "crashes" (socket and listener closed below).
   std::thread first([&service, l = listener.get()] {
     Socket s = l->accept();
     FramedChannel ch(std::move(s));
     ServiceDispatcher d(service);
-    if (auto f = ch.read_frame()) ch.write_frame(d.dispatch(*f));
+    for (int i = 0; i < 2; ++i)
+      if (auto f = ch.read_frame()) ch.write_frame(d.dispatch(*f));
   });
 
   WirePeerConfig cfg;
