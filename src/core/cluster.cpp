@@ -226,6 +226,7 @@ bool Cluster::start_job(JobId job) {
   const RuntimeJob* j = sched_.find(job);
   if (!j || j->state != JobState::kHolding) return false;
   starting_from_hold_ = true;
+  // cosched-lint: allow(journal-before-mutate) kStart journaled by on_job_started
   sched_.start_holding(job, engine_.now());
   starting_from_hold_ = false;
   journal_commit();
@@ -591,12 +592,14 @@ void Cluster::write_snapshot(WireWriter& w) const {
   {
     std::vector<JobId> ids;
     ids.reserve(expected_.size());
+    // cosched-lint: ordered(ids are sorted before encoding)
     for (const auto& [id, spec] : expected_) ids.push_back(id);
     std::sort(ids.begin(), ids.end());
     w.put_u64(ids.size());
     for (JobId id : ids) encode_job_spec(w, expected_.at(id));
   }
   {
+    // cosched-lint: ordered(pairs are sorted before encoding)
     std::vector<std::pair<GroupId, JobId>> groups(group_to_job_.begin(),
                                                   group_to_job_.end());
     std::sort(groups.begin(), groups.end());
@@ -609,6 +612,7 @@ void Cluster::write_snapshot(WireWriter& w) const {
   {
     std::vector<std::tuple<JobId, JobId, Duration>> deps;
     deps.reserve(dependents_.size());
+    // cosched-lint: ordered(tuples are sorted before encoding)
     for (const auto& [dep, val] : dependents_)
       deps.emplace_back(dep, val.first, val.second);
     std::sort(deps.begin(), deps.end());
@@ -620,6 +624,7 @@ void Cluster::write_snapshot(WireWriter& w) const {
     }
   }
   const auto write_set = [&w](const std::unordered_set<JobId>& s) {
+    // cosched-lint: ordered(ids are sorted before encoding)
     std::vector<JobId> ids(s.begin(), s.end());
     std::sort(ids.begin(), ids.end());
     w.put_u64(ids.size());
@@ -689,6 +694,7 @@ void Cluster::apply_snapshot(WireReader& r) {
 }
 
 void Cluster::wipe_for_recovery() {
+  // cosched-lint: ordered(every event is cancelled; order is unobservable)
   for (auto& [id, ev] : completion_events_) engine_.cancel(ev);
   completion_events_.clear();
   if (iteration_event_) engine_.cancel(*iteration_event_);

@@ -34,22 +34,22 @@ WirePeer::WirePeer(ChannelFactory factory, WirePeerConfig config)
       jitter_rng_(config.jitter_seed) {}
 
 bool WirePeer::healthy() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_ == BreakerState::kClosed;
 }
 
 BreakerState WirePeer::breaker_state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 WirePeer::TransportStats WirePeer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::optional<std::uint64_t> WirePeer::server_incarnation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return server_incarnation_;
 }
 
@@ -172,7 +172,7 @@ std::optional<Message> WirePeer::attempt(const Message& req, MsgType expect) {
 }
 
 std::optional<Message> WirePeer::round_trip(Message req, MsgType expect) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.calls;
   req.incarnation = config_.incarnation;
 

@@ -14,12 +14,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "net/framed.h"
 #include "proto/peer.h"
 #include "proto/service.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace cosched {
@@ -113,20 +113,22 @@ class WirePeer final : public PeerClient {
   std::optional<std::uint64_t> server_incarnation() const;
 
  private:
-  std::optional<Message> round_trip(Message req, MsgType expect);
+  std::optional<Message> round_trip(Message req, MsgType expect)
+      EXCLUDES(mutex_);
   /// One wire attempt on the current channel.  nullopt = transport failure
   /// (the channel has been dropped).
-  std::optional<Message> attempt(const Message& req, MsgType expect);
-  bool ensure_channel();
-  void record_failure();
-  void record_success();
-  int backoff_ms(int attempt);
+  std::optional<Message> attempt(const Message& req, MsgType expect)
+      REQUIRES(mutex_);
+  bool ensure_channel() REQUIRES(mutex_);
+  void record_failure() REQUIRES(mutex_);
+  void record_success() REQUIRES(mutex_);
+  int backoff_ms(int attempt) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  WirePeerConfig config_;
-  ChannelFactory factory_;
-  std::optional<FramedChannel> channel_;
-  Rng jitter_rng_;
+  mutable Mutex mutex_;
+  WirePeerConfig config_;  ///< immutable after construction
+  ChannelFactory factory_ GUARDED_BY(mutex_);
+  std::optional<FramedChannel> channel_ GUARDED_BY(mutex_);
+  Rng jitter_rng_ GUARDED_BY(mutex_);
   /// Request ids are monotone for the lifetime of this peer (one client
   /// incarnation) and are never reset on reconnect: the server's
   /// exactly-once cache is keyed (client incarnation, rid), so a reused rid
@@ -138,14 +140,14 @@ class WirePeer final : public PeerClient {
   std::atomic<std::uint64_t> next_rid_{1};
   /// True once the hello handshake completed on the *current* channel;
   /// cleared whenever the channel drops.
-  bool hello_done_ = false;
-  std::optional<std::uint64_t> server_incarnation_;
+  bool hello_done_ GUARDED_BY(mutex_) = false;
+  std::optional<std::uint64_t> server_incarnation_ GUARDED_BY(mutex_);
 
-  BreakerState state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  std::chrono::steady_clock::time_point open_until_{};
+  BreakerState state_ GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int consecutive_failures_ GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point open_until_ GUARDED_BY(mutex_){};
 
-  TransportStats stats_;
+  TransportStats stats_ GUARDED_BY(mutex_);
 };
 
 /// Serves protocol requests from one channel until EOF or a fatal transport

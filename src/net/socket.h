@@ -24,6 +24,12 @@ enum class RecvStatus {
 };
 
 /// Owning wrapper around a socket file descriptor.
+///
+/// Thread safety: the only shared state is fd_, an atomic (close() may race
+/// a blocked recv() during shutdown).  There is no mutex here, so nothing
+/// for -Wthread-safety to track; see src/util/thread_annotations.h for the
+/// annotated-mutex convention used by the stateful classes (RpcClient,
+/// RpcDedup).
 class Socket {
  public:
   Socket() = default;

@@ -32,6 +32,10 @@ class PeerClient {
 /// In-process peer: encodes each call, runs it through a ServiceDispatcher,
 /// and decodes the response — the full wire path without a socket, so every
 /// simulation exercises the protocol encoding.
+///
+/// Thread safety: confined to the simulation thread — the counters are
+/// plain integers on purpose.  No mutex, so no GUARDED_BY members; the
+/// annotated-mutex convention lives in src/util/thread_annotations.h.
 class LoopbackPeer final : public PeerClient {
  public:
   explicit LoopbackPeer(CoschedService& service) : dispatcher_(service) {}

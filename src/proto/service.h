@@ -9,13 +9,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "proto/message.h"
+#include "util/mutex.h"
 
 namespace cosched {
 
@@ -69,7 +69,7 @@ class RpcDedup {
   /// (or evicted — the call then re-executes, degrading to at-least-once).
   std::optional<Entry> lookup(std::uint64_t client_incarnation,
                               std::uint64_t rid) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find({client_incarnation, rid});
     if (it == entries_.end()) return std::nullopt;
     return it->second;
@@ -78,7 +78,7 @@ class RpcDedup {
   /// Records a verdict and fires the persist hook (durable-before-reply).
   void record(std::uint64_t client_incarnation, std::uint64_t rid, MsgType op,
               bool verdict) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     insert_locked(client_incarnation, rid, op, verdict);
     if (persist_) persist_(client_incarnation, rid, op, verdict);
   }
@@ -86,7 +86,7 @@ class RpcDedup {
   /// Inserts without persisting — journal replay during recovery.
   void insert_restored(std::uint64_t client_incarnation, std::uint64_t rid,
                        MsgType op, bool verdict) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     insert_locked(client_incarnation, rid, op, verdict);
   }
 
@@ -97,7 +97,7 @@ class RpcDedup {
   /// counters used by the simulator collapse every client into id 0, which
   /// is fine there: a restart wipes the whole simulated coupled system.
   void on_hello(std::uint64_t client_incarnation) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::uint64_t client = client_incarnation >> 32;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if ((it->first.first >> 32) == client &&
@@ -110,12 +110,12 @@ class RpcDedup {
 
   void set_persist(std::function<void(std::uint64_t, std::uint64_t, MsgType,
                                       bool)> fn) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     persist_ = std::move(fn);
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
   }
 
@@ -123,7 +123,7 @@ class RpcDedup {
   using Key = std::pair<std::uint64_t, std::uint64_t>;
 
   void insert_locked(std::uint64_t client_incarnation, std::uint64_t rid,
-                     MsgType op, bool verdict) {
+                     MsgType op, bool verdict) REQUIRES(mutex_) {
     const Key key{client_incarnation, rid};
     if (entries_.emplace(key, Entry{op, verdict}).second) {
       order_.push_back(key);
@@ -135,10 +135,11 @@ class RpcDedup {
   }
 
   std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::map<Key, Entry> entries_;
-  std::deque<Key> order_;
-  std::function<void(std::uint64_t, std::uint64_t, MsgType, bool)> persist_;
+  mutable Mutex mutex_;
+  std::map<Key, Entry> entries_ GUARDED_BY(mutex_);
+  std::deque<Key> order_ GUARDED_BY(mutex_);
+  std::function<void(std::uint64_t, std::uint64_t, MsgType, bool)> persist_
+      GUARDED_BY(mutex_);
 };
 
 /// Server-side identity and exactly-once wiring for a dispatcher.

@@ -411,6 +411,7 @@ void Scheduler::snapshot(WireWriter& w) const {
       [&w](const std::unordered_map<JobId, RuntimeJob>& table) {
         std::vector<JobId> ids;
         ids.reserve(table.size());
+        // cosched-lint: ordered(ids are sorted before encoding)
         for (const auto& [id, job] : table) ids.push_back(id);
         std::sort(ids.begin(), ids.end());
         w.put_u64(ids.size());
@@ -483,6 +484,7 @@ void Scheduler::restore(WireReader& r) {
   // is a total order with an id tiebreak), so sorted-by-id is canonical.
   std::vector<JobId> qids;
   std::size_t running = 0;
+  // cosched-lint: ordered(qids are sorted below; index inserts are keyed)
   for (const auto& [id, j] : jobs_) {
     switch (j.state) {
       case JobState::kQueued: qids.push_back(id); break;
@@ -568,6 +570,7 @@ void Scheduler::replay_clear_demotions() {
 
 void Scheduler::validate_indices() const {
   std::size_t queued = 0, holding = 0, running = 0;
+  // cosched-lint: ordered(pure assertions; no output or state depends on order)
   for (const auto& [id, j] : jobs_) {
     switch (j.state) {
       case JobState::kQueued: {
@@ -601,6 +604,7 @@ void Scheduler::validate_indices() const {
   COSCHED_CHECK_MSG(holding == holding_.size(), "hold index size mismatch");
   COSCHED_CHECK_MSG(running == running_ends_.size(),
                     "running-end index size mismatch");
+  // cosched-lint: ordered(pure assertions; no output or state depends on order)
   for (const auto& [id, j] : archived_)
     COSCHED_CHECK_MSG(j.state == JobState::kFinished,
                       "archived job " << id << " not finished");

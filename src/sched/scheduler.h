@@ -17,6 +17,7 @@
 // score-and-sort.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -147,12 +148,23 @@ class Scheduler {
     return archived_;
   }
 
-  /// Applies `fn(id, job)` to every job this scheduler has seen, live and
-  /// archived (for metric extraction).
+  /// Applies `fn(id, job)` to every job this scheduler has seen, live then
+  /// archived, each table in ascending-id order (for metric extraction).
+  /// The canonical order matters: callers sum floating-point metrics and
+  /// build report strings, and hash-order iteration would make both depend
+  /// on insertion history (live run vs. journal replay).
   template <class F>
   void for_each_job(F&& fn) const {
-    for (const auto& [id, job] : jobs_) fn(id, job);
-    for (const auto& [id, job] : archived_) fn(id, job);
+    const auto sorted_ids = [](const std::unordered_map<JobId, RuntimeJob>& t) {
+      std::vector<JobId> ids;
+      ids.reserve(t.size());
+      // cosched-lint: ordered(ids are sorted before use below)
+      for (const auto& [id, job] : t) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    };
+    for (JobId id : sorted_ids(jobs_)) fn(id, jobs_.at(id));
+    for (JobId id : sorted_ids(archived_)) fn(id, archived_.at(id));
   }
 
   /// Total jobs ever submitted (live + archived).

@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace cosched {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
-LogSink g_sink;  // guarded by g_sink_mutex; empty = default stderr sink
+Mutex g_sink_mutex;
+LogSink g_sink GUARDED_BY(g_sink_mutex);  // empty = default stderr sink
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -19,7 +20,7 @@ void set_log_level(LogLevel level) {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
 }
 
@@ -36,7 +37,7 @@ const char* to_string(LogLevel level) {
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, message);
   } else {

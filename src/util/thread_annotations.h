@@ -1,0 +1,68 @@
+// Clang thread-safety analysis macros.
+//
+// These expand to Clang's `thread_safety` attributes under clang and to
+// nothing elsewhere, so the annotations cost nothing on the GCC build while
+// the CI clang job (`-Wthread-safety -Werror`) turns lock-discipline
+// violations into compile errors.  libstdc++'s std::mutex carries no
+// capability attributes, so the analysis cannot see through it; use the
+// annotated cosched::Mutex / cosched::MutexLock wrappers (util/mutex.h)
+// for any lock the analysis should track.
+//
+// Conventions (mirroring the Clang docs):
+//   GUARDED_BY(mu)      data member readable/writable only with mu held
+//   PT_GUARDED_BY(mu)   pointed-to data guarded by mu (the pointer is not)
+//   REQUIRES(mu)        function must be called with mu held
+//   ACQUIRE(mu)/RELEASE(mu)  function acquires/releases mu
+//   EXCLUDES(mu)        function must NOT be called with mu held
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define COSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COSCHED_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) COSCHED_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY COSCHED_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) COSCHED_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) COSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  COSCHED_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  COSCHED_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  COSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  COSCHED_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) COSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  COSCHED_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) COSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  COSCHED_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  COSCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  COSCHED_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) COSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) COSCHED_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) COSCHED_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

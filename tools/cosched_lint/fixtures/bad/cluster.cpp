@@ -1,0 +1,13 @@
+// Known-bad fixture: a state-mutating Cluster method with no journal
+// append in its body — the journal-before-mutate rule must flag the
+// mutation line.  (Never compiled; parsed by cosched_lint_test only.)
+#include "core/cluster.h"
+
+namespace cosched {
+
+void Cluster::kill_job(JobId id) {
+  sched_.kill(id, engine_.now());
+  request_iteration();
+}
+
+}  // namespace cosched

@@ -1,0 +1,20 @@
+// Known-bad fixture: wall clocks and libc PRNG in a deterministic
+// directory (path contains /core/).  (Never compiled.)
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace cosched {
+
+long bad_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int bad_random() {
+  srand(42);
+  return rand() % 7;
+}
+
+long bad_wall() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace cosched

@@ -1,0 +1,18 @@
+// Known-bad fixture: a side-effecting service call whose reply is built
+// without recording the verdict in RpcDedup first.  (Never compiled.)
+#include "proto/service.h"
+
+namespace cosched {
+
+std::vector<std::uint8_t> ServiceDispatcher::dispatch(Request req) {
+  switch (req.type) {
+    case MsgType::kTryStartMateReq:
+      return finish(
+          make_try_start_mate_resp(req.request_id,
+                                   service_.try_start_mate(req.job)));
+    default:
+      return finish(make_error_resp(req.request_id, "unexpected"));
+  }
+}
+
+}  // namespace cosched

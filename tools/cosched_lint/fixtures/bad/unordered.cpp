@@ -1,0 +1,21 @@
+// Known-bad fixture: unwaived iteration over unordered containers, both
+// range-for and iterator-range forms.  (Never compiled.)
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cosched {
+
+std::unordered_map<long, double> table_;
+
+double emit_metrics() {
+  double sum = 0;
+  for (const auto& [id, v] : table_) sum += v;
+  return sum;
+}
+
+std::vector<long> emit_ids(const std::unordered_set<long>& pending) {
+  return std::vector<long>(pending.begin(), pending.end());
+}
+
+}  // namespace cosched

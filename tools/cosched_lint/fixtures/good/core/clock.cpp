@@ -1,0 +1,21 @@
+// Known-good fixture: steady_clock and the engine's virtual time are fine;
+// a justified allow() waiver silences a deliberate wall-clock read.
+// (Never compiled.)
+#include <chrono>
+
+namespace cosched {
+
+long good_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// A function whose *name* contains the banned tokens must not trip the
+// word-boundary matchers.
+long walltime(long operand) { return operand; }
+
+long waived_wall() {
+  // cosched-lint: allow(banned-call) boot-time banner only, never keyed.
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace cosched

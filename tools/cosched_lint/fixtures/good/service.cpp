@@ -1,0 +1,21 @@
+// Known-good fixture: the verdict reaches the dedup cache (and through its
+// persist hook, the journal) before the reply is built.  (Never compiled.)
+#include "proto/service.h"
+
+namespace cosched {
+
+std::vector<std::uint8_t> ServiceDispatcher::dispatch(Request req) {
+  switch (req.type) {
+    case MsgType::kTryStartMateReq: {
+      const bool started = service_.try_start_mate(req.job);
+      if (dedupable)
+        config_.dedup->record(req.incarnation, req.request_id, req.type,
+                              started);
+      return finish(make_try_start_mate_resp(req.request_id, started));
+    }
+    default:
+      return finish(make_error_resp(req.request_id, "unexpected"));
+  }
+}
+
+}  // namespace cosched

@@ -1,0 +1,30 @@
+// Known-good fixture: unordered iteration with ordered() waivers stating
+// why hash order cannot leak, and the sort-before-emit idiom.
+// (Never compiled.)
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cosched {
+
+std::unordered_map<long, double> table_;
+
+double emit_metrics() {
+  std::vector<long> ids;
+  // cosched-lint: ordered(ids are sorted before any value is consumed)
+  for (const auto& [id, v] : table_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  double sum = 0;
+  for (long id : ids) sum += table_.at(id);
+  return sum;
+}
+
+std::vector<long> emit_ids(const std::unordered_set<long>& pending) {
+  // cosched-lint: ordered(callers sort; order is not wire-visible)
+  std::vector<long> out(pending.begin(), pending.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cosched

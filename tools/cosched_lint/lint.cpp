@@ -1,0 +1,573 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace cosched::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Blanks out // comments and the contents of string/char literals so rule
+/// matchers never fire on prose or quoted text.  (Block comments spanning
+/// lines are rare in this tree; the opening line is still blanked.)
+std::string code_view(const std::string& raw) {
+  std::string out = raw;
+  bool in_str = false, in_chr = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (in_str) {
+      if (c == '\\') {
+        if (i + 1 < out.size()) out[i + 1] = ' ';
+        out[i] = ' ';
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      } else {
+        out[i] = ' ';
+      }
+    } else if (in_chr) {
+      if (c == '\\') {
+        if (i + 1 < out.size()) out[i + 1] = ' ';
+        out[i] = ' ';
+        ++i;
+      } else if (c == '\'') {
+        in_chr = false;
+      } else {
+        out[i] = ' ';
+      }
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '\'' && i > 0 && !is_ident(out[i - 1])) {
+      in_chr = true;
+    } else if (c == '/' && i + 1 < out.size() &&
+               (out[i + 1] == '/' || out[i + 1] == '*')) {
+      out.resize(i);
+      break;
+    }
+  }
+  return out;
+}
+
+/// True when `token` occurs in `code` with no identifier character
+/// immediately before it (so "rand(" does not match "srand(").
+bool has_token(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !is_ident(code[pos - 1])) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::string file_stem(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+bool has_component(const std::string& path, const std::string& dir) {
+  const std::filesystem::path p(path);
+  return std::any_of(p.begin(), p.end(),
+                     [&dir](const auto& part) { return part == dir; });
+}
+
+/// Waiver lookup on the finding line or the line directly above.
+struct WaiverScan {
+  bool waived = false;
+  bool ordered = false;  ///< suppressed by ordered(), not allow()
+};
+
+WaiverScan find_waiver(const std::vector<std::string>& raw, std::size_t idx,
+                       const std::string& rule, bool accepts_ordered) {
+  const auto check = [&](const std::string& line) -> WaiverScan {
+    if (accepts_ordered &&
+        line.find("cosched-lint: ordered(") != std::string::npos)
+      return {true, true};
+    if (line.find("cosched-lint: allow(" + rule + ")") != std::string::npos)
+      return {true, false};
+    return {};
+  };
+  WaiverScan w = check(raw[idx]);
+  if (!w.waived && idx > 0) w = check(raw[idx - 1]);
+  return w;
+}
+
+/// Declaration scan: names of variables declared with an unordered
+/// container type, and names of functions returning a reference to one.
+/// `ordered_accessors` collects same-shaped declarations returning ordered
+/// containers so a name used for both (Trace::jobs() -> vector vs
+/// Scheduler::jobs() -> unordered_map) can be recognized as ambiguous — a
+/// textual matcher cannot resolve the receiver's type, so ambiguous accessor
+/// names are skipped rather than flagged.
+struct UnorderedDecls {
+  std::set<std::string> vars;
+  std::set<std::string> accessors;
+  std::set<std::string> ordered_accessors;
+};
+
+void scan_container_decls(const std::vector<std::string>& raw,
+                          const char* const* types, std::size_t n_types,
+                          std::set<std::string>* vars,
+                          std::set<std::string>* accessors) {
+  for (const std::string& rawline : raw) {
+    const std::string code = code_view(rawline);
+    for (std::size_t t = 0; t < n_types; ++t) {
+      const char* type = types[t];
+      std::size_t pos = 0;
+      while ((pos = code.find(type, pos)) != std::string::npos) {
+        // Identifier boundary so "map" never matches inside "unordered_map".
+        if (pos > 0 && is_ident(code[pos - 1])) {
+          pos += 1;
+          continue;
+        }
+        std::size_t i = pos + std::string(type).size();
+        pos = i;
+        if (i >= code.size() || code[i] != '<') continue;
+        // Find the matching '>' of the template argument list.
+        int depth = 0;
+        for (; i < code.size(); ++i) {
+          if (code[i] == '<') ++depth;
+          if (code[i] == '>' && --depth == 0) break;
+        }
+        if (i >= code.size()) continue;  // args continue on the next line
+        ++i;
+        while (i < code.size() && (std::isspace(static_cast<unsigned char>(
+                                       code[i])) != 0 ||
+                                   code[i] == '&' || code[i] == '*'))
+          ++i;
+        std::size_t name_begin = i;
+        while (i < code.size() && is_ident(code[i])) ++i;
+        if (i == name_begin) continue;  // e.g. "#include <unordered_map>"
+        const std::string name = code.substr(name_begin, i - name_begin);
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i])) != 0)
+          ++i;
+        if (i < code.size() && code[i] == '(') {
+          if (accessors != nullptr) accessors->insert(name);
+        } else {
+          if (vars != nullptr) vars->insert(name);
+        }
+      }
+    }
+  }
+}
+
+void scan_unordered_decls(const std::vector<std::string>& raw,
+                          UnorderedDecls& out) {
+  static const char* kUnordered[] = {"unordered_map", "unordered_set",
+                                     "unordered_multimap",
+                                     "unordered_multiset"};
+  static const char* kOrdered[] = {"vector", "map",      "set",  "multimap",
+                                   "multiset", "deque",  "array", "list"};
+  scan_container_decls(raw, kUnordered, std::size(kUnordered), &out.vars,
+                       &out.accessors);
+  scan_container_decls(raw, kOrdered, std::size(kOrdered), nullptr,
+                       &out.ordered_accessors);
+}
+
+/// Extracts the sequence expression of a single-line range-for, or "" when
+/// the line is not one.
+std::string range_for_sequence(const std::string& code) {
+  std::size_t f = code.find("for (");
+  if (f == std::string::npos) f = code.find("for(");
+  if (f == std::string::npos) return "";
+  const std::size_t open = code.find('(', f);
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  std::size_t close = std::string::npos, colon = std::string::npos;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+    // A range-for colon: top-level inside the for parens, not "::", not "?:"
+    // (the tree has no ternaries in for headers).
+    if (code[i] == ':' && depth == 1) {
+      const bool scope = (i + 1 < code.size() && code[i + 1] == ':') ||
+                         (i > 0 && code[i - 1] == ':');
+      if (!scope && colon == std::string::npos) colon = i;
+    }
+  }
+  if (close == std::string::npos || colon == std::string::npos) return "";
+  return trim(code.substr(colon + 1, close - colon - 1));
+}
+
+/// Trailing call name of "obj.name()" / "obj->name()" / "name()", else "".
+std::string trailing_call_name(const std::string& seq) {
+  if (seq.size() < 3 || seq.substr(seq.size() - 2) != "()") return "";
+  std::size_t e = seq.size() - 2;
+  std::size_t b = e;
+  while (b > 0 && is_ident(seq[b - 1])) --b;
+  if (b == e) return "";
+  return seq.substr(b, e - b);
+}
+
+struct RuleContext {
+  const SourceFile* file = nullptr;
+  std::vector<std::string> code;  ///< code_view of each line
+  const UnorderedDecls* decls = nullptr;
+  Report* report = nullptr;
+};
+
+void emit(RuleContext& ctx, std::size_t idx, const std::string& rule,
+          std::string message, bool accepts_ordered) {
+  const WaiverScan w =
+      find_waiver(ctx.file->lines, idx, rule, accepts_ordered);
+  Finding f{ctx.file->path, static_cast<int>(idx + 1), rule,
+            std::move(message)};
+  if (w.waived) {
+    if (w.ordered)
+      ++ctx.report->ordered_waivers_used;
+    else
+      ++ctx.report->allow_waivers_used;
+    ctx.report->waived.push_back(std::move(f));
+  } else {
+    ctx.report->findings.push_back(std::move(f));
+  }
+}
+
+// -- rule: banned-call -------------------------------------------------------
+
+void rule_banned_call(RuleContext& ctx) {
+  static const char* kDirs[] = {"core", "sched", "sim", "workload"};
+  const bool in_scope = std::any_of(
+      std::begin(kDirs), std::end(kDirs),
+      [&](const char* d) { return has_component(ctx.file->path, d); });
+  if (!in_scope) return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& code = ctx.code[i];
+    if (has_token(code, "rand(") || has_token(code, "srand"))
+      emit(ctx, i, "banned-call",
+           "libc PRNG breaks deterministic replay; use util/rng.h",
+           /*accepts_ordered=*/false);
+    if (code.find("system_clock") != std::string::npos)
+      emit(ctx, i, "banned-call",
+           "wall clock in deterministic code; use engine time or "
+           "steady_clock",
+           /*accepts_ordered=*/false);
+    if (has_token(code, "time(")) {
+      // Only the wall-clock forms: time(), time(nullptr), time(NULL), time(0).
+      std::size_t pos = code.find("time(");
+      while (pos != std::string::npos) {
+        if (pos == 0 || !is_ident(code[pos - 1])) {
+          const std::size_t close = code.find(')', pos);
+          if (close != std::string::npos) {
+            const std::string arg = trim(code.substr(pos + 5, close - pos - 5));
+            if (arg.empty() || arg == "nullptr" || arg == "NULL" ||
+                arg == "0") {
+              emit(ctx, i, "banned-call",
+                   "wall clock in deterministic code; use engine time",
+                   /*accepts_ordered=*/false);
+              break;
+            }
+          }
+        }
+        pos = code.find("time(", pos + 1);
+      }
+    }
+  }
+}
+
+// -- rule: unordered-iter ----------------------------------------------------
+
+void rule_unordered_iter(RuleContext& ctx) {
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& code = ctx.code[i];
+
+    const std::string seq = range_for_sequence(code);
+    if (!seq.empty()) {
+      bool hit = false;
+      if (std::all_of(seq.begin(), seq.end(), is_ident) &&
+          ctx.decls->vars.count(seq)) {
+        hit = true;
+      } else {
+        const std::string call = trailing_call_name(seq);
+        if (!call.empty() && ctx.decls->accessors.count(call)) hit = true;
+      }
+      if (hit)
+        emit(ctx, i, "unordered-iter",
+             "iteration over unordered container '" + seq +
+                 "' — hash order may leak into fingerprints/metrics/output; "
+                 "sort first or waive with ordered(<reason>)",
+             /*accepts_ordered=*/true);
+    }
+
+    for (const std::string& var : ctx.decls->vars) {
+      const std::string pat = var + ".begin(";
+      std::size_t pos = 0;
+      bool flagged = false;
+      while (!flagged && (pos = code.find(pat, pos)) != std::string::npos) {
+        if (pos == 0 || !is_ident(code[pos - 1])) {
+          emit(ctx, i, "unordered-iter",
+               "iterator range over unordered container '" + var +
+                   "' — sort first or waive with ordered(<reason>)",
+               /*accepts_ordered=*/true);
+          flagged = true;
+        }
+        pos += 1;
+      }
+    }
+  }
+}
+
+// -- rule: journal-before-mutate ---------------------------------------------
+
+bool journal_exempt_method(const std::string& name) {
+  static const char* kPrefixes[] = {"apply_",  "restore_", "wipe_",
+                                    "recover_", "rearm_",   "replay",
+                                    "write_",  "snapshot"};
+  return std::any_of(std::begin(kPrefixes), std::end(kPrefixes),
+                     [&](const char* p) { return name.rfind(p, 0) == 0; });
+}
+
+void rule_journal_before_mutate(RuleContext& ctx) {
+  if (file_stem(ctx.file->path) != "cluster") return;
+  static const char* kMutators[] = {
+      "sched_.submit(",        "sched_.kill(",
+      "sched_.finish(",        "sched_.release_hold(",
+      "sched_.start_holding(",
+  };
+
+  std::string method;
+  bool in_method = false;
+  int depth = 0;
+  bool body_entered = false;
+  std::size_t first_mutation = std::string::npos;
+  std::string mutation_text;
+  bool has_append = false;
+
+  const auto finish_method = [&]() {
+    if (first_mutation != std::string::npos && !has_append &&
+        !journal_exempt_method(method))
+      emit(ctx, first_mutation, "journal-before-mutate",
+           "Cluster::" + method + " mutates scheduler state (" +
+               mutation_text +
+               ") without journaling a record in the same body; append a "
+               "JournalRecord before the effect becomes visible or waive "
+               "with allow(journal-before-mutate)",
+           /*accepts_ordered=*/false);
+    in_method = false;
+    body_entered = false;
+    depth = 0;
+    first_mutation = std::string::npos;
+    has_append = false;
+  };
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& code = ctx.code[i];
+    if (!in_method) {
+      const std::size_t pos = code.rfind("Cluster::");
+      if (pos == std::string::npos) continue;
+      std::size_t b = pos + 9, e = b;
+      while (e < code.size() && (is_ident(code[e]) || code[e] == '~')) ++e;
+      if (e == b) continue;
+      // A definition, not a qualified call: the name must be followed by
+      // '(' and the line must not end in ';' before any '{' appears.
+      std::size_t after = e;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after])) != 0)
+        ++after;
+      if (after >= code.size() || code[after] != '(') continue;
+      method = code.substr(b, e - b);
+      in_method = true;
+      depth = 0;
+      body_entered = false;
+      first_mutation = std::string::npos;
+      has_append = false;
+      // fall through to brace tracking on this same line
+    }
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        body_entered = true;
+      }
+      if (c == '}') --depth;
+    }
+    if (in_method && !body_entered && code.find(';') != std::string::npos) {
+      // Declaration-only line (e.g. an out-of-class member initializer);
+      // not a definition after all.
+      in_method = false;
+      continue;
+    }
+    if (in_method && body_entered) {
+      if (first_mutation == std::string::npos) {
+        for (const char* m : kMutators) {
+          if (code.find(m) != std::string::npos) {
+            first_mutation = i;
+            mutation_text = m;
+            mutation_text.pop_back();  // drop the '('
+            break;
+          }
+        }
+      }
+      if (code.find("journal_->append(") != std::string::npos)
+        has_append = true;
+      if (depth == 0) finish_method();
+    }
+  }
+}
+
+// -- rule: dedup-before-reply ------------------------------------------------
+
+void rule_dedup_before_reply(RuleContext& ctx) {
+  if (file_stem(ctx.file->path) != "service") return;
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& code = ctx.code[i];
+    const bool effectful = code.find("service_.try_start_mate(") !=
+                               std::string::npos ||
+                           code.find("service_.start_job(") !=
+                               std::string::npos;
+    if (!effectful) continue;
+    // The verdict must reach the dedup cache (whose persist hook journals
+    // and commits it) before the reply for this call is built.
+    bool recorded = false;
+    std::size_t j = i;
+    for (; j < ctx.code.size(); ++j) {
+      if (ctx.code[j].find("->record(") != std::string::npos ||
+          ctx.code[j].find(".record(") != std::string::npos)
+        recorded = true;
+      if (ctx.code[j].find("return") != std::string::npos) break;
+    }
+    if (!recorded)
+      emit(ctx, i, "dedup-before-reply",
+           "side-effecting service call replies without recording the "
+           "verdict in RpcDedup (durable-before-reply); record it or waive "
+           "with allow(dedup-before-reply)",
+           /*accepts_ordered=*/false);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(const std::string& contents) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : contents) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+Report run_lint(const std::vector<SourceFile>& files) {
+  Report report;
+  report.files_scanned = files.size();
+
+  // Cross-file declaration context: a .cpp sees its own declarations plus
+  // those of any file sharing its stem (cluster.cpp <- cluster.h); accessor
+  // names (functions returning unordered refs) apply globally, since they
+  // are called through an object of the declaring class.
+  std::map<std::string, UnorderedDecls> by_stem;
+  UnorderedDecls global;
+  for (const SourceFile& f : files) {
+    UnorderedDecls d;
+    scan_unordered_decls(f.lines, d);
+    UnorderedDecls& slot = by_stem[file_stem(f.path)];
+    slot.vars.insert(d.vars.begin(), d.vars.end());
+    slot.accessors.insert(d.accessors.begin(), d.accessors.end());
+    global.accessors.insert(d.accessors.begin(), d.accessors.end());
+    global.ordered_accessors.insert(d.ordered_accessors.begin(),
+                                    d.ordered_accessors.end());
+  }
+  // An accessor name declared with both ordered and unordered return types
+  // (Trace::jobs() vs Scheduler::jobs()) is ambiguous to a textual matcher:
+  // skip it rather than flag every vector-returning call site.
+  for (const std::string& name : global.ordered_accessors)
+    global.accessors.erase(name);
+
+  for (const SourceFile& f : files) {
+    RuleContext ctx;
+    ctx.file = &f;
+    ctx.code.reserve(f.lines.size());
+    for (const std::string& l : f.lines) ctx.code.push_back(code_view(l));
+    UnorderedDecls decls = by_stem[file_stem(f.path)];
+    decls.accessors.insert(global.accessors.begin(), global.accessors.end());
+    for (const std::string& name : global.ordered_accessors)
+      decls.accessors.erase(name);
+    ctx.decls = &decls;
+    ctx.report = &report;
+
+    rule_banned_call(ctx);
+    rule_unordered_iter(ctx);
+    rule_journal_before_mutate(ctx);
+    rule_dedup_before_reply(ctx);
+  }
+
+  const auto by_location = [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_location);
+  std::sort(report.waived.begin(), report.waived.end(), by_location);
+  return report;
+}
+
+bool lint_paths(const std::vector<std::string>& roots, Report& out,
+                std::string& error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp")
+          paths.push_back(entry.path().string());
+      }
+      if (ec) {
+        error = root + ": " + ec.message();
+        return false;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      error = root + ": not a file or directory";
+      return false;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      error = p + ": cannot open";
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back(SourceFile{p, split_lines(ss.str())});
+  }
+  out = run_lint(files);
+  return true;
+}
+
+std::string to_string(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace cosched::lint

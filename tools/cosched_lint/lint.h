@@ -1,0 +1,73 @@
+// cosched-lint: domain-rule static checks the compiler cannot express.
+//
+// A line/decl-level matcher over the source tree enforcing the invariants
+// the runtime defenses (TSan, invariant reports, kill-anywhere recovery)
+// only catch when a test happens to hit them:
+//
+//   journal-before-mutate  every state-mutating Cluster method appends a
+//                          journal record in the same body as the mutation
+//                          (the PR 3 write-ahead rule; commit happens at the
+//                          entry-point boundary)
+//   dedup-before-reply     RpcDedup verdicts are recorded (and thereby
+//                          journaled durable) before the dispatcher builds
+//                          the reply
+//   banned-call            no rand()/srand()/system_clock/argless time() in
+//                          the deterministic core (core, sched, sim,
+//                          workload) — wall clocks and libc PRNGs break
+//                          replay and fingerprint equality
+//   unordered-iter         no iteration over unordered_{map,set} without an
+//                          explicit `// cosched-lint: ordered(<reason>)`
+//                          waiver — hash order leaking into fingerprints,
+//                          metrics, or wire output is the classic silent
+//                          determinism bug
+//
+// Escape hatches (same line or the line above the finding):
+//   // cosched-lint: ordered(<why hash order cannot leak>)   unordered-iter
+//   // cosched-lint: allow(<rule>) <why>                      any rule
+// Waivers are counted and reported so a review can see the debt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cosched::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;          ///< 1-based
+  std::string rule;      ///< rule id, e.g. "unordered-iter"
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;                 ///< as reported in findings
+  std::vector<std::string> lines;   ///< raw file lines
+};
+
+struct Report {
+  std::vector<Finding> findings;        ///< unwaived — these fail the run
+  std::vector<Finding> waived;          ///< suppressed by ordered()/allow()
+  int ordered_waivers_used = 0;
+  int allow_waivers_used = 0;
+  std::size_t files_scanned = 0;
+};
+
+/// Splits file contents into lines (tolerates missing trailing newline).
+std::vector<std::string> split_lines(const std::string& contents);
+
+/// Runs every rule over `files`.  Cross-file context (unordered member
+/// declarations in a .cpp's same-stem header, unordered-returning accessor
+/// names from any header) is gathered from the same set, so callers should
+/// pass headers and sources together.
+Report run_lint(const std::vector<SourceFile>& files);
+
+/// Loads every *.h / *.cpp under each root (recursively; a root may also be
+/// a single file) and lints them.  `error` receives a message on I/O
+/// failure.
+bool lint_paths(const std::vector<std::string>& roots, Report& out,
+                std::string& error);
+
+/// Formats one finding as "file:line: [rule] message".
+std::string to_string(const Finding& f);
+
+}  // namespace cosched::lint

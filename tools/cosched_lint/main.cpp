@@ -1,0 +1,53 @@
+// cosched_lint CLI: lints the given files/directories and exits nonzero on
+// any unwaived finding.  Registered as the `lint`-labeled ctest target so
+// `ctest -L lint` gates the tree.
+//
+//   cosched_lint [--verbose-waivers] <dir-or-file>...
+//
+// The final summary line is stable and machine-parseable (CI step
+// summaries grep it):
+//   cosched-lint: files=N findings=F ordered_waivers=X allow_waivers=Y
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool verbose_waivers = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose-waivers") {
+      verbose_waivers = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: cosched_lint [--verbose-waivers] <dir-or-file>...\n");
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "cosched_lint: no inputs (try --help)\n");
+    return 2;
+  }
+
+  cosched::lint::Report report;
+  std::string error;
+  if (!cosched::lint::lint_paths(roots, report, error)) {
+    std::fprintf(stderr, "cosched_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  for (const auto& f : report.findings)
+    std::printf("%s\n", cosched::lint::to_string(f).c_str());
+  if (verbose_waivers) {
+    for (const auto& f : report.waived)
+      std::printf("waived: %s\n", cosched::lint::to_string(f).c_str());
+  }
+  std::printf("cosched-lint: files=%zu findings=%zu ordered_waivers=%d "
+              "allow_waivers=%d\n",
+              report.files_scanned, report.findings.size(),
+              report.ordered_waivers_used, report.allow_waivers_used);
+  return report.findings.empty() ? 0 : 1;
+}
