@@ -177,6 +177,7 @@ class LiveDaemon : public CoschedService {
         return RunDecision::kStart;
       case MateStatus::kQueuing:
       case MateStatus::kUnsubmitted:
+      case MateStatus::kSuspected:
         if (peer_->try_start_mate(**mate).value_or(false)) {
           say(name_, "job " + std::to_string(job.spec.id) +
                          " started (mate started via tryStartMate)");

@@ -83,7 +83,12 @@ void Cluster::periodic_body() {
   journal_commit();
 }
 
-void Cluster::add_peer(PeerClient& peer) { peers_.push_back(&peer); }
+void Cluster::add_peer(PeerClient& peer) {
+  peers_.push_back(&peer);
+  peer_state_.push_back(PeerState{
+      FailureDetector(cfg_.liveness.heartbeat_period, engine_.now()),
+      HeartbeatInfo{}, false});
+}
 
 void Cluster::register_expected(const JobSpec& spec) {
   COSCHED_CHECK(spec.is_paired());
@@ -107,6 +112,7 @@ void Cluster::do_submit(const JobSpec& spec) {
   sched_.submit(spec, engine_.now());
   track_dependency(spec);
   arm_periodic_iteration();
+  arm_liveness_tick();
   if (journaling()) {
     WireWriter w;
     encode_job_spec(w, spec);
@@ -150,6 +156,7 @@ void Cluster::kill_job(JobId id) {
     w.put_i64(engine_.now());
     journal_->append(JournalRecordKind::kKill, w.bytes());
   }
+  leases_.erase(id);
   if (const RuntimeJob* killed = sched_.find(id))
     log_event(JobEventKind::kFinish, *killed);
   request_iteration();
@@ -212,6 +219,10 @@ MateStatus Cluster::get_mate_status(JobId job) {
 }
 
 bool Cluster::try_start_mate(JobId job) {
+  // Tripwire behind the no-start-with-stale-fence invariant: the dispatcher
+  // must not reach this method after admit_fence() said "stale".
+  if (job == pending_stale_fence_) ++stale_fence_starts_;
+  pending_stale_fence_ = kNoJob;
   ++try_start_requests_;
   if (!sched_.find(job)) return false;  // unsubmitted or unknown: cannot start
   const bool started =
@@ -223,6 +234,8 @@ bool Cluster::try_start_mate(JobId job) {
 }
 
 bool Cluster::start_job(JobId job) {
+  if (job == pending_stale_fence_) ++stale_fence_starts_;
+  pending_stale_fence_ = kNoJob;
   const RuntimeJob* j = sched_.find(job);
   if (!j || j->state != JobState::kHolding) return false;
   starting_from_hold_ = true;
@@ -250,26 +263,32 @@ RunDecision Cluster::run_job_hook(RuntimeJob& job, bool try_context) {
   // The decision path may talk to peers and flip degraded-mode state; diff
   // it around the call so replay reproduces the §IV-C bookkeeping exactly.
   const std::uint64_t unknown_before = unknown_status_decisions_;
+  const std::uint64_t suspected_before = suspected_status_decisions_;
   const bool fault_before = fault_seen_.count(job.spec.id) > 0;
   const bool unsync_before = unsync_pending_.count(job.spec.id) > 0;
   const RunDecision d = run_job_decision(job, try_context);
   const std::uint64_t unknown_delta =
       unknown_status_decisions_ - unknown_before;
+  const std::uint64_t suspected_delta =
+      suspected_status_decisions_ - suspected_before;
   const bool fault_now = fault_seen_.count(job.spec.id) > 0;
   const bool unsync_now = unsync_pending_.count(job.spec.id) > 0;
-  if (unknown_delta != 0 || fault_now != fault_before ||
-      unsync_now != unsync_before) {
+  if (unknown_delta != 0 || suspected_delta != 0 ||
+      fault_now != fault_before || unsync_now != unsync_before) {
     WireWriter w;
     w.put_i64(job.spec.id);
     w.put_u64(unknown_delta);
     w.put_bool(fault_now);
     w.put_bool(unsync_now);
+    w.put_u64(suspected_delta);
     journal_->append(JournalRecordKind::kDegraded, w.bytes());
   }
   return d;
 }
 
 RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
+  blocking_peer_ = -1;
+
   // Lines 33-36: coscheduling disabled, or a regular job: start normally.
   if (!cfg_.enabled || !job.spec.is_paired()) return RunDecision::kStart;
 
@@ -277,21 +296,42 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
   // member of this group, does not constrain the job (lines 30-31).
   struct MateRef {
     PeerClient* peer;
+    std::int32_t peer_index;
     JobId id;
   };
   bool transport_fault = false;
+  std::int32_t suspect_peer = -1;  // a suspected peer we could not consult
   std::vector<MateRef> mates;
-  for (PeerClient* peer : peers_) {
-    const auto found = peer->get_mate_job(job.spec.group, job.spec.id);
-    if (!found) {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    // A confirmed-dead peer is not consulted: the detector already holds the
+    // answer the transport would eventually fail its way to (§IV-C: remote
+    // down, mate unknown — do not block the local job).
+    if (liveness_on() && peer_health(i) == PeerHealth::kDead) {
       transport_fault = true;
       ++unknown_status_decisions_;
       continue;
     }
+    const auto found = peers_[i]->get_mate_job(job.spec.group, job.spec.id);
+    if (!found) {
+      if (liveness_on() && peer_health(i) == PeerHealth::kSuspect) {
+        // Unreachable but not yet confirmed dead: await confirmation under
+        // the local scheme instead of starting unsynchronized right away.
+        ++suspected_status_decisions_;
+        if (suspect_peer < 0) suspect_peer = static_cast<std::int32_t>(i);
+      } else {
+        transport_fault = true;
+        ++unknown_status_decisions_;
+      }
+      continue;
+    }
     if (!*found) continue;
-    mates.push_back(MateRef{peer, **found});
+    mates.push_back(MateRef{peers_[i], static_cast<std::int32_t>(i), **found});
   }
   if (mates.empty()) {
+    if (suspect_peer >= 0) {
+      blocking_peer_ = suspect_peer;
+      return scheme_decision(job, try_context);
+    }
     if (transport_fault) unsync_pending_.insert(job.spec.id);
     return RunDecision::kStart;
   }
@@ -299,14 +339,27 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
   CommitGuard commit(committing_, job.spec.id);
 
   // Lines 4-27: classify each mate.
-  std::vector<MateRef> holding, not_ready;
+  std::vector<MateRef> holding, not_ready, suspected;
   for (const MateRef& m : mates) {
     const auto status_reply = m.peer->get_mate_status(m.id);
+    MateStatus status;
     if (!status_reply) {
-      transport_fault = true;
-      ++unknown_status_decisions_;
+      if (liveness_on() &&
+          peer_health(static_cast<std::size_t>(m.peer_index)) ==
+              PeerHealth::kSuspect) {
+        // The failure is not confirmed yet: treat the silent mate as
+        // `suspected` and fall back to the local scheme (hold/yield) rather
+        // than start unsynchronized on what may be a transient partition.
+        ++suspected_status_decisions_;
+        status = MateStatus::kSuspected;
+      } else {
+        transport_fault = true;
+        ++unknown_status_decisions_;
+        status = MateStatus::kUnknown;
+      }
+    } else {
+      status = *status_reply;
     }
-    const MateStatus status = status_reply.value_or(MateStatus::kUnknown);
     switch (status) {
       case MateStatus::kHolding:
         holding.push_back(m);
@@ -316,6 +369,9 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
       case MateStatus::kQueuing:
       case MateStatus::kUnsubmitted:
         not_ready.push_back(m);
+        break;
+      case MateStatus::kSuspected:
+        suspected.push_back(m);
         break;
       case MateStatus::kRunning:
       case MateStatus::kFinished:
@@ -339,9 +395,19 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
     }
     if (started.has_value() && !*started) {
       if (transport_fault) fault_seen_.insert(job.spec.id);
+      blocking_peer_ = not_ready.front().peer_index;
       return scheme_decision(job, try_context);
     }
     // Transport failure counts as unknown: do not block the local job.
+  }
+
+  if (not_ready.empty() && (!suspected.empty() || suspect_peer >= 0)) {
+    // Every reachable mate is ready but at least one lives on a suspected
+    // domain: await confirmation under the local scheme instead of waking
+    // holders into a possibly half-dead group.
+    blocking_peer_ =
+        !suspected.empty() ? suspected.front().peer_index : suspect_peer;
+    return scheme_decision(job, try_context);
   }
 
   // Lines 6-8: everyone is ready; wake the holding mates and start.
@@ -394,6 +460,7 @@ RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
       journal_->append(JournalRecordKind::kHold, w.bytes());
     }
     log_event(JobEventKind::kHold, job);
+    if (liveness_on()) grant_lease(job.spec.id, blocking_peer_);
     return RunDecision::kHold;
   }
   job.priority_boost += cfg_.yield_priority_boost;
@@ -433,6 +500,9 @@ void Cluster::on_job_started(const RuntimeJob& job) {
     w.put_bool(was_unsync);
     journal_->append(JournalRecordKind::kStart, w.bytes());
   }
+  // A start closes the job's hold lease (replay closes it via the kStart
+  // record, in apply_record).
+  leases_.erase(id);
   completion_events_[id] = engine_.schedule_at(
       engine_.now() + job.spec.runtime, EventPriority::kJobEnd,
       [this, id] { on_job_finished(id); });
@@ -547,11 +617,221 @@ void Cluster::hold_release_tick() {
       w.put_bool(degraded);
       journal_->append(JournalRecordKind::kHoldRelease, w.bytes());
     }
+    leases_.erase(h);  // the domain-wide breaker supersedes the lease
     if (const RuntimeJob* j = sched_.find(h))
       log_event(JobEventKind::kHoldRelease, *j);
   }
   request_iteration();
   journal_commit();
+}
+
+// -- liveness layer -----------------------------------------------------------
+
+HeartbeatInfo Cluster::liveness_info() const {
+  HeartbeatInfo info;
+  info.incarnation = incarnation_;
+  info.fence = fence_epoch();
+  info.queue_depth = sched_.queue_length();
+  info.hold_fraction = sched_.hold_fraction();
+  return info;
+}
+
+PeerHealth Cluster::peer_health(std::size_t i) const {
+  if (!cfg_.liveness.enabled) return PeerHealth::kAlive;
+  return peer_state_[i].detector.health(engine_.now(),
+                                        cfg_.liveness.phi_suspect,
+                                        cfg_.liveness.phi_confirm);
+}
+
+std::optional<HeartbeatInfo> Cluster::heartbeat(const HeartbeatInfo& from) {
+  // Each side probes independently; answering at all is the evidence the
+  // prober wants, and the payload lets it piggyback our load picture.
+  (void)from;
+  if (!cfg_.liveness.enabled) return std::nullopt;
+  return liveness_info();
+}
+
+bool Cluster::admit_fence(JobId job, std::uint64_t fence) {
+  pending_stale_fence_ = kNoJob;
+  if (!cfg_.liveness.enabled || fence == 0 || fence >= fence_epoch())
+    return true;
+  // The caller learned this token before our last lease expiry (or before a
+  // restart bumped the incarnation): its view of our holds is stale, and
+  // acting on it could double-start the group.
+  ++stale_fence_rejections_;
+  pending_stale_fence_ = job;
+  if (const RuntimeJob* j = sched_.find(job))
+    log_event(JobEventKind::kFenceReject, *j);
+  return false;
+}
+
+std::uint64_t Cluster::lease_expiry_violations(Time now) const {
+  const Duration grace = 2 * cfg_.liveness.heartbeat_period;
+  std::uint64_t violations = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (now - lease.expires_at <= grace) continue;
+    const RuntimeJob* j = sched_.find(id);
+    if (j != nullptr && j->state == JobState::kHolding) ++violations;
+  }
+  return violations;
+}
+
+void Cluster::arm_liveness_tick() {
+  if (!liveness_on() || liveness_armed_) return;
+  liveness_armed_ = true;
+  liveness_at_ = engine_.now() + cfg_.liveness.heartbeat_period;
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(liveness_at_);
+    journal_->append(JournalRecordKind::kLivenessArmed, w.bytes());
+  }
+  liveness_event_ = engine_.schedule_at(liveness_at_, EventPriority::kStats,
+                                        [this] { liveness_body(); });
+}
+
+void Cluster::liveness_body() {
+  liveness_event_.reset();
+  liveness_armed_ = false;
+  liveness_at_ = kNoTime;
+  if (!liveness_on()) return;
+  const bool work_left = sched_.queue_length() > 0 ||
+                         sched_.running_count() > 0 ||
+                         sched_.holding_count() > 0;
+  // Quiescent fire journals nothing (mirrors periodic_body); submits re-arm.
+  if (!work_left && leases_.empty()) return;
+
+  const Time now = engine_.now();
+  const HeartbeatInfo mine = liveness_info();
+
+  // Probe every peer first, then journal the whole round before touching
+  // detector or lease state (journal-before-mutate for the entire body).
+  struct Ack {
+    bool acked = false;
+    HeartbeatInfo info;
+  };
+  std::vector<Ack> acks(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    peer_state_[i].detector.mark_probe(now);
+    const auto reply = peers_[i]->heartbeat(mine);
+    if (reply) acks[i] = Ack{true, *reply};
+  }
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(now);
+    w.put_u64(acks.size());
+    for (const Ack& a : acks) {
+      w.put_bool(a.acked);
+      if (!a.acked) continue;
+      w.put_u64(a.info.incarnation);
+      w.put_u64(a.info.fence);
+      w.put_u64(a.info.queue_depth);
+      w.put_double(a.info.hold_fraction);
+    }
+    journal_->append(JournalRecordKind::kHeartbeat, w.bytes());
+  }
+  heartbeats_sent_ += acks.size();
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (!acks[i].acked) continue;
+    ++heartbeats_acked_;
+    peer_state_[i].detector.record_heartbeat(now);
+    peer_state_[i].info = acks[i].info;
+    peer_state_[i].ever_heard = true;
+    // Learn the peer's fencing epoch: every later side-effecting call to it
+    // carries this token, so the peer can spot us going stale.
+    peers_[i]->set_fence_token(acks[i].info.fence);
+  }
+
+  // Lease maintenance.  Renewal requires fresh evidence from the blocking
+  // peer *this round*; a lease whose peer stayed silent past the expiry
+  // auto-expires.  leases_ is ordered, so the scan is deterministic.
+  std::vector<std::pair<JobId, bool>> to_expire;  // (job, mate confirmed dead)
+  for (auto& [job, lease] : leases_) {
+    const bool peer_ok = lease.peer >= 0 &&
+                         static_cast<std::size_t>(lease.peer) < acks.size() &&
+                         acks[static_cast<std::size_t>(lease.peer)].acked;
+    if (peer_ok) {
+      const Time renewed = now + cfg_.liveness.lease_duration;
+      if (journaling()) {
+        WireWriter w;
+        w.put_i64(job);
+        w.put_i64(renewed);
+        journal_->append(JournalRecordKind::kLeaseRenew, w.bytes());
+      }
+      lease.expires_at = renewed;
+      ++lease.renewals;
+      ++lease_renewals_;
+      continue;
+    }
+    if (lease.expires_at <= now) {
+      const bool dead =
+          lease.peer >= 0 &&
+          peer_health(static_cast<std::size_t>(lease.peer)) == PeerHealth::kDead;
+      to_expire.emplace_back(job, dead);
+    }
+  }
+  for (const auto& [job, dead] : to_expire) expire_lease(job, dead);
+
+  arm_liveness_tick();
+  journal_commit();
+}
+
+void Cluster::grant_lease(JobId job, std::int32_t peer) {
+  HoldLease lease;
+  lease.job = job;
+  lease.peer = peer;
+  lease.granted_at = engine_.now();
+  lease.expires_at = engine_.now() + cfg_.liveness.lease_duration;
+  lease.token = fence_epoch();
+  if (journaling()) {
+    WireWriter w;
+    lease.snapshot(w);
+    journal_->append(JournalRecordKind::kLeaseGrant, w.bytes());
+  }
+  leases_[job] = lease;
+  ++lease_grants_;
+  arm_liveness_tick();
+}
+
+void Cluster::expire_lease(JobId job, bool mate_dead) {
+  const auto it = leases_.find(job);
+  if (it == leases_.end()) return;
+  const Time now = engine_.now();
+  // The fencing epoch advances with the expiry: any in-flight call stamped
+  // under the old epoch is stale from this instant, which is exactly what
+  // closes the partitioned-then-healed double-start window.
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(now);
+    w.put_bool(mate_dead);
+    journal_->append(JournalRecordKind::kLeaseExpire, w.bytes());
+    WireWriter f;
+    f.put_u64(static_cast<std::uint64_t>(fence_counter_) + 1);
+    journal_->append(JournalRecordKind::kLeaseFence, f.bytes());
+  }
+  leases_.erase(it);
+  ++lease_expiries_;
+  ++fence_counter_;
+  const RuntimeJob* j = sched_.find(job);
+  if (j != nullptr) log_event(JobEventKind::kLeaseExpire, *j);
+  if (j != nullptr && j->state == JobState::kHolding) {
+    const bool degraded = mate_dead || fault_seen_.count(job) > 0;
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(job);
+      w.put_i64(now);
+      w.put_bool(degraded);
+      journal_->append(JournalRecordKind::kHoldRelease, w.bytes());
+    }
+    sched_.release_hold(job, now);
+    ++forced_releases_;
+    if (degraded) ++degraded_forced_releases_;
+    if (const RuntimeJob* released = sched_.find(job))
+      log_event(JobEventKind::kHoldRelease, *released);
+    // The requeued job decides afresh next iteration: a confirmed-dead mate
+    // then takes the §IV-C unknown path and starts unsynchronized.
+    request_iteration();
+  }
 }
 
 // -- crash-consistent persistence --------------------------------------------
@@ -645,6 +925,30 @@ void Cluster::write_snapshot(WireWriter& w) const {
     w.put_i64(id);
   }
 
+  // -- liveness layer (leases_ and peer_state_ are already ordered) ------
+  w.put_u64(heartbeats_sent_);
+  w.put_u64(heartbeats_acked_);
+  w.put_u64(lease_grants_);
+  w.put_u64(lease_renewals_);
+  w.put_u64(lease_expiries_);
+  w.put_u64(stale_fence_rejections_);
+  w.put_u64(stale_fence_starts_);
+  w.put_u64(suspected_status_decisions_);
+  w.put_u64(fence_counter_);
+  w.put_bool(liveness_armed_);
+  w.put_i64(liveness_at_);
+  w.put_u64(leases_.size());
+  for (const auto& [id, lease] : leases_) lease.snapshot(w);
+  w.put_u64(peer_state_.size());
+  for (const PeerState& ps : peer_state_) {
+    ps.detector.snapshot(w);
+    w.put_u64(ps.info.incarnation);
+    w.put_u64(ps.info.fence);
+    w.put_u64(ps.info.queue_depth);
+    w.put_double(ps.info.hold_fraction);
+    w.put_bool(ps.ever_heard);
+  }
+
   sched_.snapshot(w);
 }
 
@@ -690,6 +994,34 @@ void Cluster::apply_snapshot(WireReader& r) {
     yield_retries_.insert({at, id});
   }
 
+  heartbeats_sent_ = r.get_u64();
+  heartbeats_acked_ = r.get_u64();
+  lease_grants_ = r.get_u64();
+  lease_renewals_ = r.get_u64();
+  lease_expiries_ = r.get_u64();
+  stale_fence_rejections_ = r.get_u64();
+  stale_fence_starts_ = r.get_u64();
+  suspected_status_decisions_ = r.get_u64();
+  fence_counter_ = static_cast<std::uint32_t>(r.get_u64());
+  liveness_armed_ = r.get_bool();
+  liveness_at_ = r.get_i64();
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const HoldLease lease = HoldLease::restore(r);
+    leases_.emplace(lease.job, lease);
+  }
+  const std::uint64_t n_peers = r.get_u64();
+  COSCHED_CHECK_MSG(n_peers == peer_state_.size(),
+                    name_ << ": snapshot has " << n_peers
+                          << " peers, cluster has " << peer_state_.size());
+  for (PeerState& ps : peer_state_) {
+    ps.detector.restore(r);
+    ps.info.incarnation = r.get_u64();
+    ps.info.fence = r.get_u64();
+    ps.info.queue_depth = r.get_u64();
+    ps.info.hold_fraction = r.get_double();
+    ps.ever_heard = r.get_bool();
+  }
+
   sched_.restore(r);
 }
 
@@ -700,9 +1032,11 @@ void Cluster::wipe_for_recovery() {
   if (iteration_event_) engine_.cancel(*iteration_event_);
   if (tick_event_) engine_.cancel(*tick_event_);
   if (periodic_event_) engine_.cancel(*periodic_event_);
+  if (liveness_event_) engine_.cancel(*liveness_event_);
   iteration_event_.reset();
   tick_event_.reset();
   periodic_event_.reset();
+  liveness_event_.reset();
 
   group_to_job_.clear();
   expected_.clear();
@@ -726,6 +1060,25 @@ void Cluster::wipe_for_recovery() {
   degraded_forced_releases_ = 0;
   incarnation_ = 1;
   starting_from_hold_ = false;
+
+  leases_.clear();
+  for (PeerState& ps : peer_state_)
+    ps = PeerState{FailureDetector(cfg_.liveness.heartbeat_period,
+                                   engine_.now()),
+                   HeartbeatInfo{}, false};
+  fence_counter_ = 0;
+  liveness_armed_ = false;
+  liveness_at_ = kNoTime;
+  pending_stale_fence_ = kNoJob;
+  heartbeats_sent_ = 0;
+  heartbeats_acked_ = 0;
+  lease_grants_ = 0;
+  lease_renewals_ = 0;
+  lease_expiries_ = 0;
+  stale_fence_rejections_ = 0;
+  stale_fence_starts_ = 0;
+  suspected_status_decisions_ = 0;
+  blocking_peer_ = -1;
 }
 
 void Cluster::restore_snapshot(WireReader& r) {
@@ -790,6 +1143,7 @@ void Cluster::apply_record(const JournalRecord& rec) {
         sched_.start_holding(id, t);
       else
         sched_.replay_start(id, t, first_ready, allocated);
+      leases_.erase(id);
       break;
     }
     case JournalRecordKind::kHold: {
@@ -807,6 +1161,7 @@ void Cluster::apply_record(const JournalRecord& rec) {
       sched_.release_hold(id, t);
       ++forced_releases_;
       if (degraded) ++degraded_forced_releases_;
+      leases_.erase(id);
       break;
     }
     case JournalRecordKind::kYield: {
@@ -830,6 +1185,7 @@ void Cluster::apply_record(const JournalRecord& rec) {
       const JobId id = r.get_i64();
       const Time t = r.get_i64();
       sched_.kill(id, t);
+      leases_.erase(id);
       break;
     }
     case JournalRecordKind::kIterate:
@@ -858,6 +1214,7 @@ void Cluster::apply_record(const JournalRecord& rec) {
       const std::uint64_t unknown_delta = r.get_u64();
       const bool fault_now = r.get_bool();
       const bool unsync_now = r.get_bool();
+      suspected_status_decisions_ += r.get_u64();
       unknown_status_decisions_ += unknown_delta;
       if (fault_now)
         fault_seen_.insert(id);
@@ -869,6 +1226,57 @@ void Cluster::apply_record(const JournalRecord& rec) {
         unsync_pending_.erase(id);
       break;
     }
+    case JournalRecordKind::kLeaseGrant: {
+      const HoldLease lease = HoldLease::restore(r);
+      leases_[lease.job] = lease;
+      ++lease_grants_;
+      break;
+    }
+    case JournalRecordKind::kLeaseRenew: {
+      const JobId id = r.get_i64();
+      const Time expires = r.get_i64();
+      const auto it = leases_.find(id);
+      if (it != leases_.end()) {
+        it->second.expires_at = expires;
+        ++it->second.renewals;
+      }
+      ++lease_renewals_;
+      break;
+    }
+    case JournalRecordKind::kLeaseExpire: {
+      const JobId id = r.get_i64();
+      leases_.erase(id);
+      ++lease_expiries_;
+      break;
+    }
+    case JournalRecordKind::kLeaseFence:
+      fence_counter_ = static_cast<std::uint32_t>(r.get_u64());
+      break;
+    case JournalRecordKind::kHeartbeat: {
+      const Time t = r.get_i64();
+      const std::uint64_t n = r.get_u64();
+      heartbeats_sent_ += n;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (i < peer_state_.size()) peer_state_[i].detector.mark_probe(t);
+        if (!r.get_bool()) continue;
+        HeartbeatInfo info;
+        info.incarnation = r.get_u64();
+        info.fence = r.get_u64();
+        info.queue_depth = r.get_u64();
+        info.hold_fraction = r.get_double();
+        ++heartbeats_acked_;
+        if (i < peer_state_.size()) {
+          peer_state_[i].detector.record_heartbeat(t);
+          peer_state_[i].info = info;
+          peer_state_[i].ever_heard = true;
+        }
+      }
+      break;
+    }
+    case JournalRecordKind::kLivenessArmed:
+      liveness_armed_ = true;
+      liveness_at_ = r.get_i64();
+      break;
     case JournalRecordKind::kDedup:
       break;  // owned by the RPC layer, not scheduler state
   }
@@ -966,6 +1374,31 @@ void Cluster::rearm_after_restore() {
       periodic_at_ = kNoTime;
     }
   }
+
+  if (liveness_armed_) {
+    if (liveness_at_ >= now) {
+      liveness_event_ = engine_.schedule_at(liveness_at_, EventPriority::kStats,
+                                            [this] { liveness_body(); });
+    } else {
+      // Same quiescence rule as the periodic timer: a liveness fire with
+      // work (or leases) always journals a kHeartbeat, so armed-in-the-past
+      // means it fired and found nothing to do.
+      liveness_armed_ = false;
+      liveness_at_ = kNoTime;
+    }
+  }
+  // Defensive: leases must never sit without a renewal/expiry driver.  In
+  // any consistent journal state leases imply an armed tick, so this only
+  // fires if that invariant was already broken — and it re-derives the same
+  // way on a second recovery, so it needs no record of its own.
+  if (!liveness_armed_ && liveness_on() && !leases_.empty())
+    arm_liveness_tick();
+
+  // Re-teach peers the fencing tokens learned before the crash: the stubs'
+  // stamps are process state, not journal state.
+  for (std::size_t i = 0; i < peers_.size() && i < peer_state_.size(); ++i)
+    if (peer_state_[i].ever_heard)
+      peers_[i]->set_fence_token(peer_state_[i].info.fence);
 
   for (auto it = yield_retries_.begin(); it != yield_retries_.end();) {
     const Time at = it->first;

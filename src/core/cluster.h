@@ -14,6 +14,7 @@
 // two domains this reduces exactly to the published algorithm.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -26,6 +27,7 @@
 #include "core/config.h"
 #include "core/event_log.h"
 #include "core/journal.h"
+#include "core/liveness.h"
 #include "proto/peer.h"
 #include "proto/service.h"
 #include "sched/scheduler.h"
@@ -67,11 +69,13 @@ class Cluster final : public CoschedService {
   /// before its submission see status `unsubmitted`.
   void register_expected(const JobSpec& spec);
 
-  // -- CoschedService (the four remote calls) ---------------------------
+  // -- CoschedService (the four remote calls + liveness plane) -----------
   std::optional<JobId> get_mate_job(GroupId group, JobId asking) override;
   MateStatus get_mate_status(JobId job) override;
   bool try_start_mate(JobId job) override;
   bool start_job(JobId job) override;
+  std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& from) override;
+  bool admit_fence(JobId job, std::uint64_t fence) override;
 
   // -- accessors ---------------------------------------------------------
   Scheduler& scheduler() { return sched_; }
@@ -96,6 +100,52 @@ class Cluster final : public CoschedService {
   std::uint64_t degraded_forced_releases() const {
     return degraded_forced_releases_;
   }
+
+  // -- liveness layer (heartbeats, failure detector, leased holds) -------
+
+  /// This domain's current liveness payload (also what heartbeats carry).
+  HeartbeatInfo liveness_info() const;
+
+  /// Current fencing epoch: side-effecting calls stamped with an older
+  /// nonzero token are rejected by admit_fence().
+  std::uint64_t fence_epoch() const {
+    return make_fence_token(incarnation_, fence_counter_);
+  }
+
+  /// Detector health of peer `i` at the current engine time (kAlive when
+  /// liveness is disabled).
+  PeerHealth peer_health(std::size_t i) const;
+
+  /// Last payload heard from peer `i` (all-zero before the first ack).
+  const HeartbeatInfo& peer_info(std::size_t i) const {
+    return peer_state_[i].info;
+  }
+
+  /// Active hold leases by job id (empty when liveness is disabled).
+  const std::map<JobId, HoldLease>& leases() const { return leases_; }
+
+  std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  std::uint64_t heartbeats_acked() const { return heartbeats_acked_; }
+  std::uint64_t lease_grants() const { return lease_grants_; }
+  std::uint64_t lease_renewals() const { return lease_renewals_; }
+  std::uint64_t lease_expiries() const { return lease_expiries_; }
+  /// Side-effecting calls rejected for carrying a stale fencing token.
+  std::uint64_t stale_fence_rejections() const {
+    return stale_fence_rejections_;
+  }
+  /// Starts that executed despite a stale fence — the runtime tripwire
+  /// behind the no-start-with-stale-fence invariant; always 0 unless the
+  /// dispatcher gate is bypassed.
+  std::uint64_t stale_fence_starts() const { return stale_fence_starts_; }
+  /// Decision paths that classified a mate as `suspected` (detector phase
+  /// between alive and confirmed-dead): the job held/yielded instead of
+  /// starting unsynchronized.
+  std::uint64_t suspected_status_decisions() const {
+    return suspected_status_decisions_;
+  }
+  /// Leases whose expiry is more than two heartbeat periods overdue while
+  /// their job still holds nodes — the lease-expiry-respected invariant.
+  std::uint64_t lease_expiry_violations(Time now) const;
 
   /// Attaches a lifecycle event log (not owned; may be shared across
   /// domains).  Pass nullptr to detach.
@@ -176,6 +226,22 @@ class Cluster final : public CoschedService {
   void periodic_body();
   void arm_yield_retry_event(Time at, JobId id);
 
+  // -- liveness internals ------------------------------------------------
+  bool liveness_on() const {
+    return cfg_.liveness.enabled && !peers_.empty();
+  }
+  void arm_liveness_tick();
+  /// Heartbeat round: probe every peer, feed the detectors, renew leases
+  /// backed by live mates, expire the rest.
+  void liveness_body();
+  /// Grants (or re-grants) the hold lease for `job` against blocking peer
+  /// `peer` (journal-before-mutate).
+  void grant_lease(JobId job, std::int32_t peer);
+  /// Expires one lease: advances the fencing epoch, force-releases the hold
+  /// and requeues the job (a confirmed-dead mate then starts it
+  /// unsynchronized at the next iteration).
+  void expire_lease(JobId job, bool mate_dead);
+
   // -- journaling internals ----------------------------------------------
   bool journaling() const { return journal_ != nullptr && !replaying_; }
   /// Group-commit point at the end of every journaling entry body; also
@@ -215,6 +281,38 @@ class Cluster final : public CoschedService {
   std::uint64_t unknown_status_decisions_ = 0;
   std::uint64_t unsync_starts_ = 0;
   std::uint64_t degraded_forced_releases_ = 0;
+
+  // -- liveness layer ------------------------------------------------------
+  /// Per-peer detector + last-heard payload, parallel to peers_.
+  struct PeerState {
+    FailureDetector detector;
+    HeartbeatInfo info;
+    bool ever_heard = false;
+  };
+  std::vector<PeerState> peer_state_;
+  /// Active hold leases by job.  Ordered so snapshots and expiry scans are
+  /// deterministic.
+  std::map<JobId, HoldLease> leases_;
+  /// Low 32 bits of the fencing epoch; bumped on every lease expiry.  The
+  /// incarnation forms the high bits (see make_fence_token).
+  std::uint32_t fence_counter_ = 0;
+  bool liveness_armed_ = false;
+  Time liveness_at_ = kNoTime;
+  std::optional<EventId> liveness_event_;
+  /// Job whose latest admit_fence() verdict was "stale" — consumed by
+  /// try_start_mate/start_job to detect a bypassed gate.
+  JobId pending_stale_fence_ = kNoJob;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t heartbeats_acked_ = 0;
+  std::uint64_t lease_grants_ = 0;
+  std::uint64_t lease_renewals_ = 0;
+  std::uint64_t lease_expiries_ = 0;
+  std::uint64_t stale_fence_rejections_ = 0;
+  std::uint64_t stale_fence_starts_ = 0;
+  std::uint64_t suspected_status_decisions_ = 0;
+  /// Peer index that blocked the most recent scheme_decision (-1 = none);
+  /// the lease grant records it as the renewal source.
+  std::int32_t blocking_peer_ = -1;
 
   // -- crash-consistent persistence ---------------------------------------
   Journal* journal_ = nullptr;   ///< not owned

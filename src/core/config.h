@@ -53,6 +53,35 @@ struct CoschedConfig {
   /// Additive priority boost per yield (§IV-E2's alternative to the yield
   /// threshold).  0 disables.
   double yield_priority_boost = 0.0;
+
+  /// Liveness layer (heartbeats, failure detector, leased holds).
+  struct Liveness {
+    /// Master switch.  Off by default: the breaker-only behaviour (and the
+    /// pinned determinism fingerprints that encode it) is preserved unless a
+    /// deployment opts in.
+    bool enabled = false;
+
+    /// Interval between heartbeat rounds to every known peer.
+    Duration heartbeat_period = 30 * kSecond;
+
+    /// Phi threshold at which a silent peer becomes `suspected` (holds keep
+    /// their nodes but leases stop renewing).  Phi ~ -log10 P(still alive):
+    /// 1.5 at a 30 s period is roughly 104 s of silence.
+    double phi_suspect = 1.5;
+
+    /// Phi threshold at which the detector *confirms* failure: mate status
+    /// becomes `unknown`, leases expire immediately, and Algorithm 1's
+    /// fault rule (start locally, unsynchronized) applies.  4.0 at a 30 s
+    /// period is roughly 276 s of silence — far below the 20-min breaker.
+    double phi_confirm = 4.0;
+
+    /// Lifetime of a hold lease.  Renewed on every heartbeat ack from the
+    /// blocking peer; expiry without renewal releases the hold (yield path)
+    /// or starts the job unsynchronized (confirmed-dead path).
+    Duration lease_duration = 5 * kMinute;
+  };
+
+  Liveness liveness;
 };
 
 /// Named scheme combination for bench tables: HH, HY, YH, YY.

@@ -68,6 +68,30 @@ void CoupledSim::set_fault_plan_all(const FaultPlan& plan) {
   }
 }
 
+void CoupledSim::set_liveness_all(const CoschedConfig::Liveness& liveness) {
+  for (auto& c : clusters_) {
+    CoschedConfig cfg = c->config();
+    cfg.liveness = liveness;
+    c->set_config(cfg);
+  }
+}
+
+void CoupledSim::add_partition(std::size_t a, std::size_t b, Time start,
+                               Time end) {
+  link(a, b).add_outage(start, end);
+  link(b, a).add_outage(start, end);
+}
+
+void CoupledSim::add_one_way_partition(std::size_t from, std::size_t to,
+                                       Time start, Time end) {
+  link(from, to).add_outage(start, end);
+}
+
+void CoupledSim::add_reply_partition(std::size_t from, std::size_t to,
+                                     Time start, Time end) {
+  link(from, to).add_reply_outage(start, end);
+}
+
 void CoupledSim::schedule_domain_crash(std::size_t domain, Time at,
                                        Time restart_at, bool kill_running) {
   COSCHED_CHECK(domain < clusters_.size());
@@ -293,6 +317,23 @@ void CoupledSim::check_invariants(SimResult& result, bool aborted) const {
               std::to_string(pool.busy()) + "/" + std::to_string(pool.held()) +
               " vs job sums " + std::to_string(busy_sum) + "/" +
               std::to_string(held_sum));
+    }
+
+    // Liveness invariants (both zero unless the liveness layer is on).
+    const std::uint64_t overdue =
+        cluster->lease_expiry_violations(engine_.now());
+    if (overdue > 0) {
+      result.invariants.lease_expiry_violations +=
+          static_cast<std::size_t>(overdue);
+      violate(cluster->name() + ": " + std::to_string(overdue) +
+              " lease(s) held past expiry + grace");
+    }
+    if (cluster->stale_fence_starts() > 0) {
+      result.invariants.stale_fence_starts +=
+          static_cast<std::size_t>(cluster->stale_fence_starts());
+      violate(cluster->name() + ": " +
+              std::to_string(cluster->stale_fence_starts()) +
+              " start(s) executed under a stale fencing token");
     }
   }
 

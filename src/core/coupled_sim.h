@@ -52,6 +52,12 @@ struct InvariantReport {
   std::size_t jobs_waiting_forever = 0;  ///< queued/holding after drain
   std::size_t node_accounting_leaks = 0; ///< pool busy/held != live jobs' sum
   std::size_t double_starts = 0;         ///< a job logged >1 start event
+  /// Leases more than two heartbeat periods past expiry while the job still
+  /// holds nodes (lease-expiry-respected; only populated with liveness on).
+  std::size_t lease_expiry_violations = 0;
+  /// Starts executed despite a stale fencing token (no-start-with-stale-
+  /// fence; the Cluster-side tripwire must stay zero).
+  std::size_t stale_fence_starts = 0;
   std::vector<std::string> violations;   ///< human-readable details
   bool ok() const { return violations.empty(); }
 };
@@ -91,6 +97,26 @@ class CoupledSim {
   /// Installs the same plan on every inter-domain link, reseeding each link
   /// from plan.seed so the links draw independent fault streams.
   void set_fault_plan_all(const FaultPlan& plan);
+
+  /// Enables the liveness layer (heartbeats, failure detector, leased
+  /// holds) on every domain with the given settings.  Call before run().
+  void set_liveness_all(const CoschedConfig::Liveness& liveness);
+
+  /// Symmetric partition: domains `a` and `b` cannot exchange any message
+  /// during [start, end).  Layered on top of any installed fault plan.
+  void add_partition(std::size_t a, std::size_t b, Time start, Time end);
+
+  /// One-way partition: messages *from* `from` *to* `to` are lost during
+  /// [start, end) while the reverse direction keeps working — `from`
+  /// suspects `to`, but `to` still trusts `from`.
+  void add_one_way_partition(std::size_t from, std::size_t to, Time start,
+                             Time end);
+
+  /// Asymmetric reply loss: during [start, end), `to` receives and executes
+  /// the calls `from` sends, but every reply is lost on the way back (the
+  /// nastiest shape: side effects happen, the caller sees only failure).
+  void add_reply_partition(std::size_t from, std::size_t to, Time start,
+                           Time end);
 
   /// Crash domain `domain` at time `at`: every link to or from it goes down
   /// and (when `kill_running`) its running and holding jobs die.  At

@@ -20,6 +20,8 @@ const char* to_string(JobEventKind k) {
     case JobEventKind::kYield: return "yield";
     case JobEventKind::kFinish: return "finish";
     case JobEventKind::kUnsyncStart: return "unsync-start";
+    case JobEventKind::kLeaseExpire: return "lease-expire";
+    case JobEventKind::kFenceReject: return "fence-reject";
   }
   return "?";
 }
@@ -30,7 +32,8 @@ JobEventKind parse_kind(const std::string& s) {
   for (auto k : {JobEventKind::kSubmit, JobEventKind::kReady,
                  JobEventKind::kStart, JobEventKind::kHold,
                  JobEventKind::kHoldRelease, JobEventKind::kYield,
-                 JobEventKind::kFinish, JobEventKind::kUnsyncStart})
+                 JobEventKind::kFinish, JobEventKind::kUnsyncStart,
+                 JobEventKind::kLeaseExpire, JobEventKind::kFenceReject})
     if (s == to_string(k)) return k;
   throw ParseError("event log: unknown event kind '" + s + "'");
 }

@@ -28,6 +28,11 @@ enum class JobEventKind : std::uint8_t {
   /// Paired job started while a peer was unreachable (status `unknown`) —
   /// the paper's fault-tolerance rule firing: start normally, don't wait.
   kUnsyncStart = 7,
+  /// A hold lease reached its expiry without renewal (liveness layer).
+  kLeaseExpire = 8,
+  /// A side-effecting peer call carried a stale fencing token and was
+  /// rejected — the double-start guard firing after a healed partition.
+  kFenceReject = 9,
 };
 
 const char* to_string(JobEventKind k);

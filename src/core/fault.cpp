@@ -18,6 +18,12 @@ bool FaultInjectingPeer::in_outage(Time now) const {
   return false;
 }
 
+bool FaultInjectingPeer::in_reply_outage(Time now) const {
+  for (const auto& w : plan_.reply_outages)
+    if (now >= w.start && now < w.end) return true;
+  return false;
+}
+
 void FaultInjectingPeer::on_failed_call() {
   // Coalesce: one pending re-examination per link regardless of how many
   // calls failed in this iteration — mirrors an agent rechecking its queue
@@ -65,6 +71,21 @@ FaultInjectingPeer::Verdict FaultInjectingPeer::verdict() {
     on_failed_call();
     return Verdict::kCorrupt;
   }
+  // Reply-path faults come last: the request has survived the request path,
+  // so the remote executes — only the answer is lost.  The window check
+  // draws nothing; the probability draw happens only when enabled, keeping
+  // pre-existing plans' fault streams unchanged.
+  if (engine_ != nullptr && in_reply_outage(engine_->now())) {
+    ++stats_.reply_lost;
+    on_failed_call();
+    return Verdict::kDropReply;
+  }
+  if (plan_.reply_drop_probability > 0.0 &&
+      rng_.chance(plan_.reply_drop_probability)) {
+    ++stats_.reply_lost;
+    on_failed_call();
+    return Verdict::kDropReply;
+  }
   ++stats_.delivered;
   return Verdict::kDeliver;
 }
@@ -74,28 +95,36 @@ std::optional<std::optional<JobId>> FaultInjectingPeer::get_mate_job(
   const Verdict v = verdict();
   if (v == Verdict::kFail) return std::nullopt;
   auto r = inner_->get_mate_job(group, asking);
-  return v == Verdict::kCorrupt ? std::nullopt : r;
+  return v == Verdict::kDeliver ? r : std::nullopt;
 }
 
 std::optional<MateStatus> FaultInjectingPeer::get_mate_status(JobId mate) {
   const Verdict v = verdict();
   if (v == Verdict::kFail) return std::nullopt;
   auto r = inner_->get_mate_status(mate);
-  return v == Verdict::kCorrupt ? std::nullopt : r;
+  return v == Verdict::kDeliver ? r : std::nullopt;
 }
 
 std::optional<bool> FaultInjectingPeer::try_start_mate(JobId mate) {
   const Verdict v = verdict();
   if (v == Verdict::kFail) return std::nullopt;
   auto r = inner_->try_start_mate(mate);
-  return v == Verdict::kCorrupt ? std::nullopt : r;
+  return v == Verdict::kDeliver ? r : std::nullopt;
 }
 
 std::optional<bool> FaultInjectingPeer::start_job(JobId job) {
   const Verdict v = verdict();
   if (v == Verdict::kFail) return std::nullopt;
   auto r = inner_->start_job(job);
-  return v == Verdict::kCorrupt ? std::nullopt : r;
+  return v == Verdict::kDeliver ? r : std::nullopt;
+}
+
+std::optional<HeartbeatInfo> FaultInjectingPeer::heartbeat(
+    const HeartbeatInfo& mine) {
+  const Verdict v = verdict();
+  if (v == Verdict::kFail) return std::nullopt;
+  auto r = inner_->heartbeat(mine);
+  return v == Verdict::kDeliver ? r : std::nullopt;
 }
 
 }  // namespace cosched

@@ -45,12 +45,24 @@ struct FaultPlan {
   Duration latency_jitter = 0;
   Duration rpc_deadline = 0;
 
+  /// Probability that the *reply* is lost after the remote processed the
+  /// call.  Unlike drop_probability (request lost, remote never acted) the
+  /// side effect happens and only the caller is left in the dark — the
+  /// asymmetric half of a partition, and the scenario fencing exists for.
+  double reply_drop_probability = 0.0;
+
   /// Hard outage windows: the link is down for t in [start, end).
   struct Window {
     Time start = 0;
     Time end = 0;
   };
   std::vector<Window> outages;
+
+  /// One-way partition windows: requests still reach the remote (and take
+  /// effect there), but every reply is lost for t in [start, end).  The
+  /// reverse link typically keeps working — set these on one direction only
+  /// to model an asymmetric partition.
+  std::vector<Window> reply_outages;
 
   /// Periodic flapping: down for `flap_down_for` at the start of every
   /// `flap_period` (phase-shifted by `flap_phase`).  0 period disables.
@@ -67,8 +79,9 @@ struct FaultPlan {
 
   bool has_faults() const {
     return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           reply_drop_probability > 0.0 ||
            (rpc_deadline > 0 && latency_base + latency_jitter > rpc_deadline) ||
-           !outages.empty() || flap_period > 0;
+           !outages.empty() || !reply_outages.empty() || flap_period > 0;
   }
 };
 
@@ -79,12 +92,13 @@ struct FaultStats {
   std::uint64_t dropped = 0;         ///< lost to drop_probability
   std::uint64_t timed_out = 0;       ///< sampled latency > rpc_deadline
   std::uint64_t corrupted = 0;       ///< reply corrupted -> unknown
+  std::uint64_t reply_lost = 0;      ///< executed remotely, reply dropped
   std::uint64_t outage_blocked = 0;  ///< down window / flap / manual / crash
   /// Summed injected latency over delivered calls (simulated seconds).
   std::uint64_t total_latency = 0;
 
   std::uint64_t failed() const {
-    return dropped + timed_out + corrupted + outage_blocked;
+    return dropped + timed_out + corrupted + reply_lost + outage_blocked;
   }
 
   FaultStats& operator+=(const FaultStats& o) {
@@ -93,6 +107,7 @@ struct FaultStats {
     dropped += o.dropped;
     timed_out += o.timed_out;
     corrupted += o.corrupted;
+    reply_lost += o.reply_lost;
     outage_blocked += o.outage_blocked;
     total_latency += o.total_latency;
     return *this;
@@ -127,6 +142,16 @@ class FaultInjectingPeer final : public PeerClient {
   void set_plan(FaultPlan plan);
   const FaultPlan& plan() const { return plan_; }
 
+  /// Appends an outage window to the installed plan *without* reseeding the
+  /// fault stream — mid-run partition scripting stays stream-stable.
+  void add_outage(Time start, Time end) {
+    plan_.outages.push_back({start, end});
+  }
+  /// Same for a one-way (reply-only) window.
+  void add_reply_outage(Time start, Time end) {
+    plan_.reply_outages.push_back({start, end});
+  }
+
   const FaultStats& stats() const { return stats_; }
 
   /// Invoked (coalesced, retry_backoff after a failed call) so the calling
@@ -144,16 +169,21 @@ class FaultInjectingPeer final : public PeerClient {
   std::optional<MateStatus> get_mate_status(JobId mate) override;
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
+  std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) override;
+  void set_fence_token(std::uint64_t token) override {
+    inner_->set_fence_token(token);
+  }
 
  private:
-  /// Outcome of applying the plan to one call.  kCorrupt delivers the call
-  /// to the wrapped peer (the remote *did* process it) but discards the
-  /// reply — the partial-failure case where e.g. a mate was actually started
-  /// yet the caller only learns "unknown".
-  enum class Verdict : std::uint8_t { kFail, kDeliver, kCorrupt };
+  /// Outcome of applying the plan to one call.  kCorrupt and kDropReply
+  /// both deliver the call to the wrapped peer (the remote *did* process
+  /// it) but discard the reply — the partial-failure case where e.g. a mate
+  /// was actually started yet the caller only learns "unknown".
+  enum class Verdict : std::uint8_t { kFail, kDeliver, kCorrupt, kDropReply };
 
   Verdict verdict();
   bool in_outage(Time now) const;
+  bool in_reply_outage(Time now) const;
   void on_failed_call();
 
   std::unique_ptr<PeerClient> inner_;

@@ -68,6 +68,12 @@ const char* to_string(JournalRecordKind k) {
     case JournalRecordKind::kPeriodicArmed: return "periodic-armed";
     case JournalRecordKind::kDegraded: return "degraded";
     case JournalRecordKind::kDedup: return "dedup";
+    case JournalRecordKind::kLeaseGrant: return "lease-grant";
+    case JournalRecordKind::kLeaseRenew: return "lease-renew";
+    case JournalRecordKind::kLeaseExpire: return "lease-expire";
+    case JournalRecordKind::kLeaseFence: return "lease-fence";
+    case JournalRecordKind::kHeartbeat: return "heartbeat";
+    case JournalRecordKind::kLivenessArmed: return "liveness-armed";
   }
   return "?";
 }
@@ -245,7 +251,7 @@ JournalReplay read_journal(std::span<const std::uint8_t> bytes) {
       WireReader r(body);
       rec.seq = r.get_u64();
       const std::uint8_t k = r.get_u8();
-      if (k > static_cast<std::uint8_t>(JournalRecordKind::kDedup))
+      if (k > static_cast<std::uint8_t>(JournalRecordKind::kLivenessArmed))
         throw ParseError("journal: unknown record kind");
       rec.kind = static_cast<JournalRecordKind>(k);
       rec.payload.assign(body.begin() + (len - r.remaining()), body.end());

@@ -54,6 +54,12 @@ enum class JournalRecordKind : std::uint8_t {
   kPeriodicArmed = 15,///< periodic iteration timer armed at absolute time
   kDegraded = 16,     ///< decision path saw transport faults (§IV-C rule)
   kDedup = 17,        ///< RPC dedup verdict (exactly-once cache entry)
+  kLeaseGrant = 18,   ///< hold lease granted {job, peer, expiry, token}
+  kLeaseRenew = 19,   ///< lease renewed by peer-liveness evidence
+  kLeaseExpire = 20,  ///< lease expired (detector confirmed / no renewal)
+  kLeaseFence = 21,   ///< fencing epoch advanced (stale tokens invalidated)
+  kHeartbeat = 22,    ///< heartbeat round ran; per-peer ack + payloads
+  kLivenessArmed = 23,///< heartbeat/lease-expiry timer armed at absolute time
 };
 
 const char* to_string(JournalRecordKind k);

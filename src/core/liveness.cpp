@@ -1,0 +1,103 @@
+#include "core/liveness.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+const char* to_string(PeerHealth h) {
+  switch (h) {
+    case PeerHealth::kAlive: return "alive";
+    case PeerHealth::kSuspect: return "suspect";
+    case PeerHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(Duration expected_interval, Time epoch)
+    : expected_interval_(expected_interval > 0 ? expected_interval : 1),
+      epoch_(epoch) {}
+
+void FailureDetector::mark_probe(Time now) {
+  if (probed_) return;
+  probed_ = true;
+  if (last_heard_ == kNoTime && now > epoch_) epoch_ = now;
+}
+
+void FailureDetector::record_heartbeat(Time now) {
+  if (last_heard_ != kNoTime && now > last_heard_) {
+    gaps_.push_back(now - last_heard_);
+    while (gaps_.size() > kWindow) gaps_.pop_front();
+  }
+  if (last_heard_ == kNoTime || now > last_heard_) last_heard_ = now;
+  ++heartbeats_seen_;
+}
+
+double FailureDetector::mean_interval() const {
+  // The configured period contributes one virtual sample so a single
+  // anomalous gap cannot whipsaw a cold detector.
+  Duration sum = expected_interval_;
+  for (const Duration g : gaps_) sum += g;
+  return static_cast<double>(sum) / static_cast<double>(gaps_.size() + 1);
+}
+
+double FailureDetector::phi(Time now) const {
+  // Nothing heard AND nothing asked: no basis for suspicion yet.
+  if (last_heard_ == kNoTime && !probed_) return 0.0;
+  const Time since = last_heard_ != kNoTime ? last_heard_ : epoch_;
+  const Time silence = now - since;
+  if (silence <= 0) return 0.0;
+  // -log10 P(gap > silence) for exponential arrivals: log10(e) * t / mean.
+  return 0.4342944819032518 * static_cast<double>(silence) / mean_interval();
+}
+
+PeerHealth FailureDetector::health(Time now, double phi_suspect,
+                                   double phi_confirm) const {
+  const double p = phi(now);
+  if (p >= phi_confirm) return PeerHealth::kDead;
+  if (p >= phi_suspect) return PeerHealth::kSuspect;
+  return PeerHealth::kAlive;
+}
+
+void FailureDetector::snapshot(WireWriter& w) const {
+  w.put_i64(expected_interval_);
+  w.put_i64(epoch_);
+  w.put_i64(last_heard_);
+  w.put_bool(probed_);
+  w.put_u64(heartbeats_seen_);
+  w.put_u64(gaps_.size());
+  for (const Duration g : gaps_) w.put_i64(g);
+}
+
+void FailureDetector::restore(WireReader& r) {
+  expected_interval_ = r.get_i64();
+  epoch_ = r.get_i64();
+  last_heard_ = r.get_i64();
+  probed_ = r.get_bool();
+  heartbeats_seen_ = r.get_u64();
+  gaps_.clear();
+  const std::uint64_t n = r.get_u64();
+  if (n > kWindow) throw ParseError("liveness: detector window overflow");
+  for (std::uint64_t i = 0; i < n; ++i) gaps_.push_back(r.get_i64());
+}
+
+void HoldLease::snapshot(WireWriter& w) const {
+  w.put_i64(job);
+  w.put_i64(peer);
+  w.put_i64(granted_at);
+  w.put_i64(expires_at);
+  w.put_u64(token);
+  w.put_u64(renewals);
+}
+
+HoldLease HoldLease::restore(WireReader& r) {
+  HoldLease l;
+  l.job = r.get_i64();
+  l.peer = static_cast<std::int32_t>(r.get_i64());
+  l.granted_at = r.get_i64();
+  l.expires_at = r.get_i64();
+  l.token = r.get_u64();
+  l.renewals = static_cast<std::uint32_t>(r.get_u64());
+  return l;
+}
+
+}  // namespace cosched

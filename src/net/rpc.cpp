@@ -229,17 +229,31 @@ std::optional<MateStatus> WirePeer::get_mate_status(JobId mate) {
 }
 
 std::optional<bool> WirePeer::try_start_mate(JobId mate) {
-  const auto resp = round_trip(make_try_start_mate_req(next_rid_++, mate),
-                               MsgType::kTryStartMateResp);
+  auto req = make_try_start_mate_req(next_rid_++, mate);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kTryStartMateResp);
   if (!resp) return std::nullopt;
   return resp->ok;
 }
 
 std::optional<bool> WirePeer::start_job(JobId job) {
-  const auto resp = round_trip(make_start_job_req(next_rid_++, job),
-                               MsgType::kStartJobResp);
+  auto req = make_start_job_req(next_rid_++, job);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kStartJobResp);
   if (!resp) return std::nullopt;
   return resp->ok;
+}
+
+std::optional<HeartbeatInfo> WirePeer::heartbeat(const HeartbeatInfo& mine) {
+  const auto resp = round_trip(make_heartbeat_req(next_rid_++, mine),
+                               MsgType::kHeartbeatResp);
+  if (!resp) return std::nullopt;
+  HeartbeatInfo theirs;
+  theirs.incarnation = resp->hb_incarnation;
+  theirs.fence = resp->fence;
+  theirs.queue_depth = resp->queue_depth;
+  theirs.hold_fraction = resp->hold_fraction;
+  return theirs;
 }
 
 void serve_channel(FramedChannel& channel, CoschedService& service,

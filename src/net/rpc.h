@@ -85,6 +85,10 @@ class WirePeer final : public PeerClient {
   std::optional<MateStatus> get_mate_status(JobId mate) override;
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
+  std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) override;
+  /// Atomic: the scheduler thread updates the token from heartbeat acks
+  /// while call threads stamp it onto outgoing requests.
+  void set_fence_token(std::uint64_t token) override { fence_token_ = token; }
 
   /// True while the breaker is closed (remote believed reachable).
   bool healthy() const;
@@ -138,6 +142,8 @@ class WirePeer final : public PeerClient {
   /// Atomic because requests are built (rid allocated) before round_trip
   /// takes the peer mutex.
   std::atomic<std::uint64_t> next_rid_{1};
+  /// Fencing token stamped on side-effecting requests (0 = unfenced).
+  std::atomic<std::uint64_t> fence_token_{0};
   /// True once the hello handshake completed on the *current* channel;
   /// cleared whenever the channel drops.
   bool hello_done_ GUARDED_BY(mutex_) = false;

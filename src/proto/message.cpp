@@ -13,6 +13,7 @@ const char* to_string(MateStatus s) {
     case MateStatus::kRunning: return "running";
     case MateStatus::kFinished: return "finished";
     case MateStatus::kUnknown: return "unknown";
+    case MateStatus::kSuspected: return "suspected";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ std::vector<std::uint8_t> Message::encode() const {
     case MsgType::kTryStartMateReq:
     case MsgType::kStartJobReq:
       w.put_i64(job);
+      w.put_u64(fence);
       break;
     case MsgType::kTryStartMateResp:
     case MsgType::kStartJobResp:
@@ -48,6 +50,13 @@ std::vector<std::uint8_t> Message::encode() const {
     case MsgType::kHelloReq:
     case MsgType::kHelloResp:
       break;  // the incarnation field is the whole payload
+    case MsgType::kHeartbeatReq:
+    case MsgType::kHeartbeatResp:
+      w.put_u64(hb_incarnation);
+      w.put_u64(fence);
+      w.put_u64(queue_depth);
+      w.put_double(hold_fraction);
+      break;
     case MsgType::kErrorResp:
       w.put_string(error);
       break;
@@ -61,7 +70,7 @@ Message Message::decode(std::span<const std::uint8_t> data) {
   const std::uint8_t t = r.get_u8();
   switch (t) {
     case 1: case 2: case 3: case 4: case 5: case 6: case 7: case 8:
-    case 9: case 10: case 15:
+    case 9: case 10: case 11: case 12: case 15:
       m.type = static_cast<MsgType>(t);
       break;
     default:
@@ -83,7 +92,7 @@ Message Message::decode(std::span<const std::uint8_t> data) {
       break;
     case MsgType::kGetMateStatusResp: {
       const std::uint8_t s = r.get_u8();
-      if (s > static_cast<std::uint8_t>(MateStatus::kUnknown))
+      if (s > static_cast<std::uint8_t>(MateStatus::kSuspected))
         throw ParseError("message: bad mate status " + std::to_string(s));
       m.status = static_cast<MateStatus>(s);
       break;
@@ -91,6 +100,7 @@ Message Message::decode(std::span<const std::uint8_t> data) {
     case MsgType::kTryStartMateReq:
     case MsgType::kStartJobReq:
       m.job = r.get_i64();
+      m.fence = r.get_u64();
       break;
     case MsgType::kTryStartMateResp:
     case MsgType::kStartJobResp:
@@ -98,6 +108,13 @@ Message Message::decode(std::span<const std::uint8_t> data) {
       break;
     case MsgType::kHelloReq:
     case MsgType::kHelloResp:
+      break;
+    case MsgType::kHeartbeatReq:
+    case MsgType::kHeartbeatResp:
+      m.hb_incarnation = r.get_u64();
+      m.fence = r.get_u64();
+      m.queue_depth = r.get_u64();
+      m.hold_fraction = r.get_double();
       break;
     case MsgType::kErrorResp:
       m.error = r.get_string();
@@ -195,6 +212,28 @@ Message make_error_resp(std::uint64_t rid, std::string error) {
   m.request_id = rid;
   m.error = std::move(error);
   return m;
+}
+
+namespace {
+Message make_heartbeat(MsgType type, std::uint64_t rid,
+                       const HeartbeatInfo& info) {
+  Message m;
+  m.type = type;
+  m.request_id = rid;
+  m.hb_incarnation = info.incarnation;
+  m.fence = info.fence;
+  m.queue_depth = info.queue_depth;
+  m.hold_fraction = info.hold_fraction;
+  return m;
+}
+}  // namespace
+
+Message make_heartbeat_req(std::uint64_t rid, const HeartbeatInfo& info) {
+  return make_heartbeat(MsgType::kHeartbeatReq, rid, info);
+}
+
+Message make_heartbeat_resp(std::uint64_t rid, const HeartbeatInfo& info) {
+  return make_heartbeat(MsgType::kHeartbeatResp, rid, info);
 }
 
 void encode_job_spec(WireWriter& w, const JobSpec& spec) {

@@ -33,6 +33,8 @@ enum class MateStatus : std::uint8_t {
   kRunning = 4,      ///< already running (treated as unknown by Algorithm 1)
   kFinished = 5,     ///< already done (treated as unknown by Algorithm 1)
   kUnknown = 6,      ///< remote cannot answer (job failed / not tracked)
+  kSuspected = 7,    ///< failure detector suspects the remote domain; not yet
+                     ///< confirmed dead (holds persist, leases stop renewing)
 };
 
 const char* to_string(MateStatus s);
@@ -52,6 +54,13 @@ enum class MsgType : std::uint8_t {
   /// handshaken value are stale (the server restarted) and are rejected.
   kHelloReq = 9,
   kHelloResp = 10,
+  /// Periodic liveness probe (both directions carry the same payload): the
+  /// sender's incarnation, fencing epoch, queue depth, and holding fraction.
+  /// A response is direct evidence the peer's scheduler loop is alive —
+  /// the failure detector feeds on response arrivals, and hold leases renew
+  /// on them.
+  kHeartbeatReq = 11,
+  kHeartbeatResp = 12,
   kErrorResp = 15,
 };
 
@@ -74,6 +83,19 @@ struct Message {
   bool ok = false;              // TryStartMateResp / StartJobResp
   std::string error;            // kErrorResp
 
+  /// Fencing token.  On TryStartMateReq/StartJobReq: the sender's view of
+  /// the receiver's fencing epoch (0 = no fencing; pre-liveness client).
+  /// On Heartbeat*: the sender's own current epoch, which is how peers
+  /// learn it.  A side-effecting request carrying a stale nonzero token is
+  /// rejected — the partitioned-then-healed-peer double-start guard.
+  std::uint64_t fence = 0;
+  /// Heartbeat*: the sender's scheduler incarnation.  Distinct from
+  /// `incarnation` above, which the dispatcher overwrites on responses with
+  /// the daemon identity (0 on the in-process loopback path).
+  std::uint64_t hb_incarnation = 0;
+  std::uint64_t queue_depth = 0;  // Heartbeat*: jobs waiting in queue
+  double hold_fraction = 0.0;     // Heartbeat*: fraction of nodes held
+
   /// Serializes to the compact wire form.
   std::vector<std::uint8_t> encode() const;
 
@@ -95,6 +117,19 @@ Message make_start_job_resp(std::uint64_t rid, bool ok);
 Message make_hello_req(std::uint64_t rid, std::uint64_t client_incarnation);
 Message make_hello_resp(std::uint64_t rid, std::uint64_t server_incarnation);
 Message make_error_resp(std::uint64_t rid, std::string error);
+
+/// Liveness payload exchanged in both directions of a heartbeat.
+struct HeartbeatInfo {
+  std::uint64_t incarnation = 0;  ///< sender's incarnation
+  std::uint64_t fence = 0;        ///< sender's current fencing epoch
+  std::uint64_t queue_depth = 0;  ///< jobs waiting in the sender's queue
+  double hold_fraction = 0.0;     ///< fraction of the sender's nodes held
+
+  bool operator==(const HeartbeatInfo&) const = default;
+};
+
+Message make_heartbeat_req(std::uint64_t rid, const HeartbeatInfo& info);
+Message make_heartbeat_resp(std::uint64_t rid, const HeartbeatInfo& info);
 
 /// Canonical JobSpec codec, shared by the wire protocol layer and the
 /// crash-recovery snapshot/journal (core/journal.h).

@@ -27,6 +27,21 @@ class PeerClient {
   virtual std::optional<MateStatus> get_mate_status(JobId mate) = 0;
   virtual std::optional<bool> try_start_mate(JobId mate) = 0;
   virtual std::optional<bool> start_job(JobId job) = 0;
+
+  /// Liveness probe carrying the local domain's payload; the remote's
+  /// payload comes back.  nullopt = unreachable OR the remote predates the
+  /// liveness protocol — either way no evidence of life.  Default keeps
+  /// legacy peers compiling.
+  virtual std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) {
+    (void)mine;
+    return std::nullopt;
+  }
+
+  /// Sets the fencing token stamped on subsequent side-effecting calls
+  /// (tryStartMate/startJob): the remote's fencing epoch as last learned
+  /// from its heartbeats.  Default no-op for legacy peers (token 0 =
+  /// unfenced, always admitted).
+  virtual void set_fence_token(std::uint64_t token) { (void)token; }
 };
 
 /// In-process peer: encodes each call, runs it through a ServiceDispatcher,
@@ -45,6 +60,8 @@ class LoopbackPeer final : public PeerClient {
   std::optional<MateStatus> get_mate_status(JobId mate) override;
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
+  std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) override;
+  void set_fence_token(std::uint64_t token) override { fence_token_ = token; }
 
   /// Total protocol round-trips performed (for the overhead accounting).
   std::uint64_t calls() const { return calls_; }
@@ -59,6 +76,7 @@ class LoopbackPeer final : public PeerClient {
 
   ServiceDispatcher dispatcher_;
   std::uint64_t next_rid_ = 1;
+  std::uint64_t fence_token_ = 0;
   std::uint64_t calls_ = 0;
   std::uint64_t request_bytes_ = 0;
   std::uint64_t response_bytes_ = 0;

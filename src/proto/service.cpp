@@ -43,15 +43,21 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(
         return finish(make_get_mate_status_resp(
             req.request_id, service_.get_mate_status(req.job)));
       case MsgType::kTryStartMateReq: {
-        const bool started = service_.try_start_mate(req.job);
-        if (dedupable)
+        // Fence check after the dedup lookup: a retried call that already
+        // executed must keep its recorded verdict even if the epoch has
+        // since advanced.  A rejection is NOT recorded — the caller may
+        // legitimately retry with a refreshed token.
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool started = admitted && service_.try_start_mate(req.job);
+        if (dedupable && admitted)
           config_.dedup->record(req.incarnation, req.request_id, req.type,
                                 started);
         return finish(make_try_start_mate_resp(req.request_id, started));
       }
       case MsgType::kStartJobReq: {
-        const bool ok = service_.start_job(req.job);
-        if (dedupable)
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool ok = admitted && service_.start_job(req.job);
+        if (dedupable && admitted)
           config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
         return finish(make_start_job_resp(req.request_id, ok));
       }
@@ -59,6 +65,17 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(
         if (config_.dedup && req.incarnation != 0)
           config_.dedup->on_hello(req.incarnation);
         return finish(make_hello_resp(req.request_id, config_.incarnation));
+      case MsgType::kHeartbeatReq: {
+        HeartbeatInfo from;
+        from.incarnation = req.hb_incarnation;
+        from.fence = req.fence;
+        from.queue_depth = req.queue_depth;
+        from.hold_fraction = req.hold_fraction;
+        if (auto mine = service_.heartbeat(from))
+          return finish(make_heartbeat_resp(req.request_id, *mine));
+        return finish(
+            make_error_resp(req.request_id, "liveness not supported"));
+      }
       default:
         return finish(
             make_error_resp(req.request_id, "unexpected message type"));

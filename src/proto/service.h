@@ -39,6 +39,27 @@ class CoschedService {
 
   /// Starts a local *holding* job whose mate is now ready (paper line 8).
   virtual bool start_job(JobId job) = 0;
+
+  /// Answers a liveness probe: `from` is the prober's payload; the return is
+  /// this domain's own.  Default nullopt = liveness not implemented (the
+  /// dispatcher then answers with an error, which the prober's detector
+  /// treats the same as a lost probe).
+  virtual std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& from) {
+    (void)from;
+    return std::nullopt;
+  }
+
+  /// Fencing gate for the side-effecting calls.  `fence` is the caller's
+  /// view of this domain's fencing epoch (0 = unfenced legacy caller, always
+  /// admitted).  False rejects the call without executing it: the caller
+  /// observed an epoch that has since advanced — it was partitioned while
+  /// this domain expired the relevant lease — so acting on its behalf could
+  /// double-start a mate.  Default true preserves pre-liveness behaviour.
+  virtual bool admit_fence(JobId job, std::uint64_t fence) {
+    (void)job;
+    (void)fence;
+    return true;
+  }
 };
 
 /// Exactly-once verdict cache for the side-effecting calls (tryStartMate,

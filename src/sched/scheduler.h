@@ -132,6 +132,14 @@ class Scheduler {
   const NodePool& pool() const { return pool_; }
 
   std::size_t queue_length() const { return queued_.size(); }
+  /// Instantaneous fraction of capacity occupied by coscheduling holds
+  /// (piggybacked on liveness heartbeats; distinct from the time-integrated
+  /// NodePool::held_fraction loss metric).
+  double hold_fraction() const {
+    return pool_.capacity() > 0 ? static_cast<double>(pool_.held()) /
+                                      static_cast<double>(pool_.capacity())
+                                : 0.0;
+  }
   /// Queued job ids in unspecified order (removal is swap-and-pop).
   const std::vector<JobId>& queued_ids() const { return queued_; }
   std::vector<JobId> holding_ids() const;

@@ -230,6 +230,83 @@ TEST(FaultPlan, SameSeedSameFaultSequence) {
   EXPECT_NE(sequence(11), sequence(12));  // 2^-64 flake odds
 }
 
+TEST(FaultPlan, ReplyDropExecutesRemotelyButAnswersNothing) {
+  // The asymmetric half of a partition: the remote acts on the call, only
+  // the reply is lost — distinct from drop_probability (remote never acted).
+  auto inner = std::make_unique<CountingPeer>();
+  auto* counting = inner.get();
+  FaultInjectingPeer peer(std::move(inner));
+  FaultPlan plan;
+  plan.reply_drop_probability = 1.0;
+  peer.set_plan(plan);
+  EXPECT_EQ(peer.try_start_mate(7), std::nullopt);
+  EXPECT_EQ(counting->calls, 1);
+  EXPECT_EQ(peer.stats().reply_lost, 1u);
+  EXPECT_EQ(peer.stats().delivered, 0u);
+}
+
+TEST(FaultPlan, ReplyOutageWindowIsOneWayAndTimed) {
+  Engine engine;
+  auto inner = std::make_unique<CountingPeer>();
+  auto* counting = inner.get();
+  FaultInjectingPeer peer(std::move(inner), &engine);
+  FaultPlan plan;
+  plan.reply_outages.push_back({100, 200});
+  peer.set_plan(plan);
+
+  // Before the window: transparent.
+  EXPECT_EQ(peer.get_mate_status(1), MateStatus::kHolding);
+  // Inside [100, 200): the call is executed remotely, the reply is lost.
+  engine.run_until(150);
+  EXPECT_EQ(peer.get_mate_status(1), std::nullopt);
+  EXPECT_EQ(counting->calls, 2);
+  EXPECT_EQ(peer.stats().reply_lost, 1u);
+  // After the window: transparent again.
+  engine.run_until(200);
+  EXPECT_EQ(peer.get_mate_status(1), MateStatus::kHolding);
+  EXPECT_EQ(peer.stats().reply_lost, 1u);
+  EXPECT_EQ(peer.stats().delivered, 2u);
+}
+
+TEST(FaultPlan, SameSeedSameReplyFaultSequence) {
+  // Seeded determinism extends to the per-direction reply-loss dimension.
+  auto sequence = [](std::uint64_t seed) {
+    FaultInjectingPeer peer(std::make_unique<CountingPeer>());
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.reply_drop_probability = 0.5;
+    peer.set_plan(plan);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i)
+      outcomes.push_back(peer.get_mate_status(1).has_value());
+    return outcomes;
+  };
+  EXPECT_EQ(sequence(21), sequence(21));
+  EXPECT_NE(sequence(21), sequence(22));  // 2^-64 flake odds
+}
+
+TEST(FaultPlan, ReplyPartitionRunStillCompletesConsistently) {
+  // A whole-run one-way reply partition alpha->beta: beta executes every
+  // call alpha makes but alpha never learns; both sides must still finish
+  // with clean invariants (the scenario the fencing layer exists for).
+  auto specs = two_domains(kHY);
+  Trace a, b;
+  a.add(job(1, 0, 600, 50, 7));
+  b.add(job(10, 300, 600, 30, 7));
+  CoupledSim sim(specs, {a, b});
+  sim.add_reply_partition(0, 1, 0, 30 * kDay);
+  const SimResult r = sim.run(30 * kDay);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.invariants.ok())
+      << (r.invariants.violations.empty() ? ""
+                                          : r.invariants.violations.front());
+  EXPECT_GT(sim.fault_stats().reply_lost, 0u);
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(sim.cluster(d).scheduler().pool().busy(), 0);
+    EXPECT_EQ(sim.cluster(d).scheduler().pool().held(), 0);
+  }
+}
+
 TEST(FaultPlan, HundredPercentDropReproducesRemoteDownBehavior) {
   // Acceptance criterion: a 100%-drop plan must reproduce the set_down
   // expectations — unknown => immediate uncoordinated start, zero held

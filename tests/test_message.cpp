@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/liveness.h"
 #include "util/error.h"
 
 namespace cosched {
@@ -27,7 +28,7 @@ TEST(Message, GetMateStatusRoundTrip) {
   for (auto s : {MateStatus::kHolding, MateStatus::kQueuing,
                  MateStatus::kUnsubmitted, MateStatus::kStarting,
                  MateStatus::kRunning, MateStatus::kFinished,
-                 MateStatus::kUnknown})
+                 MateStatus::kUnknown, MateStatus::kSuspected})
     expect_round_trip(make_get_mate_status_resp(2, s));
 }
 
@@ -79,6 +80,40 @@ TEST(Message, StatusNames) {
   EXPECT_STREQ(to_string(MateStatus::kUnsubmitted), "unsubmitted");
   EXPECT_STREQ(to_string(MateStatus::kStarting), "starting");
   EXPECT_STREQ(to_string(MateStatus::kUnknown), "unknown");
+  EXPECT_STREQ(to_string(MateStatus::kSuspected), "suspected");
+}
+
+TEST(Message, HeartbeatRoundTrip) {
+  HeartbeatInfo info;
+  info.incarnation = 3;
+  info.fence = make_fence_token(3, 17);
+  info.queue_depth = 42;
+  info.hold_fraction = 0.375;  // doubles travel as exact bit patterns
+  expect_round_trip(make_heartbeat_req(9, info));
+  expect_round_trip(make_heartbeat_resp(9, info));
+  // All-zero payload (cold daemon) survives too.
+  expect_round_trip(make_heartbeat_req(10, HeartbeatInfo{}));
+}
+
+TEST(Message, FencedSideEffectingCallsRoundTrip) {
+  // The fencing token rides on the two side-effecting requests; 0 means an
+  // unfenced (pre-liveness) caller and must survive unchanged.
+  Message try_start = make_try_start_mate_req(3, 12);
+  try_start.fence = make_fence_token(2, 5);
+  expect_round_trip(try_start);
+  Message start = make_start_job_req(4, 77);
+  start.fence = make_fence_token(1, 0xFFFFFFFFu);
+  expect_round_trip(start);
+  expect_round_trip(make_start_job_req(5, 78));  // fence defaults to 0
+}
+
+TEST(Message, TruncatedHeartbeatRejected) {
+  HeartbeatInfo info;
+  info.incarnation = 1;
+  info.fence = make_fence_token(1, 1);
+  auto bytes = make_heartbeat_resp(2, info).encode();
+  bytes.resize(bytes.size() - 4);  // chop into the hold_fraction bits
+  EXPECT_THROW(Message::decode(bytes), ParseError);
 }
 
 TEST(Message, EncodingIsCompact) {

@@ -270,6 +270,40 @@ TEST(DeterminismGuard, ChaosRunsWithSameFaultSeedAreBitIdentical) {
   EXPECT_NE(run_fp(3), run_fp(4));
 }
 
+TEST(DeterminismGuard, PartitionChaosRunsWithSameScheduleAreBitIdentical) {
+  // Deterministic chaos extends to the liveness layer: the same fault seed
+  // and the same partition schedule (symmetric window plus a later one-way
+  // window) must reproduce the identical schedule with heartbeats, failure
+  // detection, lease expiries, and fencing all active.
+  auto run_fp = [](std::uint64_t fault_seed, Time onset) {
+    SynthParams pa;
+    pa.span = 1 * kDay;
+    pa.offered_load = 0.7;
+    pa.seed = 7;
+    Trace a = generate_trace(eureka_model(), pa);
+    pa.seed = 8;
+    Trace b = generate_trace(eureka_model(), pa);
+    for (auto& j : b.jobs()) j.id += 1000000;
+    pair_by_proportion(a, b, 0.2, 11);
+    auto specs = make_coupled_specs("a", 100, "b", 100, kHH);
+    for (auto& s : specs) s.cosched.liveness.enabled = true;
+    CoupledSim sim(specs, {a, b});
+    FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.drop_probability = 0.05;
+    plan.reply_drop_probability = 0.05;
+    sim.set_fault_plan_all(plan);
+    sim.add_partition(0, 1, onset, onset + 2 * kHour);
+    sim.add_one_way_partition(1, 0, onset + 4 * kHour, onset + 5 * kHour);
+    const SimResult r = sim.run(120 * kDay);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.invariants.ok());
+    return determinism::fingerprint(sim);
+  };
+  EXPECT_EQ(run_fp(3, 6 * kHour), run_fp(3, 6 * kHour));
+  EXPECT_NE(run_fp(3, 6 * kHour), run_fp(5, 7 * kHour));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SchemeLoadProportion, CoschedSweep,
     ::testing::Values(

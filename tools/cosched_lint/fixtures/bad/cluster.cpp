@@ -10,4 +10,17 @@ void Cluster::kill_job(JobId id) {
   request_iteration();
 }
 
+void Cluster::expire_lease(JobId job) {
+  leases_.erase(job);  // no journal append anywhere in this body
+  ++fence_counter_;
+}
+
+bool Cluster::grant_lease(JobId job) {
+  leases_[job] = HoldLease{};  // mutation first...
+  WireWriter w;
+  w.put_i64(job);
+  journal_->append(JournalRecordKind::kLeaseGrant, w.bytes());  // ...too late
+  return true;
+}
+
 }  // namespace cosched

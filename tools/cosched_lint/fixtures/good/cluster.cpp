@@ -17,6 +17,21 @@ void Cluster::kill_job(JobId id) {
 void Cluster::apply_record(const JournalRecord& rec) {
   // Replay path: runs with journaling() false, exempt by method name.
   sched_.finish(1, 2);
+  leases_.erase(1);  // lease replay is exempt too
+}
+
+void Cluster::grant_lease(JobId job, const HoldLease& lease) {
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    journal_->append(JournalRecordKind::kLeaseGrant, w.bytes());
+  }
+  leases_[job] = lease;  // write-ahead: record precedes the table write
+}
+
+void Cluster::reset_leases_for_test() {
+  // cosched-lint: allow(lease-journal) test-only reset, never journaled
+  leases_.clear();
 }
 
 bool Cluster::start_job(JobId job) {

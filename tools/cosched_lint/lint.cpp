@@ -424,6 +424,87 @@ void rule_journal_before_mutate(RuleContext& ctx) {
   }
 }
 
+// -- rule: lease-journal -----------------------------------------------------
+
+/// Liveness refinement of journal-before-mutate with strict ordering: every
+/// mutation of the Cluster lease table (`leases_`) must be *preceded*, in
+/// the same method body, by a journal append.  A crash between a lease
+/// state change and its record would replay to a different lease — and
+/// therefore fencing — state, exactly the divergence the leased-hold layer
+/// exists to rule out.  Replay/restore methods (which run with journaling
+/// off against already-durable records) are exempt by name.
+void rule_lease_journal(RuleContext& ctx) {
+  if (file_stem(ctx.file->path) != "cluster") return;
+  static const char* kMutators[] = {"leases_[", "leases_.emplace",
+                                    "leases_.insert", "leases_.erase",
+                                    "leases_.clear"};
+
+  std::string method;
+  bool in_method = false;
+  int depth = 0;
+  bool body_entered = false;
+  bool append_seen = false;
+
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::string& code = ctx.code[i];
+    if (!in_method) {
+      const std::size_t pos = code.rfind("Cluster::");
+      if (pos == std::string::npos) continue;
+      std::size_t b = pos + 9, e = b;
+      while (e < code.size() && (is_ident(code[e]) || code[e] == '~')) ++e;
+      if (e == b) continue;
+      std::size_t after = e;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after])) != 0)
+        ++after;
+      if (after >= code.size() || code[after] != '(') continue;
+      method = code.substr(b, e - b);
+      in_method = true;
+      depth = 0;
+      body_entered = false;
+      append_seen = false;
+      // fall through to brace tracking on this same line
+    }
+    for (char c : code) {
+      if (c == '{') {
+        ++depth;
+        body_entered = true;
+      }
+      if (c == '}') --depth;
+    }
+    if (in_method && !body_entered && code.find(';') != std::string::npos) {
+      in_method = false;
+      continue;
+    }
+    if (in_method && body_entered) {
+      const std::size_t apos = code.find("journal_->append(");
+      if (!journal_exempt_method(method)) {
+        for (const char* m : kMutators) {
+          const std::size_t mpos = code.find(m);
+          if (mpos == std::string::npos) continue;
+          // Ordered: an append earlier in the body, or earlier on this line.
+          if (append_seen || (apos != std::string::npos && apos < mpos))
+            continue;
+          std::string token(m);
+          if (token.back() == '(' || token.back() == '[') token.pop_back();
+          emit(ctx, i, "lease-journal",
+               "Cluster::" + method + " mutates the lease table (" + token +
+                   ") before any journal append in this body; journal the "
+                   "lease record first (write-ahead) or waive with "
+                   "allow(lease-journal)",
+               /*accepts_ordered=*/false);
+        }
+      }
+      if (apos != std::string::npos) append_seen = true;
+      if (depth == 0) {
+        in_method = false;
+        body_entered = false;
+        append_seen = false;
+      }
+    }
+  }
+}
+
 // -- rule: dedup-before-reply ------------------------------------------------
 
 void rule_dedup_before_reply(RuleContext& ctx) {
@@ -512,6 +593,7 @@ Report run_lint(const std::vector<SourceFile>& files) {
     rule_banned_call(ctx);
     rule_unordered_iter(ctx);
     rule_journal_before_mutate(ctx);
+    rule_lease_journal(ctx);
     rule_dedup_before_reply(ctx);
   }
 

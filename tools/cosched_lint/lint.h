@@ -8,6 +8,13 @@
 //                          journal record in the same body as the mutation
 //                          (the PR 3 write-ahead rule; commit happens at the
 //                          entry-point boundary)
+//   lease-journal          every mutation of the Cluster lease table
+//                          (leases_) is *preceded* in the same body by a
+//                          journal append — strict write-ahead ordering, not
+//                          just same-body presence, because a crash between
+//                          a lease change and its record replays to a
+//                          different fencing state (replay/restore methods
+//                          exempt by name)
 //   dedup-before-reply     RpcDedup verdicts are recorded (and thereby
 //                          journaled durable) before the dispatcher builds
 //                          the reply

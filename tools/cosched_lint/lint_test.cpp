@@ -49,8 +49,9 @@ TEST(CoschedLint, GoodFixturesCountWaivers) {
   const Report r = lint_dir("good");
   // ordered() waivers: the two sort-before-emit sites in unordered.cpp.
   EXPECT_EQ(r.ordered_waivers_used, 2);
-  // allow() waivers: start_job's journal waiver + the wall-clock banner.
-  EXPECT_EQ(r.allow_waivers_used, 2);
+  // allow() waivers: start_job's journal waiver, the wall-clock banner, and
+  // the test-only lease reset.
+  EXPECT_EQ(r.allow_waivers_used, 3);
   EXPECT_EQ(static_cast<int>(r.waived.size()),
             r.ordered_waivers_used + r.allow_waivers_used);
 }
@@ -58,8 +59,8 @@ TEST(CoschedLint, GoodFixturesCountWaivers) {
 TEST(CoschedLint, BadFixturesAreAllFlagged) {
   const Report r = lint_dir("bad");
   const std::set<std::string> expected = {
-      "journal-before-mutate", "dedup-before-reply", "banned-call",
-      "unordered-iter"};
+      "journal-before-mutate", "lease-journal", "dedup-before-reply",
+      "banned-call", "unordered-iter"};
   EXPECT_EQ(rules_hit(r), expected);
 }
 
@@ -72,6 +73,37 @@ TEST(CoschedLint, BadJournalFindingPointsAtMutation) {
   EXPECT_NE(it->file.find("cluster.cpp"), std::string::npos);
   EXPECT_NE(it->message.find("kill_job"), std::string::npos);
   EXPECT_NE(it->message.find("sched_.kill"), std::string::npos);
+}
+
+TEST(CoschedLint, BadLeaseFindingsCatchMissingAndLateAppends) {
+  const Report r = lint_dir("bad");
+  // expire_lease has no append at all; grant_lease appends only *after* the
+  // table write — the ordered rule must flag both.
+  ASSERT_EQ(count_rule(r, "lease-journal"), 2);
+  std::set<std::string> methods;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "lease-journal") continue;
+    EXPECT_NE(f.file.find("cluster.cpp"), std::string::npos);
+    if (f.message.find("expire_lease") != std::string::npos)
+      methods.insert("expire_lease");
+    if (f.message.find("grant_lease") != std::string::npos)
+      methods.insert("grant_lease");
+  }
+  EXPECT_EQ(methods, (std::set<std::string>{"expire_lease", "grant_lease"}));
+}
+
+TEST(CoschedLint, LeaseRuleAcceptsWriteAheadOrderAndExemptsReplay) {
+  // Append-before-mutation in the same body passes; the same mutation in an
+  // apply_* replay method needs no append at all.
+  const std::vector<SourceFile> files = {
+      {"fake/core/cluster.cpp",
+       {"void Cluster::expire_lease(JobId job) {",
+        "  journal_->append(JournalRecordKind::kLeaseExpire, w.bytes());",
+        "  leases_.erase(job);", "}",
+        "void Cluster::apply_snapshot(const Snapshot& s) {",
+        "  leases_.clear();", "}"}}};
+  const Report r = run_lint(files);
+  EXPECT_TRUE(r.findings.empty());
 }
 
 TEST(CoschedLint, BadDedupFindingOnEffectfulCall) {
