@@ -100,6 +100,11 @@ int runs() {
 
 double scale() { return env_double("COSCHED_BENCH_SCALE", 1.0); }
 
+int hardware_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 int threads() {
   const char* v = std::getenv("COSCHED_BENCH_THREADS");
   if (v != nullptr) {
@@ -375,6 +380,8 @@ void BenchJsonFile::write() {
       << "  \"runs\": " << runs() << ",\n"
       << "  \"scale\": " << json_num(scale()) << ",\n"
       << "  \"threads\": " << threads() << ",\n"
+      << "  \"machine\": {\"cpus\": " << hardware_cpus()
+      << ", \"threads_used\": " << threads() << "},\n"
       << "  \"wall_seconds_total\": " << json_num(wall_total) << ",\n"
       << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases_.size(); ++i) {

@@ -47,7 +47,12 @@ int runs();
 /// span down for quick smoke runs (default 1.0 = paper scale).
 double scale();
 
-/// Worker threads for batched case execution: COSCHED_BENCH_THREADS
+/// Host CPUs (hardware concurrency, at least 1) — recorded in bench JSON so
+/// speedup numbers can be judged against the machine they ran on.
+int hardware_cpus();
+
+/// Worker threads for batched case execution AND the ceiling for the engine
+/// worker pool in the parallel-engine benches: COSCHED_BENCH_THREADS
 /// (default: hardware concurrency, at least 1).
 int threads();
 
@@ -130,6 +135,7 @@ Series run_series(bool by_load, double x, SchemeCombo combo, bool enabled,
 /// Machine-readable per-bench output: BENCH_<name>.json written into
 /// COSCHED_BENCH_JSON_DIR (default: current directory).  Schema:
 ///   { "bench": ..., "runs": N, "scale": S, "threads": T,
+///     "machine": { "cpus": hardware concurrency, "threads_used": T },
 ///     "cases": [ { "case": label, "runs": N, "wall_seconds": W,
 ///                  "events": E, "events_per_sec": R,
 ///                  "metrics": { name: {"mean": M, "stddev": D}, ... } } ] }

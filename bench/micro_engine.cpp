@@ -42,6 +42,28 @@ void BM_EngineCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancel);
 
+// Tombstone-heavy drain: 90% of a large queue is cancelled before any of it
+// runs (the hold/yield retry-timer churn pattern at scale).  Once tombstones
+// outnumber live entries the engine compacts the heap in one O(n) rebuild,
+// so the drain costs O(live · log live) instead of sifting every dead entry
+// through the comparator.
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      ids.push_back(e.schedule_at(static_cast<Time>(i), 0, [] {}));
+    for (std::size_t i = 0; i < n; ++i)
+      if (i % 10 != 0) e.cancel(ids[i]);
+    e.run();
+    benchmark::DoNotOptimize(e.heap_compactions());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(10000)->Arg(100000);
+
 // Builds a scheduler mid-trace: `churn` short jobs already ran to
 // completion (the job table carries that history, as it does a month into a
 // trace), a filler job occupies all but `free_nodes` of the machine, a

@@ -1,0 +1,169 @@
+// Parallel-engine speedup on a multi-pair coupled month.
+//
+// Four coupled (compute, analysis) pairs — each a month-scale Intrepid-style
+// trace paired with a proximity-paired Eureka-style trace, cycling through
+// the HH/HY/YH/YY scheme grid — run on ONE engine, with each pair in its own
+// coupling group so build_clusters() gives the engine four independent
+// execution lanes.  The bench runs the identical simulation serially and at
+// 1/2/4/8 engine worker threads (capped by COSCHED_BENCH_THREADS, the same
+// knob that sizes the harness worker pool), reports the wall-clock speedup
+// per thread count, and *fails* (nonzero exit) if any run's determinism
+// fingerprint differs from the serial baseline — speedup numbers are only
+// admissible if the results are byte-identical.
+//
+// Emits BENCH_parallel_engine.json: one case per thread count with a
+// "speedup" metric (serial wall / case wall, aggregated over
+// COSCHED_BENCH_RUNS seeds) plus engine telemetry (parallel windows, pinned
+// steps, fingerprint_match).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+namespace {
+
+constexpr std::size_t kPairs = 4;
+/// Id offset between pairs: far above make_load_workload's +1e7 Eureka
+/// offset, so job and group ids never collide across coupling groups.
+constexpr JobId kPairStride = 100000000;
+
+struct PairedMonth {
+  std::vector<DomainSpec> specs;
+  std::vector<Trace> traces;
+};
+
+PairedMonth build_workload(std::uint64_t seed) {
+  PairedMonth out;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    CoupledWorkload w = make_load_workload(0.5, seed + 7919 * p);
+    const JobId off = static_cast<JobId>(p) * kPairStride;
+    for (Trace* t : {&w.intrepid, &w.eureka}) {
+      for (auto& j : t->jobs()) {
+        j.id += off;
+        if (j.group != kNoGroup) j.group += off;
+      }
+    }
+    const SchemeCombo combo = kAllCombos[p % 4];
+    auto specs =
+        make_coupled_specs("intrepid" + std::to_string(p), 40960,
+                           "eureka" + std::to_string(p), 100, combo);
+    for (auto& s : specs) {
+      s.policy = "wfp";
+      s.coupling_group = static_cast<int>(p);
+    }
+    out.specs.push_back(std::move(specs[0]));
+    out.specs.push_back(std::move(specs[1]));
+    out.traces.push_back(std::move(w.intrepid));
+    out.traces.push_back(std::move(w.eureka));
+  }
+  return out;
+}
+
+struct RunOutcome {
+  double wall_seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t pinned = 0;
+};
+
+/// threads == 0 runs the serial step loop (the baseline).
+RunOutcome run_at(const PairedMonth& m, unsigned threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CoupledSim sim(m.specs, m.traces);
+  sim.set_parallel(threads);
+  const SimResult r = sim.run(24 * 30 * kDay);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!r.completed || !r.invariants.ok())
+    throw Error("parallel_month: run stalled or broke invariants (threads=" +
+                std::to_string(threads) + ")");
+  RunOutcome out;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.fingerprint = determinism_fingerprint(sim);
+  out.events = sim.engine().executed();
+  out.windows = sim.engine().parallel_windows();
+  out.pinned = sim.engine().pinned_steps();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Parallel engine",
+               "dependency-clustered coupled month: speedup by thread count");
+
+  // The sweep never drives the engine pool wider than the harness thread
+  // knob: COSCHED_BENCH_THREADS caps both.
+  std::vector<unsigned> counts{1};
+  for (const unsigned t : {2u, 4u, 8u})
+    if (static_cast<int>(t) <= threads()) counts.push_back(t);
+
+  struct CaseAccum {
+    RunningStats speedup;
+    double wall_seconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t pinned = 0;
+  };
+  CaseAccum serial;
+  std::vector<CaseAccum> accums(counts.size());
+  bool fingerprints_match = true;
+
+  for (int run = 0; run < runs(); ++run) {
+    const PairedMonth m = build_workload(1000 * run + 1);
+    const RunOutcome base = run_at(m, 0);
+    serial.wall_seconds += base.wall_seconds;
+    serial.events += base.events;
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      const RunOutcome r = run_at(m, counts[ci]);
+      if (r.fingerprint != base.fingerprint) {
+        fingerprints_match = false;
+        std::cerr << "FINGERPRINT MISMATCH: threads=" << counts[ci]
+                  << " seed-run=" << run << std::hex << " got 0x"
+                  << r.fingerprint << " want 0x" << base.fingerprint
+                  << std::dec << "\n";
+      }
+      CaseAccum& acc = accums[ci];
+      acc.speedup.add(base.wall_seconds / r.wall_seconds);
+      acc.wall_seconds += r.wall_seconds;
+      acc.events += r.events;
+      acc.windows += r.windows;
+      acc.pinned += r.pinned;
+    }
+  }
+
+  BenchJsonFile json("parallel_engine");
+  json.add_case("serial", serial.wall_seconds, serial.events,
+                {{"speedup", 1.0, 0.0},
+                 {"fingerprint_match", 1.0, 0.0}});
+  std::cout << "serial baseline: " << serial.wall_seconds << " s\n";
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+    const CaseAccum& acc = accums[ci];
+    const std::string label = "threads=" + std::to_string(counts[ci]);
+    std::cout << label << ": " << acc.wall_seconds << " s, speedup "
+              << acc.speedup.mean() << "x, " << acc.windows
+              << " windows, " << acc.pinned << " pinned steps\n";
+    json.add_case(
+        label, acc.wall_seconds, acc.events,
+        {{"speedup", acc.speedup.mean(), acc.speedup.stddev()},
+         {"fingerprint_match", fingerprints_match ? 1.0 : 0.0, 0.0},
+         {"parallel_windows",
+          static_cast<double>(acc.windows) / runs(), 0.0},
+         {"pinned_steps", static_cast<double>(acc.pinned) / runs(), 0.0}});
+  }
+  json.write();
+
+  if (!fingerprints_match) {
+    std::cerr << "parallel_month: determinism gate FAILED\n";
+    return 1;
+  }
+  std::cout << "determinism gate: all fingerprints byte-identical\n";
+  return 0;
+}

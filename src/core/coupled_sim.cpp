@@ -21,13 +21,17 @@ CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
         spec.cosched, spec.sched, spec.alloc));
   }
 
-  // All-to-all protocol links: every call crosses the full encode/dispatch/
-  // decode path through a loopback peer, wrapped in a fault injector.
+  // Protocol links between domains sharing a coupling group: every call
+  // crosses the full encode/dispatch/decode path through a loopback peer,
+  // wrapped in a fault injector.  With the default (all domains in group 0)
+  // this is the legacy all-to-all topology; distinct groups stay unlinked
+  // and become independent dependency clusters of the engine.
   links_.resize(specs.size());
   for (std::size_t from = 0; from < specs.size(); ++from) {
     links_[from].resize(specs.size());
     for (std::size_t to = 0; to < specs.size(); ++to) {
       if (from == to) continue;
+      if (specs[from].coupling_group != specs[to].coupling_group) continue;
       links_[from][to] = std::make_unique<FaultInjectingPeer>(
           std::make_unique<LoopbackPeer>(*clusters_[to]), &engine_);
       // After a transport fault the *calling* domain re-examines its queue
@@ -36,8 +40,13 @@ CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
       links_[from][to]->set_retry_listener(
           [cluster = clusters_[from].get()] { cluster->request_iteration(); });
       clusters_[from]->add_peer(*links_[from][to]);
+      // Linked domains exchange synchronous peer calls, so they must share
+      // an execution lane.
+      engine_.add_dependency(clusters_[from]->source(),
+                             clusters_[to]->source());
     }
   }
+  engine_.build_clusters();
 
   for (std::size_t i = 0; i < traces.size(); ++i)
     clusters_[i]->load_trace(traces[i]);
@@ -45,7 +54,10 @@ CoupledSim::CoupledSim(std::vector<DomainSpec> specs,
 
 FaultInjectingPeer& CoupledSim::link(std::size_t from, std::size_t to) {
   COSCHED_CHECK(from != to);
-  return *links_.at(from).at(to);
+  COSCHED_CHECK_MSG(links_.at(from).at(to) != nullptr,
+                    "domains " << from << " and " << to
+                               << " are not in the same coupling group");
+  return *links_[from][to];
 }
 
 void CoupledSim::set_fault_plan(std::size_t from, std::size_t to,
@@ -63,7 +75,7 @@ void CoupledSim::set_fault_plan_all(const FaultPlan& plan) {
       if (from == to) continue;
       FaultPlan p = plan;
       p.seed = mix.next() ^ (static_cast<std::uint64_t>(from) << 32 | to);
-      links_[from][to]->set_plan(std::move(p));
+      if (links_[from][to] != nullptr) links_[from][to]->set_plan(std::move(p));
     }
   }
 }
@@ -102,7 +114,7 @@ void CoupledSim::schedule_domain_crash(std::size_t domain, Time at,
                        << engine_.now();
     // A crashed machine neither answers its peers nor reaches them.
     for (std::size_t other = 0; other < clusters_.size(); ++other) {
-      if (other == domain) continue;
+      if (other == domain || links_[domain][other] == nullptr) continue;
       links_[domain][other]->set_crashed(true);
       links_[other][domain]->set_crashed(true);
     }
@@ -122,7 +134,7 @@ void CoupledSim::schedule_domain_crash(std::size_t domain, Time at,
       COSCHED_LOG(kInfo) << clusters_[domain]->name()
                          << ": domain restart at t=" << engine_.now();
       for (std::size_t other = 0; other < clusters_.size(); ++other) {
-        if (other == domain) continue;
+        if (other == domain || links_[domain][other] == nullptr) continue;
         links_[domain][other]->set_crashed(false);
         links_[other][domain]->set_crashed(false);
       }
@@ -187,9 +199,13 @@ void CoupledSim::schedule_crash_recovery(std::size_t domain,
     // Disarm first: the crash event itself commits records while recovering.
     journals_[domain]->set_on_commit(nullptr);
     // kMessage priority: the crash lands right after the committing event
-    // body, before any same-time scheduling activity.
-    engine_.schedule_at(engine_.now(), EventPriority::kMessage,
-                        [this, domain] { crash_and_recover(domain); });
+    // body, before any same-time scheduling activity.  Tagged with the
+    // crashing domain's source: the hook fires inside that domain's lane,
+    // and the recovery only touches that domain, so the event stays
+    // lane-local under parallel execution.
+    engine_.schedule_from(clusters_[domain]->source(), engine_.now(),
+                          EventPriority::kMessage,
+                          [this, domain] { crash_and_recover(domain); });
   });
 }
 
@@ -227,12 +243,23 @@ SimResult CoupledSim::run(Time max_time) {
   abort_invariants_.reset();
   bool aborted = false;
   try {
-    while (engine_.step()) {
-      if (max_time > 0 && engine_.now() > max_time) {
+    if (parallel_threads_ > 0) {
+      engine_.run_parallel(parallel_threads_,
+                           max_time > 0 ? max_time : Engine::kTimeMax);
+      if (max_time > 0 && engine_.pending() > 0) {
         COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
-                           << " (max_time exceeded)";
+                           << " (max_time exceeded, " << engine_.pending()
+                           << " events still pending)";
         aborted = true;
-        break;
+      }
+    } else {
+      while (engine_.step()) {
+        if (max_time > 0 && engine_.now() > max_time) {
+          COSCHED_LOG(kWarn) << "simulation aborted at t=" << engine_.now()
+                             << " (max_time exceeded)";
+          aborted = true;
+          break;
+        }
       }
     }
   } catch (...) {
@@ -350,6 +377,36 @@ void CoupledSim::check_invariants(SimResult& result, bool aborted) const {
       }
     }
   }
+}
+
+std::uint64_t determinism_fingerprint(CoupledSim& sim) {
+  struct Rec {
+    JobId id;
+    Time start, end;
+    int yields, releases;
+  };
+  std::vector<Rec> recs;
+  for (std::size_t d = 0; d < sim.size(); ++d) {
+    sim.cluster(d).scheduler().for_each_job([&](JobId id, const RuntimeJob& j) {
+      recs.push_back(Rec{id, j.start, j.end, j.yield_count, j.forced_releases});
+    });
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Rec& a, const Rec& b) { return a.id < b.id; });
+  auto fnv = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+    return h;
+  };
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Rec& r : recs) {
+    h = fnv(h, static_cast<std::uint64_t>(r.id));
+    h = fnv(h, static_cast<std::uint64_t>(r.start));
+    h = fnv(h, static_cast<std::uint64_t>(r.end));
+    h = fnv(h, static_cast<std::uint64_t>(r.yields));
+    h = fnv(h, static_cast<std::uint64_t>(r.releases));
+  }
+  return h;
 }
 
 std::vector<DomainSpec> make_coupled_specs(const std::string& name_a,

@@ -31,6 +31,12 @@ struct DomainSpec {
   SchedulerConfig sched;
   /// Optional request→charge model (e.g. PartitionAllocation::intrepid()).
   std::shared_ptr<const AllocationModel> alloc;
+  /// Coupling group: protocol links are only built between domains sharing
+  /// a group, and each group becomes one dependency cluster of the engine
+  /// (so disjoint groups execute in parallel under set_parallel()).  The
+  /// default — every domain in group 0 — reproduces the legacy all-to-all
+  /// topology.
+  int coupling_group = 0;
 };
 
 /// Pair/group start synchronization outcome (the §V-B capability check).
@@ -83,12 +89,22 @@ class CoupledSim {
   /// simulations and reports them as deadlocked.
   SimResult run(Time max_time = 0);
 
+  /// Routes run() through the engine's dependency-clustered parallel
+  /// executor on `threads` workers (0 = serial, the default).  Results are
+  /// byte-identical for every thread count; they also match the serial path
+  /// for completed runs.  (An aborted run differs only in where it stops:
+  /// the serial loop executes one event past max_time before aborting, the
+  /// parallel path drains exactly the events at or before max_time.)
+  void set_parallel(unsigned threads) { parallel_threads_ = threads; }
+  unsigned parallel_threads() const { return parallel_threads_; }
+
   std::size_t size() const { return clusters_.size(); }
   Cluster& cluster(std::size_t i) { return *clusters_.at(i); }
   Engine& engine() { return engine_; }
 
   /// The fault injector on the peer link domain `from` uses to reach
-  /// domain `to` (from != to).  Lets tests take a remote "down".
+  /// domain `to` (from != to; the domains must share a coupling group).
+  /// Lets tests take a remote "down".
   FaultInjectingPeer& link(std::size_t from, std::size_t to);
 
   /// Installs a chaos schedule on one directed link.  Call before run().
@@ -192,7 +208,14 @@ class CoupledSim {
   std::vector<std::unique_ptr<Journal>> journals_;  ///< empty unless enabled
   std::vector<std::optional<Cluster::RecoveryStats>> recoveries_;
   std::optional<InvariantReport> abort_invariants_;
+  unsigned parallel_threads_ = 0;  ///< 0 = serial run loop
 };
+
+/// Order-independent FNV-1a fingerprint over every job's observable outcome
+/// (id, start, end, yields, forced releases).  Byte-identical fingerprints
+/// mean byte-identical scheduling results — the determinism gate the
+/// parallel engine is held to across thread counts.
+std::uint64_t determinism_fingerprint(CoupledSim& sim);
 
 /// Convenience for the common two-domain experiments: builds DomainSpecs for
 /// a compute machine and an analysis machine with the given scheme combo.

@@ -49,15 +49,36 @@ std::int64_t parse_field(const std::string& token, const char* key) {
 
 }  // namespace
 
+std::vector<JobEvent> EventLog::events() const {
+  std::vector<JobEvent> out;
+  out.reserve(size());
+  // Concatenate in shard order, then stable-sort by time: equal-time events
+  // keep (shard, in-shard index) order, making the merge a pure function of
+  // shard contents — identical for serial and parallel runs.
+  for (const auto& shard : shards_) out.insert(out.end(), shard.begin(),
+                                               shard.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const JobEvent& a, const JobEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.size();
+  return n;
+}
+
 std::vector<JobEvent> EventLog::of_kind(JobEventKind kind) const {
   std::vector<JobEvent> out;
-  for (const JobEvent& e : events_)
+  for (const JobEvent& e : events())
     if (e.kind == kind) out.push_back(e);
   return out;
 }
 
 void EventLog::write_text(std::ostream& os) const {
-  for (const JobEvent& e : events_) {
+  for (const JobEvent& e : events()) {
     os << e.time << ' ' << e.system << ' ' << to_string(e.kind)
        << " job=" << e.job << " group=" << e.group << " nodes=" << e.nodes
        << '\n';

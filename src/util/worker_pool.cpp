@@ -1,0 +1,63 @@
+#include "util/worker_pool.h"
+
+#include "util/error.h"
+
+namespace cosched {
+
+WorkerPool::WorkerPool(unsigned helpers) {
+  threads_.reserve(helpers);
+  for (unsigned i = 0; i < helpers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i + 1); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_main(unsigned slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && epoch_ == seen) work_cv_.wait(mu_);
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(slot);
+    {
+      MutexLock lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    COSCHED_CHECK_MSG(job_ == nullptr, "WorkerPool::run is not reentrant");
+    job_ = &fn;
+    remaining_ = static_cast<unsigned>(threads_.size());
+    ++epoch_;
+    work_cv_.notify_all();
+  }
+  fn(0);
+  {
+    MutexLock lock(mu_);
+    while (remaining_ != 0) done_cv_.wait(mu_);
+    job_ = nullptr;
+  }
+}
+
+}  // namespace cosched

@@ -1,0 +1,57 @@
+// Fixed fork-join worker pool for the parallel simulation engine.
+//
+// A WorkerPool owns N helper threads that sit parked on a condition
+// variable.  run(fn) publishes one job, executes fn(0) on the calling
+// thread, has every helper execute fn(slot) for slot = 1..N, and returns
+// once all helpers are done — a barrier on both sides.  The pool is built
+// on the annotated cosched::Mutex so the clang thread-safety analysis
+// proves the lock discipline at compile time; condition variables use
+// std::condition_variable_any, which accepts the annotated wrapper
+// directly.
+//
+// The caller is responsible for giving concurrent fn invocations disjoint
+// work (the engine hands each worker whole event lanes); the pool itself
+// only synchronizes job hand-off and completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace cosched {
+
+class WorkerPool {
+ public:
+  /// Spawns `helpers` parked threads (0 is allowed: run() then just
+  /// executes fn(0) inline).
+  explicit WorkerPool(unsigned helpers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `fn(slot)` on every thread of the pool: slot 0 on the calling
+  /// thread, slots 1..helpers() on the helpers.  Returns after every
+  /// invocation finished.  Not reentrant.
+  void run(const std::function<void(unsigned)>& fn);
+
+  unsigned helpers() const { return static_cast<unsigned>(threads_.size()); }
+
+ private:
+  void worker_main(unsigned slot);
+
+  Mutex mu_;
+  std::condition_variable_any work_cv_;  ///< signalled on new job / stop
+  std::condition_variable_any done_cv_;  ///< signalled when a job drains
+  const std::function<void(unsigned)>* job_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 0;  ///< bumped per published job
+  unsigned remaining_ GUARDED_BY(mu_) = 0;   ///< helpers still running job_
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cosched

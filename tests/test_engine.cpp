@@ -113,6 +113,28 @@ TEST(Engine, PendingAndExecutedCounts) {
   EXPECT_EQ(e.executed(), 1u);
 }
 
+TEST(Engine, TombstoneHeavyHeapIsCompactedInOneRebuild) {
+  Engine e;
+  std::vector<EventId> ids;
+  std::vector<Time> ran;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(e.schedule_at(1000 + i, 0, [&] { ran.push_back(e.now()); }));
+  // Cancel 90%: once tombstones outnumber live entries the lane heap is
+  // rebuilt in one O(n) pass instead of draining lazily one-by-one.
+  for (int i = 0; i < 1000; ++i)
+    if (i % 10 != 0) e.cancel(ids[i]);
+  EXPECT_GE(e.heap_compactions(), 1u);
+  EXPECT_EQ(e.pending(), 100u);
+  EXPECT_EQ(e.cancelled_total(), 900u);
+  // Ordering and execution of the survivors are unaffected.
+  e.run();
+  std::vector<Time> expect;
+  for (int i = 0; i < 1000; i += 10) expect.push_back(1000 + i);
+  EXPECT_EQ(ran, expect);
+  EXPECT_EQ(e.executed(), 100u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
 TEST(Engine, ManyEventsStressOrdering) {
   Engine e;
   Time last = -1;

@@ -1,0 +1,310 @@
+// Parallel discrete-event execution: dependency clustering, the conservative
+// lookahead contract, and — the hard gate — byte-identical determinism
+// fingerprints for every thread count on the full scheme grid.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core_test_util.h"
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace cosched {
+namespace {
+
+using testutil::job;
+
+// -- engine-level -----------------------------------------------------------
+
+TEST(ParallelEngine, ClustersAreConnectedComponentsOfTheDependencyGraph) {
+  Engine e;
+  const SourceId a = e.register_source("a");
+  const SourceId b = e.register_source("b");
+  const SourceId c = e.register_source("c");
+  const SourceId d = e.register_source("d");
+  e.add_dependency(a, b);
+  EXPECT_EQ(e.cluster_count(), 0u);  // not built yet
+  EXPECT_EQ(e.build_clusters(), 3u);  // {a,b} {c} {d}
+  EXPECT_EQ(e.cluster_count(), 3u);
+  EXPECT_EQ(e.lane_of_source(a), e.lane_of_source(b));
+  EXPECT_NE(e.lane_of_source(a), e.lane_of_source(c));
+  EXPECT_NE(e.lane_of_source(c), e.lane_of_source(d));
+  // Lane 0 stays reserved for untagged (cross-cluster) events.
+  EXPECT_NE(e.lane_of_source(a), 0u);
+  EXPECT_NE(e.lane_of_source(c), 0u);
+  EXPECT_EQ(e.lane_of_source(kNoSource), 0u);
+}
+
+// Self-rescheduling chain: each firing appends the clock to `rec` (which is
+// lane-confined — only the lane's owning worker ever touches it) and re-arms
+// under the ambient source, exercising source inheritance across events.
+void arm_chain(Engine& e, std::vector<Time>& rec, int left, Duration gap) {
+  e.schedule_in(gap, EventPriority::kMessage, [&e, &rec, left, gap] {
+    rec.push_back(e.now());
+    if (left > 0) arm_chain(e, rec, left - 1, gap);
+  });
+}
+
+TEST(ParallelEngine, ParallelRunMatchesSerialForEveryThreadCount) {
+  // threads < 0 selects the serial run() baseline.
+  auto run_with = [](int threads, std::vector<Time>& ra, std::vector<Time>& rb,
+                     std::uint64_t& executed, Time& end) {
+    Engine e;
+    const SourceId a = e.register_source("alpha");
+    const SourceId b = e.register_source("beta");
+    e.build_clusters();
+    {
+      SourceScope s(e, a);
+      arm_chain(e, ra, 40, 3);
+    }
+    {
+      SourceScope s(e, b);
+      arm_chain(e, rb, 25, 7);
+    }
+    if (threads < 0) {
+      e.run();
+    } else {
+      e.run_parallel(static_cast<unsigned>(threads));
+      EXPECT_GE(e.parallel_windows(), 1u);
+    }
+    executed = e.executed();
+    end = e.now();
+    EXPECT_EQ(e.pending(), 0u);
+  };
+
+  std::vector<Time> base_a, base_b;
+  std::uint64_t base_exec = 0;
+  Time base_end = 0;
+  run_with(-1, base_a, base_b, base_exec, base_end);
+  ASSERT_EQ(base_a.size(), 41u);
+  ASSERT_EQ(base_b.size(), 26u);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    std::vector<Time> ra, rb;
+    std::uint64_t exec = 0;
+    Time end = 0;
+    run_with(threads, ra, rb, exec, end);
+    EXPECT_EQ(ra, base_a);
+    EXPECT_EQ(rb, base_b);
+    EXPECT_EQ(exec, base_exec);
+    EXPECT_EQ(end, base_end);
+  }
+}
+
+TEST(ParallelEngine, GlobalLaneEventPinsTheWindow) {
+  Engine e;
+  const SourceId a = e.register_source("alpha");
+  const SourceId b = e.register_source("beta");
+  e.build_clusters();
+  std::vector<Time> ra, rb, rg;
+  {
+    SourceScope s(e, a);
+    arm_chain(e, ra, 10, 5);
+  }
+  {
+    SourceScope s(e, b);
+    arm_chain(e, rb, 10, 5);
+  }
+  // Untagged → global lane.  It splits the run into a window before t=17, a
+  // serial pinned step, and a window after.  rg is only ever written by the
+  // calling thread (pinned steps never run on workers).
+  e.schedule_at(17, EventPriority::kMessage, [&] { rg.push_back(e.now()); });
+  e.run_parallel(4);
+  EXPECT_EQ(rg, std::vector<Time>{17});
+  EXPECT_GE(e.pinned_steps(), 1u);
+  EXPECT_GE(e.parallel_windows(), 2u);
+  const std::vector<Time> lane_times{5, 10, 15, 20, 25, 30,
+                                     35, 40, 45, 50, 55};
+  EXPECT_EQ(ra, lane_times);
+  EXPECT_EQ(rb, lane_times);
+}
+
+TEST(ParallelEngine, CrossLaneScheduleAtTheLookaheadHorizonIsDelivered) {
+  Engine e;
+  const SourceId a = e.register_source("alpha");
+  const SourceId b = e.register_source("beta");
+  e.build_clusters();
+  e.set_lookahead(10);
+  std::vector<Time> rb;
+  bool deferred = false;
+  {
+    SourceScope s(e, a);
+    e.schedule_at(0, EventPriority::kMessage, [&] {
+      // Window is [0, 10); landing exactly at the horizon is legal.  The
+      // event is buffered (null handle, not cancellable) and merged at the
+      // barrier.
+      const EventId id = e.schedule_from(b, 10, EventPriority::kMessage,
+                                         [&] { rb.push_back(e.now()); });
+      deferred = (id == kNullEventId) && !e.cancel(id);
+    });
+  }
+  e.run_parallel(2);
+  EXPECT_TRUE(deferred);
+  EXPECT_EQ(rb, std::vector<Time>{10});
+  EXPECT_EQ(e.executed(), 2u);
+}
+
+TEST(ParallelEngine, CrossLaneScheduleInsideTheWindowIsRejected) {
+  Engine e;
+  const SourceId a = e.register_source("alpha");
+  const SourceId b = e.register_source("beta");
+  e.build_clusters();
+  e.set_lookahead(10);
+  {
+    SourceScope s(e, a);
+    e.schedule_at(0, EventPriority::kMessage, [&] {
+      // t=5 is inside the [0, 10) window of another lane: a conservative-
+      // lookahead violation the engine must refuse, not silently reorder.
+      e.schedule_from(b, 5, EventPriority::kMessage, [] {});
+    });
+  }
+  EXPECT_THROW(e.run_parallel(2), InvariantError);
+}
+
+// -- simulation-level -------------------------------------------------------
+
+// Two coupled pairs in disjoint coupling groups: (c0, v0) in group 0 and
+// (c1, v1) in group 1, so the engine gets two independent lanes and
+// run_parallel() exercises real concurrency.
+std::vector<DomainSpec> quad_specs(SchemeCombo g0, SchemeCombo g1,
+                                   bool liveness = false,
+                                   Duration lease = 5 * kMinute) {
+  auto specs = make_coupled_specs("c0", 100, "v0", 100, g0);
+  auto second = make_coupled_specs("c1", 100, "v1", 100, g1);
+  for (auto& s : second) {
+    s.coupling_group = 1;
+    specs.push_back(std::move(s));
+  }
+  for (auto& s : specs) {
+    s.policy = "fcfs";
+    if (liveness) {
+      s.cosched.liveness.enabled = true;
+      s.cosched.liveness.lease_duration = lease;
+    }
+  }
+  return specs;
+}
+
+// Deterministic hand-built workload: per coupled pair, `pairs` mated jobs
+// with staggered arrivals plus local filler on each side.  Group ids are
+// disjoint across coupling groups (gbase) so no mate ever lives behind a
+// missing link.
+std::vector<Trace> quad_traces(int pairs = 18) {
+  std::vector<Trace> traces(4);
+  for (int g = 0; g < 2; ++g) {
+    Trace& a = traces[2 * g];
+    Trace& b = traces[2 * g + 1];
+    const JobId base = 10000 * (g + 1);
+    const GroupId gbase = 1000 * (g + 1);
+    for (int i = 0; i < pairs; ++i) {
+      const Time t = 60 + 240 * i + 17 * g;
+      a.add(job(base + i, t, 600 + 30 * (i % 5), 10 + 5 * (i % 4),
+                gbase + i));
+      b.add(job(base + 1000 + i, t + 90 + 40 * (i % 3), 500 + 25 * (i % 7),
+                8 + 4 * (i % 3), gbase + i));
+      if (i % 3 == 0) {
+        a.add(job(base + 2000 + i, t + 30, 300, 20));
+        b.add(job(base + 3000 + i, t + 50, 400, 16));
+      }
+    }
+  }
+  return traces;
+}
+
+// The PR's hard gate: the determinism fingerprint must be byte-identical
+// across thread counts {1, 2, 4, 8} — and match the serial run loop — for
+// every scheme combination of the paper's grid.
+TEST(ParallelSim, FingerprintIdenticalAcrossThreadCountsForSchemeGrid) {
+  for (const SchemeCombo& combo : kAllCombos) {
+    SCOPED_TRACE(combo.label);
+    auto run_fp = [&](unsigned threads) {
+      CoupledSim sim(quad_specs(combo, combo), quad_traces());
+      sim.set_parallel(threads);
+      const SimResult r = sim.run(120 * kDay);
+      EXPECT_TRUE(r.completed);
+      EXPECT_TRUE(r.invariants.ok());
+      return determinism_fingerprint(sim);
+    };
+    CoupledSim serial_sim(quad_specs(combo, combo), quad_traces());
+    const SimResult serial = serial_sim.run(120 * kDay);
+    EXPECT_TRUE(serial.completed);
+    const std::uint64_t baseline = determinism_fingerprint(serial_sim);
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE(threads);
+      EXPECT_EQ(run_fp(threads), baseline);
+    }
+  }
+}
+
+// Chaos determinism under parallel execution: the same partition + fault
+// schedule replayed at 1 and 4 threads must produce identical fingerprints
+// AND an identical merged event-log text — the strongest observable equality
+// the simulator exposes.
+TEST(ParallelSim, ChaosPartitionReplayIsThreadCountInvariant) {
+  auto run_once = [&](unsigned threads, std::string* log_text) {
+    CoupledSim sim(quad_specs(kHH, kHY, /*liveness=*/true), quad_traces(12));
+    FaultPlan plan;
+    plan.seed = 0xc0ffee;
+    plan.drop_probability = 0.05;
+    plan.reply_drop_probability = 0.05;
+    sim.set_fault_plan_all(plan);
+    sim.add_partition(0, 1, 2 * kHour, 4 * kHour);
+    sim.add_one_way_partition(3, 2, 5 * kHour, 6 * kHour);
+    EventLog& log = sim.enable_event_log();
+    sim.set_parallel(threads);
+    const SimResult r = sim.run(120 * kDay);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.invariants.ok());
+    std::ostringstream os;
+    log.write_text(os);
+    *log_text = os.str();
+    return determinism_fingerprint(sim);
+  };
+  std::string log1, log4;
+  const std::uint64_t fp1 = run_once(1, &log1);
+  const std::uint64_t fp4 = run_once(4, &log4);
+  EXPECT_EQ(fp1, fp4);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log4);
+}
+
+// Lease expiry (liveness layer) under parallel execution: beta dies for
+// good, alpha's leased hold must expire and convert to an unsynchronized
+// start — with identical counters and fingerprint at every thread count,
+// while the other coupling group keeps its lane busy.
+TEST(ParallelSim, LeaseExpiryReplaysIdenticallyUnderParallelExecution) {
+  auto run_once = [&](unsigned threads) {
+    auto specs = quad_specs(kHH, kHH, /*liveness=*/true);
+    std::vector<Trace> traces(4);
+    traces[0].add(job(90, 5, 60, 5));  // filler: arms heartbeats early
+    traces[0].add(job(1, 150, 600, 10, 7));  // paired; beta dead by then
+    traces[1].add(job(1001, 10 * kHour, 600, 10, 7));
+    for (int i = 0; i < 10; ++i) {  // the other group's pair stays live
+      traces[2].add(job(5000 + i, 60 + 300 * i, 600, 12, 2000 + i));
+      traces[3].add(job(6000 + i, 120 + 300 * i, 500, 10, 2000 + i));
+    }
+    CoupledSim sim(specs, traces);
+    sim.schedule_domain_crash(1, 30, /*restart_at=*/0);
+    sim.set_parallel(threads);
+    const SimResult r = sim.run(30 * kDay);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.invariants.ok());
+    EXPECT_GE(sim.cluster(0).lease_grants(), 1u);
+    EXPECT_GE(sim.cluster(0).lease_expiries(), 1u);
+    EXPECT_GE(sim.cluster(0).unsync_starts(), 1u);
+    return std::tuple(determinism_fingerprint(sim),
+                      sim.cluster(0).lease_expiries(),
+                      sim.cluster(0).unsync_starts(),
+                      sim.cluster(0).lease_grants());
+  };
+  const auto serial = run_once(0);
+  EXPECT_EQ(run_once(1), serial);
+  EXPECT_EQ(run_once(4), serial);
+}
+
+}  // namespace
+}  // namespace cosched

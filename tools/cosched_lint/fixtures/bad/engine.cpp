@@ -1,0 +1,24 @@
+// Known-bad fixture: worker-pool lambdas writing engine members with no
+// lock, no REQUIRES section, and no waiver — every write here races with
+// the other helpers.  (Never compiled.)
+#include "sim/engine.h"
+
+namespace cosched {
+
+void Engine::run_window(const std::vector<std::uint32_t>& parts, Time end) {
+  std::atomic<std::size_t> cursor{0};
+  pool_->run([this, &parts, &cursor, end](unsigned) {
+    for (;;) {
+      const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= parts.size()) break;
+      executed_ += 1;  // racing increment of a shared counter
+      now_ = end;      // racing write to the shared clock
+    }
+  });
+}
+
+void Engine::spawn_helper() {
+  threads_.push_back(std::thread([this] { ++pinned_steps_; }));
+}
+
+}  // namespace cosched

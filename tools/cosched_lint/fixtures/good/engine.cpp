@@ -1,0 +1,34 @@
+// Known-good fixture: worker-pool lambdas that keep to lane-confined state,
+// guard shared writes with the owning Mutex, or carry an explicit waiver —
+// the shared-counter folds happen after the barrier.  (Never compiled.)
+#include "sim/engine.h"
+
+namespace cosched {
+
+void Engine::run_window(const std::vector<std::uint32_t>& parts, Time end) {
+  std::atomic<std::size_t> cursor{0};
+  pool_->run([this, &parts, &cursor, end](unsigned) {
+    for (;;) {
+      const std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (k >= parts.size()) break;
+      run_lane_window(parts[k], end);  // lane-confined: owned by this worker
+    }
+  });
+  windows_ += 1;  // post-barrier fold: the helpers are parked again
+}
+
+void Engine::count_under_lock() {
+  pool_->run([this](unsigned) {
+    MutexLock lock(stats_mu_);
+    executed_ += 1;  // guarded by the mutex the annotation names
+  });
+}
+
+void Engine::count_waived() {
+  pool_->run([this](unsigned) {
+    // cosched-lint: allow(engine-shared-state) one-helper pool: no peers
+    executed_ += 1;
+  });
+}
+
+}  // namespace cosched

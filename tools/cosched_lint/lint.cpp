@@ -535,6 +535,152 @@ void rule_dedup_before_reply(RuleContext& ctx) {
   }
 }
 
+// -- rule: engine-shared-state -----------------------------------------------
+
+/// Identifier ending right before `pos` (walking back over ident chars).
+std::string ident_before(const std::string& code, std::size_t pos) {
+  std::size_t b = pos;
+  while (b > 0 && is_ident(code[b - 1])) --b;
+  return code.substr(b, pos - b);
+}
+
+/// Column where a worker-pool dispatch starts on this line, or npos.
+/// Matches WorkerPool dispatch (`<something-pool>.run(` / `->run(`) and raw
+/// std::thread construction; Engine::run()/CoupledSim::run() never match
+/// because their receivers are not pools.
+std::size_t worker_dispatch_pos(const std::string& code) {
+  const std::size_t t = code.find("std::thread(");
+  if (t != std::string::npos) return t;
+  for (const char* pat : {"->run(", ".run("}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(pat, pos)) != std::string::npos) {
+      std::string recv = ident_before(code, pos);
+      std::transform(recv.begin(), recv.end(), recv.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (recv.find("pool") != std::string::npos) return pos;
+      pos += 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// First `_`-suffixed identifier on `code` mutated with =, +=, -=, ++ or --
+/// (an implicit this-> member write), or "" when none.  `obj.member_` and
+/// `other->member_` are another object's state, not the enclosing class's —
+/// only bare and explicit `this->` accesses count.
+std::string member_mutation(const std::string& code) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!is_ident(code[i])) continue;
+    const std::size_t b = i;
+    while (i < code.size() && is_ident(code[i])) ++i;
+    if (code[i - 1] != '_') continue;
+    const std::string name = code.substr(b, i - b);
+    if (b > 0 && code[b - 1] == '.') continue;
+    if (b >= 2 && code[b - 1] == '>' && code[b - 2] == '-' &&
+        ident_before(code, b - 2) != "this")
+      continue;
+    if (b >= 2 && ((code[b - 2] == '+' && code[b - 1] == '+') ||
+                   (code[b - 2] == '-' && code[b - 1] == '-')))
+      return name;
+    std::size_t j = i;
+    // One subscript is still a write to the member's element.
+    if (j < code.size() && code[j] == '[') {
+      int depth = 0;
+      for (; j < code.size(); ++j) {
+        if (code[j] == '[') ++depth;
+        if (code[j] == ']' && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[j])) != 0)
+      ++j;
+    if (j + 1 < code.size()) {
+      const char a = code[j], bb = code[j + 1];
+      if ((a == '+' && bb == '=') || (a == '-' && bb == '=') ||
+          (a == '+' && bb == '+') || (a == '-' && bb == '-'))
+        return name;
+      if (a == '=' && bb != '=') return name;
+    } else if (j < code.size() && code[j] == '=') {
+      return name;
+    }
+  }
+  return "";
+}
+
+/// Worker-pool lambdas run concurrently with each other (and, for raw
+/// threads, with the spawning thread): writing engine/cluster members from
+/// one is a data race unless the write sits in a REQUIRES-annotated section
+/// or under a MutexLock.  The checked region is the first lambda body after
+/// a dispatch site; thread-safety annotations only cover functions the
+/// analysis can see, so lambda bodies need this textual backstop.
+void rule_engine_shared_state(RuleContext& ctx) {
+  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+    const std::size_t dispatch = worker_dispatch_pos(ctx.code[i]);
+    if (dispatch == std::string::npos) continue;
+
+    // Find the lambda introducer, then its body braces.
+    std::size_t line = i, col = dispatch;
+    bool found_lambda = false;
+    for (; line < ctx.code.size() && line < i + 4 && !found_lambda; ++line) {
+      const std::size_t l = ctx.code[line].find('[', col);
+      if (l != std::string::npos) {
+        col = l;
+        found_lambda = true;
+        break;
+      }
+      col = 0;
+    }
+    if (!found_lambda) continue;
+
+    int depth = 0;
+    bool body_entered = false;
+    bool guarded = false;
+    for (std::size_t j = line; j < ctx.code.size(); ++j) {
+      const std::string& code = ctx.code[j];
+      const std::size_t from = (j == line) ? col : 0;
+      const bool was_in_body = body_entered;
+      std::size_t open_col = std::string::npos;
+      std::size_t close_col = std::string::npos;
+      for (std::size_t k = from; k < code.size(); ++k) {
+        if (code[k] == '{') {
+          ++depth;
+          if (!body_entered) {
+            body_entered = true;
+            open_col = k;
+          }
+        }
+        if (code[k] == '}' && --depth == 0) {
+          close_col = k;
+          break;
+        }
+      }
+      if (body_entered) {
+        // Only the slice of this line inside the body is part of the region.
+        const std::size_t b = was_in_body ? 0 : open_col + 1;
+        const std::size_t e = close_col == std::string::npos ? code.size()
+                                                             : close_col;
+        const std::string body = code.substr(b, e - b);
+        if (body.find("MutexLock") != std::string::npos ||
+            body.find("REQUIRES(") != std::string::npos)
+          guarded = true;
+        const std::string hit = guarded ? "" : member_mutation(body);
+        if (!hit.empty())
+          emit(ctx, j, "engine-shared-state",
+               "worker-pool lambda mutates shared member '" + hit +
+                   "' outside a REQUIRES-annotated section; take the "
+                   "owning Mutex (MutexLock), move the write to the "
+                   "post-barrier fold, or waive with "
+                   "allow(engine-shared-state)",
+               /*accepts_ordered=*/false);
+      }
+      if (close_col != std::string::npos) break;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> split_lines(const std::string& contents) {
@@ -595,6 +741,7 @@ Report run_lint(const std::vector<SourceFile>& files) {
     rule_journal_before_mutate(ctx);
     rule_lease_journal(ctx);
     rule_dedup_before_reply(ctx);
+    rule_engine_shared_state(ctx);
   }
 
   const auto by_location = [](const Finding& a, const Finding& b) {

@@ -27,6 +27,12 @@
 //                          waiver — hash order leaking into fingerprints,
 //                          metrics, or wire output is the classic silent
 //                          determinism bug
+//   engine-shared-state    no mutation of `_`-suffixed members (implicit
+//                          this-> state) from a worker-pool lambda
+//                          (`<pool>.run(...)` / std::thread) outside a
+//                          MutexLock/REQUIRES-guarded section — parallel-
+//                          window workers may only touch their own lane;
+//                          shared counters belong in the post-barrier fold
 //
 // Escape hatches (same line or the line above the finding):
 //   // cosched-lint: ordered(<why hash order cannot leak>)   unordered-iter
