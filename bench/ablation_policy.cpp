@@ -32,7 +32,7 @@ CaseMetrics run_variant(const CoupledWorkload& w, const std::string& policy,
   out.completed = r.completed;
   out.intrepid = r.systems[0];
   out.eureka = r.systems[1];
-  out.pairs = r.pairs;
+  out.groups = r.groups;
   return out;
 }
 
@@ -65,9 +65,9 @@ int main() {
                format_double(m.intrepid.avg_slowdown),
                format_percent(m.intrepid.utilization),
                format_count(static_cast<long long>(
-                   m.pairs.groups_started_together)) +
+                   m.groups.groups_started_together)) +
                    " / " +
-                   format_count(static_cast<long long>(m.pairs.groups_total))});
+                   format_count(static_cast<long long>(m.groups.groups_total))});
   }
 
   // Co-reservation baseline (conservative, walltime-based, no backfill over

@@ -230,7 +230,7 @@ CaseMetrics run_case(const CoupledWorkload& w, SchemeCombo combo,
   CaseMetrics out;
   out.intrepid = r.systems[0];
   out.eureka = r.systems[1];
-  out.pairs = r.pairs;
+  out.groups = r.groups;
   out.completed = r.completed;
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.events = sim.engine().executed();
@@ -249,8 +249,8 @@ void Series::add(const CaseMetrics& m, double paired_frac) {
   intrepid_loss_frac.add(m.intrepid.held_fraction);
   eureka_loss_frac.add(m.eureka.held_fraction);
   paired_fraction.add(paired_frac);
-  pairs_total += m.pairs.groups_total;
-  pairs_synced += m.pairs.groups_started_together;
+  pairs_total += m.groups.groups_total;
+  pairs_synced += m.groups.groups_started_together;
   sim_wall_seconds += m.wall_seconds;
   events += m.events;
 }

@@ -77,7 +77,7 @@ CoupledWorkload make_proportion_workload(double proportion,
 struct CaseMetrics {
   SystemMetrics intrepid;
   SystemMetrics eureka;
-  PairStartStats pairs;
+  GroupStartStats groups;
   bool completed = false;
   /// Host wall time of the simulation (excludes workload generation).
   double wall_seconds = 0.0;

@@ -90,9 +90,9 @@ RunOutcome run_one(const SweepCase& c, std::uint64_t seed) {
     out.unsync_starts += static_cast<double>(m.unsync_starts);
     out.degraded_releases += static_cast<double>(m.degraded_forced_releases);
   }
-  if (r.pairs.groups_total > 0)
-    out.costart_fraction = static_cast<double>(r.pairs.groups_started_together) /
-                           static_cast<double>(r.pairs.groups_total);
+  if (r.groups.groups_total > 0)
+    out.costart_fraction = static_cast<double>(r.groups.groups_started_together) /
+                           static_cast<double>(r.groups.groups_total);
   return out;
 }
 

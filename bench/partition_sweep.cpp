@@ -153,10 +153,10 @@ RunOutcome run_one(const SweepCase& c, std::uint64_t seed) {
     out.stale_fence_rejections +=
         static_cast<double>(cl.stale_fence_rejections());
   }
-  if (r.pairs.groups_total > 0)
+  if (r.groups.groups_total > 0)
     out.costart_fraction =
-        static_cast<double>(r.pairs.groups_started_together) /
-        static_cast<double>(r.pairs.groups_total);
+        static_cast<double>(r.groups.groups_started_together) /
+        static_cast<double>(r.groups.groups_total);
   if (c.shape != Shape::kNone) {
     Time first_unsync = kNoTime;
     for (const JobEvent& e : log.events()) {

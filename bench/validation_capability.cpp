@@ -59,25 +59,25 @@ int main() {
   int failures = 0;
   for (const GridCase& c : cases) {
     const bool ok = !c.stalled &&
-                    c.metrics.pairs.groups_started_together ==
-                        c.metrics.pairs.groups_total &&
-                    c.metrics.pairs.max_start_skew == 0;
+                    c.metrics.groups.groups_started_together ==
+                        c.metrics.groups.groups_total &&
+                    c.metrics.groups.max_start_skew == 0;
     if (!ok) ++failures;
     grid.add_row({c.label(),
                   format_count(static_cast<long long>(
-                      c.metrics.pairs.groups_total)),
+                      c.metrics.groups.groups_total)),
                   format_count(static_cast<long long>(
-                      c.metrics.pairs.groups_started_together)),
-                  std::to_string(c.metrics.pairs.max_start_skew),
+                      c.metrics.groups.groups_started_together)),
+                  std::to_string(c.metrics.groups.max_start_skew),
                   c.stalled ? "YES" : "no", ok ? "PASS" : "FAIL"});
     json.add_case(
         c.label(), c.metrics.wall_seconds, c.metrics.events,
         {{"pairs_total",
-          static_cast<double>(c.metrics.pairs.groups_total), 0.0},
+          static_cast<double>(c.metrics.groups.groups_total), 0.0},
          {"pairs_started_together",
-          static_cast<double>(c.metrics.pairs.groups_started_together), 0.0},
+          static_cast<double>(c.metrics.groups.groups_started_together), 0.0},
          {"max_start_skew_s",
-          static_cast<double>(c.metrics.pairs.max_start_skew), 0.0},
+          static_cast<double>(c.metrics.groups.max_start_skew), 0.0},
          {"stalled", c.stalled ? 1.0 : 0.0, 0.0},
          {"pass", ok ? 1.0 : 0.0, 0.0}});
   }

@@ -104,9 +104,9 @@ int main(int argc, char** argv) {
     t.print(std::cout);
     std::cout << "simulated " << format_double(to_hours(r.end_time) / 24, 1)
               << " days; " << (r.completed ? "all jobs finished" : "STALLED")
-              << "; coupled groups: " << r.pairs.groups_started_together
-              << "/" << r.pairs.groups_total << " co-started (max skew "
-              << r.pairs.max_start_skew << " s)\n";
+              << "; coupled groups: " << r.groups.groups_started_together
+              << "/" << r.groups.groups_total << " co-started (max skew "
+              << r.groups.max_start_skew << " s)\n";
 
     if (!log_path.empty()) {
       std::ofstream out(log_path);

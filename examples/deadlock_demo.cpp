@@ -63,7 +63,7 @@ void run_variant(bool with_release) {
               << " B=" << sim.cluster(1).forced_releases() << "\n";
   } else {
     std::cout << "DEADLOCK: simulation drained with "
-              << r.pairs.groups_unstarted
+              << r.groups.groups_unstarted
               << " coupled groups never started; queues frozen forever.\n";
   }
   std::cout << "\n";

@@ -115,10 +115,10 @@ int main() {
   }
   t.print(std::cout);
   std::cout << "\nRun " << (r.completed ? "completed" : "FAILED") << "; "
-            << r.pairs.groups_started_together << "/" << r.pairs.groups_total
+            << r.groups.groups_started_together << "/" << r.groups.groups_total
             << " coupled groups started simultaneously.\n";
   return r.completed &&
-                 r.pairs.groups_started_together == r.pairs.groups_total
+                 r.groups.groups_started_together == r.groups.groups_total
              ? 0
              : 1;
 }

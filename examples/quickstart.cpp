@@ -69,8 +69,8 @@ int main() {
   show(1, 2);
   show(0, 3);
   std::cout << "Associated pair started together: "
-            << (result.pairs.groups_started_together == 1 ? "yes" : "NO")
-            << " (skew " << result.pairs.max_start_skew << " s)\n";
+            << (result.groups.groups_started_together == 1 ? "yes" : "NO")
+            << " (skew " << result.groups.max_start_skew << " s)\n";
   std::cout << "Node-hours spent holding on compute: "
             << sim.cluster(0).scheduler().pool().held_node_seconds() / kHour
             << "\n";

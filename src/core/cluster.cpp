@@ -7,6 +7,7 @@
 #include "proto/message.h"
 #include "util/error.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace cosched {
 
@@ -163,6 +164,9 @@ void Cluster::kill_job(JobId id) {
     journal_->append(JournalRecordKind::kKill, w.bytes());
   }
   leases_.erase(id);
+  gang_prepared_.erase(id);
+  gang_backoff_until_.erase(id);
+  gang_attempts_.erase(id);
   if (const RuntimeJob* killed = sched_.find(id))
     log_event(JobEventKind::kFinish, *killed);
   request_iteration();
@@ -301,13 +305,17 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
   // Lines 33-36: coscheduling disabled, or a regular job: start normally.
   if (!cfg_.enabled || !job.spec.is_paired()) return RunDecision::kStart;
 
+  // A gang job inside its re-prepare backoff window yields without touching
+  // peers (jittered backoff after an aborted round or a victim order).
+  if (gang_on()) {
+    const auto bo = gang_backoff_until_.find(job.spec.id);
+    if (bo != gang_backoff_until_.end() && engine_.now() < bo->second)
+      return scheme_decision(job, try_context, Scheme::kYield);
+  }
+
   // Line 2: locate the mate on each peer.  A peer that is down, or has no
   // member of this group, does not constrain the job (lines 30-31).
-  struct MateRef {
-    PeerClient* peer;
-    std::int32_t peer_index;
-    JobId id;
-  };
+  using MateRef = GangMate;
   bool transport_fault = false;
   std::int32_t suspect_peer = -1;  // a suspected peer we could not consult
   std::vector<MateRef> mates;
@@ -349,6 +357,7 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
 
   // Lines 4-27: classify each mate.
   std::vector<MateRef> holding, not_ready, suspected;
+  std::int32_t unsubmitted_peer = -1;
   for (const MateRef& m : mates) {
     const auto status_reply = m.peer->get_mate_status(m.id);
     MateStatus status;
@@ -376,8 +385,11 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
       case MateStatus::kStarting:
         break;  // committed by its own Run_Job; it will start with us
       case MateStatus::kQueuing:
+        not_ready.push_back(m);
+        break;
       case MateStatus::kUnsubmitted:
         not_ready.push_back(m);
+        if (unsubmitted_peer < 0) unsubmitted_peer = m.peer_index;
         break;
       case MateStatus::kSuspected:
         suspected.push_back(m);
@@ -389,6 +401,35 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
         // rather than wait forever.
         break;
     }
+  }
+
+  // -- k-of-N two-phase gang costart (>= 3 domains, gang.two_phase on) -----
+  // The recursive tryStartMate chain commits one member at a time; a crash
+  // or partition mid-chain strands a partial gang.  The two-phase path first
+  // places *every* member into a fenced leased hold (prepare), then starts
+  // them all (commit) — any failure aborts the round and releases every
+  // prepared hold.  Two-domain groups keep the paper's Algorithm-1 chain.
+  if (gang_on() && !try_context && mates.size() >= 2) {
+    if (!suspected.empty() || suspect_peer >= 0) {
+      blocking_peer_ =
+          !suspected.empty() ? suspected.front().peer_index : suspect_peer;
+      return scheme_decision(job, try_context);
+    }
+    if (unsubmitted_peer >= 0) {
+      // A member is not in its queue yet; there is nothing to prepare.
+      blocking_peer_ = unsubmitted_peer;
+      return scheme_decision(job, try_context);
+    }
+    std::vector<MateRef> members = holding;
+    members.insert(members.end(), not_ready.begin(), not_ready.end());
+    std::sort(members.begin(), members.end(),
+              [](const MateRef& a, const MateRef& b) {
+                return a.peer_index < b.peer_index;
+              });
+    const RunDecision d = gang_costart(job, members, transport_fault);
+    if (d == RunDecision::kStart && transport_fault)
+      unsync_pending_.insert(job.spec.id);
+    return d;
   }
 
   if (!not_ready.empty()) {
@@ -436,15 +477,18 @@ RunDecision Cluster::run_job_decision(RuntimeJob& job, bool try_context) {
   return RunDecision::kStart;
 }
 
-RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
+RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context,
+                                     std::optional<Scheme> force) {
   // Under a remote tryStartMate the job must start or decline; holding or
   // yielding inside someone else's iteration would corrupt their queue pass.
   if (try_context) return RunDecision::kSkip;
 
-  Scheme scheme = cfg_.scheme;
+  Scheme scheme = force.value_or(cfg_.scheme);
 
-  // §IV-E2: a job that yielded too many times escalates to hold.
-  if (scheme == Scheme::kYield && cfg_.max_yield_before_hold > 0 &&
+  // §IV-E2: a job that yielded too many times escalates to hold.  The
+  // escalation never applies to a forced yield (gang backoff): escalating
+  // a backoff into a hold would recreate the deadlock being resolved.
+  if (!force && scheme == Scheme::kYield && cfg_.max_yield_before_hold > 0 &&
       job.yield_count >= cfg_.max_yield_before_hold)
     scheme = Scheme::kHold;
 
@@ -486,6 +530,281 @@ RunDecision Cluster::scheme_decision(RuntimeJob& job, bool try_context) {
   return RunDecision::kYield;
 }
 
+// -- k-of-N gang costart (two-phase, fenced) ----------------------------------
+
+Duration Cluster::gang_backoff(JobId job, std::uint32_t attempt) const {
+  const Duration base = std::max<Duration>(1, cfg_.gang.backoff_base);
+  const std::uint32_t exp =
+      std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 6);
+  Duration d = base << exp;
+  // Jitter is a pure function of (seed, job, attempt): deterministic across
+  // runs and replays, yet decorrelated between the gangs of a wait cycle so
+  // they do not re-prepare in lockstep forever.
+  SplitMix64 mix(cfg_.gang.seed ^
+                 (static_cast<std::uint64_t>(job) * 0x9e3779b97f4a7c15ULL) ^
+                 attempt);
+  d += static_cast<Duration>(mix.next() % static_cast<std::uint64_t>(base));
+  if (cfg_.gang.backoff_cap > 0 && d > cfg_.gang.backoff_cap)
+    d = cfg_.gang.backoff_cap;
+  return d;
+}
+
+RunDecision Cluster::gang_hold_hook(RuntimeJob& job) {
+  if (ready_logged_.insert(job.spec.id).second) {
+    log_event(JobEventKind::kReady, job);
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(job.spec.id);
+      w.put_i64(job.first_ready);
+      journal_->append(JournalRecordKind::kReady, w.bytes());
+    }
+  }
+  schedule_hold_release(job.spec.id);
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job.spec.id);
+    w.put_i64(engine_.now());
+    w.put_i64(job.first_ready);
+    w.put_i64(job.allocated);
+    journal_->append(JournalRecordKind::kHold, w.bytes());
+  }
+  log_event(JobEventKind::kHold, job);
+  // The prepared hold's lease has no renewal source (peer = -1): unless a
+  // commit lands, it expires after lease_duration and the fencing epoch
+  // advances — a partitioned coordinator can neither keep these nodes past
+  // the lease nor commit with its stale token once the partition heals.
+  if (liveness_on()) grant_lease(job.spec.id, /*peer=*/-1);
+  return RunDecision::kHold;
+}
+
+RunDecision Cluster::gang_costart(RuntimeJob& job,
+                                  const std::vector<GangMate>& members,
+                                  bool& transport_fault) {
+  const GroupId group = job.spec.group;
+
+  // Phase 1 — prepare: place every member into a fenced leased hold.
+  std::vector<GangMate> prepared;
+  std::int32_t failed_peer = -1;
+  for (const GangMate& m : members) {
+    const auto ok = m.peer->gang_prepare(m.id, group);
+    if (!ok) {
+      transport_fault = true;
+      ++unknown_status_decisions_;
+    }
+    if (!ok || !*ok) {
+      failed_peer = m.peer_index;
+      break;
+    }
+    prepared.push_back(m);
+  }
+
+  if (failed_peer >= 0) {
+    // Abort: release every hold this round placed, then back off before
+    // re-preparing so the gangs of a wait cycle do not livelock
+    // re-acquiring each other's nodes.
+    for (const GangMate& m : prepared) {
+      const auto released = m.peer->gang_abort(m.id, group);
+      if (!released) {
+        // The member keeps its prepared hold, but its self-expiring lease
+        // returns the nodes at expiry — the fencing guarantee.
+        transport_fault = true;
+        ++unknown_status_decisions_;
+      }
+    }
+    const auto ait = gang_attempts_.find(job.spec.id);
+    const std::uint32_t attempt =
+        (ait == gang_attempts_.end() ? 0u : ait->second) + 1;
+    const Time until = engine_.now() + gang_backoff(job.spec.id, attempt);
+    if (journaling()) {
+      WireWriter w;
+      w.put_i64(job.spec.id);
+      w.put_i64(group);
+      w.put_i64(engine_.now());
+      w.put_bool(true);  // coordinator-side round abort
+      w.put_u64(attempt);
+      w.put_i64(until);
+      journal_->append(JournalRecordKind::kGangAbort, w.bytes());
+    }
+    gang_attempts_[job.spec.id] = attempt;
+    gang_backoff_until_[job.spec.id] = until;
+    ++gangs_aborted_;
+    if (transport_fault) fault_seen_.insert(job.spec.id);
+    blocking_peer_ = failed_peer;
+    return scheme_decision(job, /*try_context=*/false, Scheme::kYield);
+  }
+
+  // Phase 2 — commit: start every prepared member, then the local job.  A
+  // lost commit cannot strand its member: the prepared hold's lease
+  // expires, the member requeues, and its own Run_Job sees the rest of the
+  // gang running and starts it (§IV-C unknown rule) — eventual completion.
+  for (const GangMate& m : prepared) {
+    const auto started = m.peer->gang_commit(m.id, group);
+    if (!started) {
+      transport_fault = true;
+      ++unknown_status_decisions_;
+    } else if (!*started) {
+      COSCHED_LOG(kDebug) << name_ << ": gang member " << m.id
+                          << " was no longer prepared at commit";
+    }
+  }
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job.spec.id);
+    w.put_i64(group);
+    w.put_i64(engine_.now());
+    w.put_bool(true);  // coordinator-side commit
+    w.put_u64(0);
+    w.put_i64(kNoTime);
+    journal_->append(JournalRecordKind::kGangCommit, w.bytes());
+  }
+  gang_started_.insert(job.spec.id);
+  ++gangs_committed_;
+  return RunDecision::kStart;
+}
+
+bool Cluster::gang_prepare(JobId job, GroupId group) {
+  pending_stale_fence_ = kNoJob;
+  if (!cfg_.enabled) return false;
+  const RuntimeJob* j = sched_.find(job);
+  if (j == nullptr) return false;
+  if (j->state == JobState::kHolding) {
+    // Idempotent re-prepare (coordinator retry after a lost reply, or the
+    // member already held under its own scheme): refresh the self-expiring
+    // lease so the hold is fenced, and report success.
+    if (gang_prepared_.insert(job).second) {
+      if (journaling()) {
+        WireWriter w;
+        w.put_i64(job);
+        w.put_i64(group);
+        w.put_i64(engine_.now());
+        journal_->append(JournalRecordKind::kGangPrepare, w.bytes());
+      }
+      ++gangs_prepared_;
+    }
+    if (liveness_on()) grant_lease(job, /*peer=*/-1);
+    journal_commit();
+    return true;
+  }
+  if (j->state != JobState::kQueued) return false;
+  sched_.try_start_specific(job, engine_.now(), [this](RuntimeJob& jj) {
+    return gang_hold_hook(jj);
+  });
+  const RuntimeJob* after = sched_.find(job);
+  if (after == nullptr || after->state != JobState::kHolding) {
+    // Not enough free nodes (or not eligible yet): the coordinator aborts
+    // the round and backs off.
+    journal_commit();
+    return false;
+  }
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(group);
+    w.put_i64(engine_.now());
+    journal_->append(JournalRecordKind::kGangPrepare, w.bytes());
+  }
+  gang_prepared_.insert(job);
+  ++gangs_prepared_;
+  journal_commit();
+  return true;
+}
+
+bool Cluster::gang_commit(JobId job, GroupId group) {
+  // Tripwire parity with start_job: the dispatcher must not reach a gang
+  // start after admit_fence() said "stale".
+  if (job == pending_stale_fence_) ++stale_fence_starts_;
+  pending_stale_fence_ = kNoJob;
+  const RuntimeJob* j = sched_.find(job);
+  if (j == nullptr || j->state != JobState::kHolding) return false;
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(group);
+    w.put_i64(engine_.now());
+    w.put_bool(false);  // member-side commit
+    w.put_u64(0);
+    w.put_i64(kNoTime);
+    journal_->append(JournalRecordKind::kGangCommit, w.bytes());
+  }
+  gang_prepared_.erase(job);
+  gang_started_.insert(job);
+  starting_from_hold_ = true;
+  sched_.start_holding(job, engine_.now());
+  starting_from_hold_ = false;
+  journal_commit();
+  return true;
+}
+
+bool Cluster::gang_abort(JobId job, GroupId group) {
+  pending_stale_fence_ = kNoJob;
+  if (gang_prepared_.count(job) == 0) return false;
+  const Time now = engine_.now();
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(group);
+    w.put_i64(now);
+    w.put_bool(false);  // member-side hold release
+    w.put_u64(0);
+    w.put_i64(kNoTime);
+    journal_->append(JournalRecordKind::kGangAbort, w.bytes());
+    if (liveness_on() && leases_.count(job) > 0) {
+      // Abort advances the fencing epoch just like a lease expiry: any
+      // in-flight commit stamped under the prepared epoch is now stale.
+      WireWriter f;
+      f.put_u64(static_cast<std::uint64_t>(fence_counter_) + 1);
+      journal_->append(JournalRecordKind::kLeaseFence, f.bytes());
+    }
+  }
+  gang_prepared_.erase(job);
+  if (liveness_on() && leases_.erase(job) > 0) ++fence_counter_;
+  const RuntimeJob* j = sched_.find(job);
+  if (j != nullptr && j->state == JobState::kHolding) {
+    sched_.release_hold(job, now);
+    if (const RuntimeJob* released = sched_.find(job))
+      log_event(JobEventKind::kHoldRelease, *released);
+    request_iteration();
+  }
+  journal_commit();
+  return true;
+}
+
+bool Cluster::gang_victim(JobId job, GroupId group) {
+  pending_stale_fence_ = kNoJob;
+  const RuntimeJob* j = sched_.find(job);
+  if (j == nullptr || j->state != JobState::kHolding) return false;
+  const Time now = engine_.now();
+  const auto ait = gang_attempts_.find(job);
+  const std::uint32_t attempt =
+      (ait == gang_attempts_.end() ? 0u : ait->second) + 1;
+  const Time until = now + gang_backoff(job, attempt);
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(group);
+    w.put_i64(now);
+    w.put_u64(attempt);
+    w.put_i64(until);
+    journal_->append(JournalRecordKind::kGangVictim, w.bytes());
+    if (liveness_on() && leases_.count(job) > 0) {
+      WireWriter f;
+      f.put_u64(static_cast<std::uint64_t>(fence_counter_) + 1);
+      journal_->append(JournalRecordKind::kLeaseFence, f.bytes());
+    }
+  }
+  gang_attempts_[job] = attempt;
+  gang_backoff_until_[job] = until;
+  gang_prepared_.erase(job);
+  ++gangs_victimized_;
+  if (liveness_on() && leases_.erase(job) > 0) ++fence_counter_;
+  sched_.release_hold(job, now);
+  if (const RuntimeJob* released = sched_.find(job))
+    log_event(JobEventKind::kHoldRelease, *released);
+  request_iteration();
+  journal_commit();
+  return true;
+}
+
 // -- events -------------------------------------------------------------------
 
 void Cluster::on_job_started(const RuntimeJob& job) {
@@ -493,6 +812,12 @@ void Cluster::on_job_started(const RuntimeJob& job) {
   const bool was_unsync = unsync_pending_.erase(id) > 0;
   if (was_unsync) ++unsync_starts_;
   fault_seen_.erase(id);
+  // A start retires the job's gang bookkeeping (gang_started_ is permanent:
+  // it witnesses the atomicity invariant).  Before the replay check so a
+  // replayed kStart clears exactly what the live start cleared.
+  gang_prepared_.erase(id);
+  gang_backoff_until_.erase(id);
+  gang_attempts_.erase(id);
   // During journal replay the start came from a kStart record: the degraded
   // bookkeeping above still applies (driven by replayed kDegraded state),
   // but events, records, and timers are reconstructed elsewhere.
@@ -958,6 +1283,26 @@ void Cluster::write_snapshot(WireWriter& w) const {
     w.put_bool(ps.ever_heard);
   }
 
+  // -- gang costart layer (all containers are ordered) -------------------
+  w.put_u64(gangs_prepared_);
+  w.put_u64(gangs_committed_);
+  w.put_u64(gangs_aborted_);
+  w.put_u64(gangs_victimized_);
+  w.put_u64(gang_prepared_.size());
+  for (JobId id : gang_prepared_) w.put_i64(id);
+  w.put_u64(gang_started_.size());
+  for (JobId id : gang_started_) w.put_i64(id);
+  w.put_u64(gang_backoff_until_.size());
+  for (const auto& [id, until] : gang_backoff_until_) {
+    w.put_i64(id);
+    w.put_i64(until);
+  }
+  w.put_u64(gang_attempts_.size());
+  for (const auto& [id, attempt] : gang_attempts_) {
+    w.put_i64(id);
+    w.put_u64(attempt);
+  }
+
   sched_.snapshot(w);
 }
 
@@ -1031,6 +1376,23 @@ void Cluster::apply_snapshot(WireReader& r) {
     ps.ever_heard = r.get_bool();
   }
 
+  gangs_prepared_ = r.get_u64();
+  gangs_committed_ = r.get_u64();
+  gangs_aborted_ = r.get_u64();
+  gangs_victimized_ = r.get_u64();
+  for (std::uint64_t n = r.get_u64(); n > 0; --n)
+    gang_prepared_.insert(r.get_i64());
+  for (std::uint64_t n = r.get_u64(); n > 0; --n)
+    gang_started_.insert(r.get_i64());
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const JobId id = r.get_i64();
+    gang_backoff_until_[id] = r.get_i64();
+  }
+  for (std::uint64_t n = r.get_u64(); n > 0; --n) {
+    const JobId id = r.get_i64();
+    gang_attempts_[id] = static_cast<std::uint32_t>(r.get_u64());
+  }
+
   sched_.restore(r);
 }
 
@@ -1088,6 +1450,15 @@ void Cluster::wipe_for_recovery() {
   stale_fence_starts_ = 0;
   suspected_status_decisions_ = 0;
   blocking_peer_ = -1;
+
+  gang_prepared_.clear();
+  gang_started_.clear();
+  gang_backoff_until_.clear();
+  gang_attempts_.clear();
+  gangs_prepared_ = 0;
+  gangs_committed_ = 0;
+  gangs_aborted_ = 0;
+  gangs_victimized_ = 0;
 }
 
 void Cluster::restore_snapshot(WireReader& r) {
@@ -1288,6 +1659,59 @@ void Cluster::apply_record(const JournalRecord& rec) {
       break;
     case JournalRecordKind::kDedup:
       break;  // owned by the RPC layer, not scheduler state
+    case JournalRecordKind::kGangPrepare: {
+      const JobId id = r.get_i64();
+      gang_prepared_.insert(id);
+      ++gangs_prepared_;
+      break;
+    }
+    case JournalRecordKind::kGangCommit: {
+      const JobId id = r.get_i64();
+      r.get_i64();  // group
+      r.get_i64();  // time
+      const bool coordinator = r.get_bool();
+      gang_prepared_.erase(id);
+      gang_started_.insert(id);
+      if (coordinator) ++gangs_committed_;
+      // The start itself replays from the kStart record that follows.
+      break;
+    }
+    case JournalRecordKind::kGangAbort: {
+      const JobId id = r.get_i64();
+      r.get_i64();  // group
+      const Time t = r.get_i64();
+      const bool coordinator = r.get_bool();
+      const auto attempt = static_cast<std::uint32_t>(r.get_u64());
+      const Time until = r.get_i64();
+      if (coordinator) {
+        gang_attempts_[id] = attempt;
+        gang_backoff_until_[id] = until;
+        ++gangs_aborted_;
+      } else {
+        gang_prepared_.erase(id);
+        leases_.erase(id);
+        const RuntimeJob* j = sched_.find(id);
+        if (j != nullptr && j->state == JobState::kHolding)
+          sched_.release_hold(id, t);
+      }
+      break;
+    }
+    case JournalRecordKind::kGangVictim: {
+      const JobId id = r.get_i64();
+      r.get_i64();  // group
+      const Time t = r.get_i64();
+      const auto attempt = static_cast<std::uint32_t>(r.get_u64());
+      const Time until = r.get_i64();
+      gang_attempts_[id] = attempt;
+      gang_backoff_until_[id] = until;
+      gang_prepared_.erase(id);
+      ++gangs_victimized_;
+      leases_.erase(id);
+      const RuntimeJob* j = sched_.find(id);
+      if (j != nullptr && j->state == JobState::kHolding)
+        sched_.release_hold(id, t);
+      break;
+    }
   }
 }
 

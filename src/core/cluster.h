@@ -77,6 +77,12 @@ class Cluster final : public CoschedService {
   std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& from) override;
   bool admit_fence(JobId job, std::uint64_t fence) override;
 
+  // -- CoschedService (k-of-N gang costart, two-phase fenced) ------------
+  bool gang_prepare(JobId job, GroupId group) override;
+  bool gang_commit(JobId job, GroupId group) override;
+  bool gang_abort(JobId job, GroupId group) override;
+  bool gang_victim(JobId job, GroupId group) override;
+
   // -- accessors ---------------------------------------------------------
   Scheduler& scheduler() { return sched_; }
   const Scheduler& scheduler() const { return sched_; }
@@ -151,6 +157,21 @@ class Cluster final : public CoschedService {
   /// their job still holds nodes — the lease-expiry-respected invariant.
   std::uint64_t lease_expiry_violations(Time now) const;
 
+  // -- gang costart layer (two-phase k-of-N starts) ----------------------
+  /// Members this domain placed into a fenced prepared hold.
+  std::uint64_t gangs_prepared() const { return gangs_prepared_; }
+  /// Coordinator-side: gang rounds that committed (one per gang start).
+  std::uint64_t gangs_committed() const { return gangs_committed_; }
+  /// Coordinator-side: prepare rounds aborted (holds released, backoff).
+  std::uint64_t gangs_aborted() const { return gangs_aborted_; }
+  /// Victim-side: holds force-yielded by a deadlock-resolution order.
+  std::uint64_t gangs_victimized() const { return gangs_victimized_; }
+  /// Jobs on this domain that started through a gang commit — the basis of
+  /// the gang-atomicity invariant (a committed gang must fully start).
+  const std::set<JobId>& gang_started_jobs() const { return gang_started_; }
+  /// Jobs currently sitting in a prepared (fenced, leased) hold.
+  const std::set<JobId>& gang_prepared_jobs() const { return gang_prepared_; }
+
   /// Attaches a lifecycle event log (not owned; may be shared across
   /// domains).  Pass nullptr to detach.  The cluster records into the shard
   /// matching its engine source, so domains on different lanes never touch
@@ -216,8 +237,31 @@ class Cluster final : public CoschedService {
   /// either start or decline without side effects (no hold/yield).
   RunDecision run_job_decision(RuntimeJob& job, bool try_context);
 
-  /// Applies the local scheme + enhancement thresholds (§IV-E2).
-  RunDecision scheme_decision(RuntimeJob& job, bool try_context);
+  /// Applies the local scheme + enhancement thresholds (§IV-E2).  `force`
+  /// overrides the configured scheme (gang paths yield while backing off
+  /// regardless of the hold/yield setting); enhancement thresholds only
+  /// apply to the configured scheme.
+  RunDecision scheme_decision(RuntimeJob& job, bool try_context,
+                              std::optional<Scheme> force = std::nullopt);
+
+  // -- gang costart internals --------------------------------------------
+  bool gang_on() const { return cfg_.enabled && cfg_.gang.two_phase; }
+  /// One remote member of a gang, as seen by the coordinator.
+  struct GangMate {
+    PeerClient* peer = nullptr;
+    std::int32_t peer_index = -1;
+    JobId id = kNoJob;
+  };
+  /// Coordinator side of the two-phase costart: prepare every member, then
+  /// commit all (kStart) or abort every prepared hold and back off (kYield).
+  RunDecision gang_costart(RuntimeJob& job,
+                           const std::vector<GangMate>& members,
+                           bool& transport_fault);
+  /// Run_Job hook that places the member into a fenced leased hold
+  /// (journals kHold, arms the breaker, grants a self-expiring lease).
+  RunDecision gang_hold_hook(RuntimeJob& job);
+  /// Deterministic jittered exponential backoff for re-prepare attempts.
+  Duration gang_backoff(JobId job, std::uint32_t attempt) const;
 
   void track_dependency(const JobSpec& spec);
   void do_submit(const JobSpec& spec);
@@ -323,6 +367,20 @@ class Cluster final : public CoschedService {
   /// Peer index that blocked the most recent scheme_decision (-1 = none);
   /// the lease grant records it as the renewal source.
   std::int32_t blocking_peer_ = -1;
+
+  // -- gang costart layer ---------------------------------------------------
+  /// Members currently in a prepared hold (ordered: snapshots are canonical).
+  std::set<JobId> gang_prepared_;
+  /// Jobs started via a gang commit (never shrinks; atomicity witness).
+  std::set<JobId> gang_started_;
+  /// Re-prepare backoff deadline per local gang job (coordinator/victim).
+  std::map<JobId, Time> gang_backoff_until_;
+  /// Abort/victim attempt count per job, feeding the backoff exponent.
+  std::map<JobId, std::uint32_t> gang_attempts_;
+  std::uint64_t gangs_prepared_ = 0;
+  std::uint64_t gangs_committed_ = 0;
+  std::uint64_t gangs_aborted_ = 0;
+  std::uint64_t gangs_victimized_ = 0;
 
   // -- crash-consistent persistence ---------------------------------------
   Journal* journal_ = nullptr;   ///< not owned

@@ -82,6 +82,27 @@ struct CoschedConfig {
   };
 
   Liveness liveness;
+
+  /// k-of-N gang costart (two-phase, fenced).  Applies to groups spanning
+  /// >= 3 domains; two-domain groups keep the paper's Algorithm-1 chain.
+  struct Gang {
+    /// Master switch.  Off by default: legacy behaviour (and the pinned
+    /// determinism fingerprints encoding it) is preserved unless a
+    /// deployment opts in.
+    bool two_phase = false;
+
+    /// Jittered backoff after an aborted or victimized prepare round: the
+    /// coordinator waits base * 2^min(attempt, 6) plus a deterministic
+    /// jitter in [0, base) before re-preparing, capped at `backoff_cap`.
+    Duration backoff_base = 1 * kMinute;
+    Duration backoff_cap = 30 * kMinute;
+
+    /// Seed for the deterministic backoff jitter stream (mixed with the
+    /// job id and attempt count, so streams are per-job stable).
+    std::uint64_t seed = 0x9a4657ULL;
+  };
+
+  Gang gang;
 };
 
 /// Named scheme combination for bench tables: HH, HY, YH, YY.

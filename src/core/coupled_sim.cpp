@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
+#include "core/deadlock.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -85,6 +87,66 @@ void CoupledSim::set_liveness_all(const CoschedConfig::Liveness& liveness) {
     CoschedConfig cfg = c->config();
     cfg.liveness = liveness;
     c->set_config(cfg);
+  }
+}
+
+void CoupledSim::set_gang_all(const CoschedConfig::Gang& gang) {
+  for (auto& c : clusters_) {
+    CoschedConfig cfg = c->config();
+    cfg.gang = gang;
+    c->set_config(cfg);
+  }
+}
+
+void CoupledSim::enable_gang_resolution(Duration scan_period) {
+  COSCHED_CHECK(scan_period > 0);
+  if (gang_scan_period_ > 0) return;
+  gang_scan_period_ = scan_period;
+  engine_.schedule_at(engine_.now() + scan_period, EventPriority::kMessage,
+                      [this] { gang_resolution_body(); });
+}
+
+void CoupledSim::gang_resolution_body() {
+  // Stop rescheduling once every job finished — otherwise the scan would
+  // keep the event queue alive forever and the drain never happens.
+  bool active = false;
+  for (const auto& c : clusters_) {
+    const Scheduler& s = c->scheduler();
+    if (s.queue_length() > 0 || s.holding_count() > 0 || s.running_count() > 0)
+      active = true;
+  }
+  if (active) {
+    std::vector<const Cluster*> view;
+    view.reserve(clusters_.size());
+    for (const auto& c : clusters_) view.push_back(c.get());
+    const WaitCycle cycle = find_hold_wait_cycle(view);
+    if (!cycle.empty()) {
+      const WaitEdge victim = choose_victim(cycle, [&](const WaitEdge& e) {
+        const RuntimeJob* j = clusters_[e.from]->scheduler().find(e.holding_job);
+        return j != nullptr ? j->spec.submit : kNoTime;
+      });
+      // The domain blocked *on* the victim issues the yield order over its
+      // own mesh link, so the command crosses the fault plane and the fence
+      // gate like any other side-effecting call.  A lost order is simply
+      // retried at the next scan (the cycle persists until acted on).
+      std::size_t waiter = victim.to;
+      for (const WaitEdge& e : cycle.edges)
+        if (e.to == victim.from) waiter = e.from;
+      const RuntimeJob* vj =
+          clusters_[victim.from]->scheduler().find(victim.holding_job);
+      if (vj != nullptr && waiter != victim.from &&
+          links_[waiter][victim.from] != nullptr) {
+        COSCHED_LOG(kInfo) << "gang resolution: cycle of length "
+                           << cycle.length() << ", victim job "
+                           << victim.holding_job << " on "
+                           << clusters_[victim.from]->name();
+        (void)links_[waiter][victim.from]->gang_victim(victim.holding_job,
+                                                       vj->spec.group);
+      }
+    }
+    engine_.schedule_at(engine_.now() + gang_scan_period_,
+                        EventPriority::kMessage,
+                        [this] { gang_resolution_body(); });
   }
 }
 
@@ -244,6 +306,21 @@ SimResult CoupledSim::run(Time max_time) {
   bool aborted = false;
   try {
     if (parallel_threads_ > 0) {
+      // Derive the conservative-window lookahead from the fault plane: no
+      // cross-cluster message can arrive sooner than the minimum configured
+      // network latency, so windows of that width are safe.  Only kicks in
+      // when the caller left the engine at its unbounded default.
+      if (engine_.lookahead() == kNoTime) {
+        Duration min_latency = 0;
+        for (const auto& row : links_) {
+          for (const auto& l : row) {
+            if (!l || l->plan().latency_base <= 0) continue;
+            if (min_latency == 0 || l->plan().latency_base < min_latency)
+              min_latency = l->plan().latency_base;
+          }
+        }
+        if (min_latency > 0) engine_.set_lookahead(min_latency);
+      }
       engine_.run_parallel(parallel_threads_,
                            max_time > 0 ? max_time : Engine::kTimeMax);
       if (max_time > 0 && engine_.pending() > 0) {
@@ -296,20 +373,26 @@ SimResult CoupledSim::run(Time max_time) {
   }
   result.completed = all_finished;
   result.deadlocked = !all_finished;
+  for (const auto& cluster : clusters_) {
+    result.gangs_prepared += cluster->gangs_prepared();
+    result.gangs_committed += cluster->gangs_committed();
+    result.gangs_aborted += cluster->gangs_aborted();
+    result.gangs_resolved_by_victim += cluster->gangs_victimized();
+  }
   check_invariants(result, aborted);
 
   for (const auto& [group, starts] : group_starts) {
-    (void)group;
-    ++result.pairs.groups_total;
+    ++result.groups.groups_total;
     if (std::any_of(starts.begin(), starts.end(),
                     [](Time t) { return t == kNoTime; })) {
-      ++result.pairs.groups_unstarted;
+      ++result.groups.groups_unstarted;
       continue;
     }
     const auto [lo, hi] = std::minmax_element(starts.begin(), starts.end());
     const Duration skew = *hi - *lo;
-    result.pairs.max_start_skew = std::max(result.pairs.max_start_skew, skew);
-    if (skew == 0) ++result.pairs.groups_started_together;
+    result.groups.skew_by_group[group] = skew;
+    result.groups.max_start_skew = std::max(result.groups.max_start_skew, skew);
+    if (skew == 0) ++result.groups.groups_started_together;
   }
   return result;
 }
@@ -361,6 +444,31 @@ void CoupledSim::check_invariants(SimResult& result, bool aborted) const {
       violate(cluster->name() + ": " +
               std::to_string(cluster->stale_fence_starts()) +
               " start(s) executed under a stale fencing token");
+    }
+  }
+
+  // k-of-N gang atomicity: once any member of a group starts through a gang
+  // commit, every member must eventually start.  Checked only at a
+  // non-aborted drain — an aborted run may legitimately stop mid-gang, and
+  // a member whose commit was lost re-enters the queue once its prepare
+  // lease expires, so by drain time it either started or the gang leaked.
+  if (!aborted) {
+    std::map<GroupId, std::pair<bool, bool>> gangs;  // {committed, unstarted}
+    for (const auto& cluster : clusters_) {
+      const auto& committed = cluster->gang_started_jobs();
+      cluster->scheduler().for_each_job([&](JobId id, const RuntimeJob& job) {
+        if (!job.spec.is_paired()) return;
+        auto& flags = gangs[job.spec.group];
+        if (committed.count(id) > 0) flags.first = true;
+        if (job.start == kNoTime) flags.second = true;
+      });
+    }
+    for (const auto& [group, flags] : gangs) {
+      if (flags.first && flags.second) {
+        ++result.invariants.gang_atomicity_violations;
+        violate("group " + std::to_string(group) +
+                " committed a gang start but left a member unstarted");
+      }
     }
   }
 

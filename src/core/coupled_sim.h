@@ -6,6 +6,7 @@
 // metrics plus pair-start consistency checks.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,8 +40,10 @@ struct DomainSpec {
   int coupling_group = 0;
 };
 
-/// Pair/group start synchronization outcome (the §V-B capability check).
-struct PairStartStats {
+/// Group start synchronization outcome (the §V-B capability check).  Groups
+/// span 2..N domains; "gang" refers to groups of three or more members
+/// driven by the two-phase costart protocol.
+struct GroupStartStats {
   std::size_t groups_total = 0;
   /// Groups in which every member started at the identical instant.
   std::size_t groups_started_together = 0;
@@ -48,6 +51,8 @@ struct PairStartStats {
   std::size_t groups_unstarted = 0;
   /// Largest start-time skew among fully started groups (0 = perfect).
   Duration max_start_skew = 0;
+  /// Start-time skew of each fully started group (max start - min start).
+  std::map<GroupId, Duration> skew_by_group;
 };
 
 /// Post-run consistency checks.  A violation means the *simulator* (not the
@@ -64,13 +69,23 @@ struct InvariantReport {
   /// Starts executed despite a stale fencing token (no-start-with-stale-
   /// fence; the Cluster-side tripwire must stay zero).
   std::size_t stale_fence_starts = 0;
+  /// Groups where some member started through a gang commit while another
+  /// member never started by a non-aborted drain (k-of-N atomicity: a
+  /// committed gang must fully start).
+  std::size_t gang_atomicity_violations = 0;
   std::vector<std::string> violations;   ///< human-readable details
   bool ok() const { return violations.empty(); }
 };
 
 struct SimResult {
   std::vector<SystemMetrics> systems;
-  PairStartStats pairs;
+  GroupStartStats groups;
+  /// Gang costart counters aggregated over every domain (all zero unless
+  /// CoschedConfig::Gang::two_phase is enabled somewhere).
+  std::uint64_t gangs_prepared = 0;
+  std::uint64_t gangs_committed = 0;
+  std::uint64_t gangs_aborted = 0;
+  std::uint64_t gangs_resolved_by_victim = 0;
   /// All jobs finished.
   bool completed = false;
   /// Simulation drained (or hit max_time) with unfinished jobs — for
@@ -117,6 +132,19 @@ class CoupledSim {
   /// Enables the liveness layer (heartbeats, failure detector, leased
   /// holds) on every domain with the given settings.  Call before run().
   void set_liveness_all(const CoschedConfig::Liveness& liveness);
+
+  /// Enables the two-phase gang costart on every domain with the given
+  /// settings.  Call before run().
+  void set_gang_all(const CoschedConfig::Gang& gang);
+
+  /// Arms a periodic wait-for-graph scan (every `scan_period`) that
+  /// resolves multi-domain hold deadlock cycles: the deterministic victim —
+  /// lowest-priority gang in the cycle, ties toward the lowest job id — is
+  /// ordered to yield over the mesh link of the domain waiting on it, so
+  /// the order crosses the fault plane and the fence gate like any other
+  /// side-effecting call.  Serial driver: call before run() and run without
+  /// set_parallel().  Idempotent.
+  void enable_gang_resolution(Duration scan_period);
 
   /// Symmetric partition: domains `a` and `b` cannot exchange any message
   /// during [start, end).  Layered on top of any installed fault plan.
@@ -199,6 +227,7 @@ class CoupledSim {
  private:
   void check_invariants(SimResult& result, bool aborted) const;
   void crash_and_recover(std::size_t domain);
+  void gang_resolution_body();
 
   Engine engine_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
@@ -209,6 +238,7 @@ class CoupledSim {
   std::vector<std::optional<Cluster::RecoveryStats>> recoveries_;
   std::optional<InvariantReport> abort_invariants_;
   unsigned parallel_threads_ = 0;  ///< 0 = serial run loop
+  Duration gang_scan_period_ = 0;  ///< 0 = deadlock resolution disabled
 };
 
 /// Order-independent FNV-1a fingerprint over every job's observable outcome

@@ -5,6 +5,7 @@
 // deadlocks appearing without the release enhancement and vanishing with it.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/cluster.h"
@@ -27,5 +28,32 @@ std::vector<WaitEdge> build_wait_graph(
 
 /// True when the wait-for graph contains a cycle — the Fig. 2 situation.
 bool has_hold_wait_cycle(const std::vector<const Cluster*>& clusters);
+
+/// A circular wait through the mesh: edges[i].to == edges[i+1].from and the
+/// last edge closes back to edges[0].from.  Empty = no cycle.
+struct WaitCycle {
+  std::vector<WaitEdge> edges;
+
+  bool empty() const { return edges.empty(); }
+  std::size_t length() const { return edges.size(); }
+};
+
+/// Extracts one wait cycle from an edge list (pure — unit-testable without
+/// live clusters).  Deterministic: DFS starts from the lowest domain index
+/// and follows edges in (from, to, holding_job) order, so identical edge
+/// sets always yield the identical cycle.  `domains` bounds the node ids.
+WaitCycle extract_wait_cycle(const std::vector<WaitEdge>& edges,
+                             std::size_t domains);
+
+/// Convenience over live clusters: build_wait_graph + extract_wait_cycle.
+WaitCycle find_hold_wait_cycle(const std::vector<const Cluster*>& clusters);
+
+/// Deterministic victim selection: among the cycle's holding jobs, the gang
+/// with the *lowest* priority — latest submit time under FCFS — loses; ties
+/// break toward the lowest job id.  `submit_of` supplies the submit time of
+/// an edge's holding job (pure — unit-testable with a lambda).
+/// Precondition: !cycle.empty().
+WaitEdge choose_victim(const WaitCycle& cycle,
+                       const std::function<Time(const WaitEdge&)>& submit_of);
 
 }  // namespace cosched

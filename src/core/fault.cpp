@@ -119,6 +119,35 @@ std::optional<bool> FaultInjectingPeer::start_job(JobId job) {
   return v == Verdict::kDeliver ? r : std::nullopt;
 }
 
+std::optional<bool> FaultInjectingPeer::gang_prepare(JobId job,
+                                                     GroupId group) {
+  const Verdict v = verdict();
+  if (v == Verdict::kFail) return std::nullopt;
+  auto r = inner_->gang_prepare(job, group);
+  return v == Verdict::kDeliver ? r : std::nullopt;
+}
+
+std::optional<bool> FaultInjectingPeer::gang_commit(JobId job, GroupId group) {
+  const Verdict v = verdict();
+  if (v == Verdict::kFail) return std::nullopt;
+  auto r = inner_->gang_commit(job, group);
+  return v == Verdict::kDeliver ? r : std::nullopt;
+}
+
+std::optional<bool> FaultInjectingPeer::gang_abort(JobId job, GroupId group) {
+  const Verdict v = verdict();
+  if (v == Verdict::kFail) return std::nullopt;
+  auto r = inner_->gang_abort(job, group);
+  return v == Verdict::kDeliver ? r : std::nullopt;
+}
+
+std::optional<bool> FaultInjectingPeer::gang_victim(JobId job, GroupId group) {
+  const Verdict v = verdict();
+  if (v == Verdict::kFail) return std::nullopt;
+  auto r = inner_->gang_victim(job, group);
+  return v == Verdict::kDeliver ? r : std::nullopt;
+}
+
 std::optional<HeartbeatInfo> FaultInjectingPeer::heartbeat(
     const HeartbeatInfo& mine) {
   const Verdict v = verdict();

@@ -169,6 +169,10 @@ class FaultInjectingPeer final : public PeerClient {
   std::optional<MateStatus> get_mate_status(JobId mate) override;
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
+  std::optional<bool> gang_prepare(JobId job, GroupId group) override;
+  std::optional<bool> gang_commit(JobId job, GroupId group) override;
+  std::optional<bool> gang_abort(JobId job, GroupId group) override;
+  std::optional<bool> gang_victim(JobId job, GroupId group) override;
   std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) override;
   void set_fence_token(std::uint64_t token) override {
     inner_->set_fence_token(token);

@@ -74,6 +74,10 @@ const char* to_string(JournalRecordKind k) {
     case JournalRecordKind::kLeaseFence: return "lease-fence";
     case JournalRecordKind::kHeartbeat: return "heartbeat";
     case JournalRecordKind::kLivenessArmed: return "liveness-armed";
+    case JournalRecordKind::kGangPrepare: return "gang-prepare";
+    case JournalRecordKind::kGangCommit: return "gang-commit";
+    case JournalRecordKind::kGangAbort: return "gang-abort";
+    case JournalRecordKind::kGangVictim: return "gang-victim";
   }
   return "?";
 }
@@ -251,7 +255,7 @@ JournalReplay read_journal(std::span<const std::uint8_t> bytes) {
       WireReader r(body);
       rec.seq = r.get_u64();
       const std::uint8_t k = r.get_u8();
-      if (k > static_cast<std::uint8_t>(JournalRecordKind::kLivenessArmed))
+      if (k > static_cast<std::uint8_t>(JournalRecordKind::kGangVictim))
         throw ParseError("journal: unknown record kind");
       rec.kind = static_cast<JournalRecordKind>(k);
       rec.payload.assign(body.begin() + (len - r.remaining()), body.end());

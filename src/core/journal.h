@@ -60,6 +60,10 @@ enum class JournalRecordKind : std::uint8_t {
   kLeaseFence = 21,   ///< fencing epoch advanced (stale tokens invalidated)
   kHeartbeat = 22,    ///< heartbeat round ran; per-peer ack + payloads
   kLivenessArmed = 23,///< heartbeat/lease-expiry timer armed at absolute time
+  kGangPrepare = 24,  ///< gang member prepared (fenced leased hold placed)
+  kGangCommit = 25,   ///< gang costart committed (all members started)
+  kGangAbort = 26,    ///< gang prepare round aborted (holds released)
+  kGangVictim = 27,   ///< deadlock victim yielded; re-prepare backoff armed
 };
 
 const char* to_string(JournalRecordKind k);

@@ -244,6 +244,38 @@ std::optional<bool> WirePeer::start_job(JobId job) {
   return resp->ok;
 }
 
+std::optional<bool> WirePeer::gang_prepare(JobId job, GroupId group) {
+  auto req = make_gang_prepare_req(next_rid_++, job, group);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kGangPrepareResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> WirePeer::gang_commit(JobId job, GroupId group) {
+  auto req = make_gang_commit_req(next_rid_++, job, group);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kGangCommitResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> WirePeer::gang_abort(JobId job, GroupId group) {
+  auto req = make_gang_abort_req(next_rid_++, job, group);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kGangAbortResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> WirePeer::gang_victim(JobId job, GroupId group) {
+  auto req = make_gang_victim_req(next_rid_++, job, group);
+  req.fence = fence_token_.load();
+  const auto resp = round_trip(req, MsgType::kGangVictimResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
 std::optional<HeartbeatInfo> WirePeer::heartbeat(const HeartbeatInfo& mine) {
   const auto resp = round_trip(make_heartbeat_req(next_rid_++, mine),
                                MsgType::kHeartbeatResp);

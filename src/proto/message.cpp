@@ -43,8 +43,20 @@ std::vector<std::uint8_t> Message::encode() const {
       w.put_i64(job);
       w.put_u64(fence);
       break;
+    case MsgType::kGangPrepareReq:
+    case MsgType::kGangCommitReq:
+    case MsgType::kGangAbortReq:
+    case MsgType::kGangVictimReq:
+      w.put_i64(job);
+      w.put_u64(fence);
+      w.put_i64(group);
+      break;
     case MsgType::kTryStartMateResp:
     case MsgType::kStartJobResp:
+    case MsgType::kGangPrepareResp:
+    case MsgType::kGangCommitResp:
+    case MsgType::kGangAbortResp:
+    case MsgType::kGangVictimResp:
       w.put_bool(ok);
       break;
     case MsgType::kHelloReq:
@@ -70,7 +82,8 @@ Message Message::decode(std::span<const std::uint8_t> data) {
   const std::uint8_t t = r.get_u8();
   switch (t) {
     case 1: case 2: case 3: case 4: case 5: case 6: case 7: case 8:
-    case 9: case 10: case 11: case 12: case 15:
+    case 9: case 10: case 11: case 12: case 13: case 14: case 15:
+    case 16: case 17: case 18: case 19: case 20: case 21:
       m.type = static_cast<MsgType>(t);
       break;
     default:
@@ -102,8 +115,20 @@ Message Message::decode(std::span<const std::uint8_t> data) {
       m.job = r.get_i64();
       m.fence = r.get_u64();
       break;
+    case MsgType::kGangPrepareReq:
+    case MsgType::kGangCommitReq:
+    case MsgType::kGangAbortReq:
+    case MsgType::kGangVictimReq:
+      m.job = r.get_i64();
+      m.fence = r.get_u64();
+      m.group = r.get_i64();
+      break;
     case MsgType::kTryStartMateResp:
     case MsgType::kStartJobResp:
+    case MsgType::kGangPrepareResp:
+    case MsgType::kGangCommitResp:
+    case MsgType::kGangAbortResp:
+    case MsgType::kGangVictimResp:
       m.ok = r.get_bool();
       break;
     case MsgType::kHelloReq:
@@ -212,6 +237,51 @@ Message make_error_resp(std::uint64_t rid, std::string error) {
   m.request_id = rid;
   m.error = std::move(error);
   return m;
+}
+
+namespace {
+Message make_gang_req(MsgType type, std::uint64_t rid, JobId job,
+                      GroupId group) {
+  Message m;
+  m.type = type;
+  m.request_id = rid;
+  m.job = job;
+  m.group = group;
+  return m;
+}
+
+Message make_gang_resp(MsgType type, std::uint64_t rid, bool ok) {
+  Message m;
+  m.type = type;
+  m.request_id = rid;
+  m.ok = ok;
+  return m;
+}
+}  // namespace
+
+Message make_gang_prepare_req(std::uint64_t rid, JobId job, GroupId group) {
+  return make_gang_req(MsgType::kGangPrepareReq, rid, job, group);
+}
+Message make_gang_prepare_resp(std::uint64_t rid, bool ok) {
+  return make_gang_resp(MsgType::kGangPrepareResp, rid, ok);
+}
+Message make_gang_commit_req(std::uint64_t rid, JobId job, GroupId group) {
+  return make_gang_req(MsgType::kGangCommitReq, rid, job, group);
+}
+Message make_gang_commit_resp(std::uint64_t rid, bool ok) {
+  return make_gang_resp(MsgType::kGangCommitResp, rid, ok);
+}
+Message make_gang_abort_req(std::uint64_t rid, JobId job, GroupId group) {
+  return make_gang_req(MsgType::kGangAbortReq, rid, job, group);
+}
+Message make_gang_abort_resp(std::uint64_t rid, bool ok) {
+  return make_gang_resp(MsgType::kGangAbortResp, rid, ok);
+}
+Message make_gang_victim_req(std::uint64_t rid, JobId job, GroupId group) {
+  return make_gang_req(MsgType::kGangVictimReq, rid, job, group);
+}
+Message make_gang_victim_resp(std::uint64_t rid, bool ok) {
+  return make_gang_resp(MsgType::kGangVictimResp, rid, ok);
 }
 
 namespace {

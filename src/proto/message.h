@@ -61,7 +61,21 @@ enum class MsgType : std::uint8_t {
   /// on them.
   kHeartbeatReq = 11,
   kHeartbeatResp = 12,
+  /// Two-phase gang costart (k >= 3 domains).  Prepare asks the member
+  /// domain to place the gang job into a fenced, leased hold; commit starts
+  /// a prepared (holding) member; abort releases a prepared hold.  Victim
+  /// orders a deadlock-cycle victim to yield its hold with backoff.  All
+  /// four are side-effecting: they carry the coordinator's fence token and
+  /// go through the exactly-once dedup plane.
+  kGangPrepareReq = 13,
+  kGangPrepareResp = 14,
   kErrorResp = 15,
+  kGangCommitReq = 16,
+  kGangCommitResp = 17,
+  kGangAbortReq = 18,
+  kGangAbortResp = 19,
+  kGangVictimReq = 20,
+  kGangVictimResp = 21,
 };
 
 /// A protocol message; the union of all request/response payload fields.
@@ -117,6 +131,17 @@ Message make_start_job_resp(std::uint64_t rid, bool ok);
 Message make_hello_req(std::uint64_t rid, std::uint64_t client_incarnation);
 Message make_hello_resp(std::uint64_t rid, std::uint64_t server_incarnation);
 Message make_error_resp(std::uint64_t rid, std::string error);
+
+// Gang costart calls.  Requests carry (job, fence, group); responses carry
+// the boolean outcome.
+Message make_gang_prepare_req(std::uint64_t rid, JobId job, GroupId group);
+Message make_gang_prepare_resp(std::uint64_t rid, bool ok);
+Message make_gang_commit_req(std::uint64_t rid, JobId job, GroupId group);
+Message make_gang_commit_resp(std::uint64_t rid, bool ok);
+Message make_gang_abort_req(std::uint64_t rid, JobId job, GroupId group);
+Message make_gang_abort_resp(std::uint64_t rid, bool ok);
+Message make_gang_victim_req(std::uint64_t rid, JobId job, GroupId group);
+Message make_gang_victim_resp(std::uint64_t rid, bool ok);
 
 /// Liveness payload exchanged in both directions of a heartbeat.
 struct HeartbeatInfo {

@@ -66,6 +66,38 @@ std::optional<bool> LoopbackPeer::start_job(JobId job) {
   return resp->ok;
 }
 
+std::optional<bool> LoopbackPeer::gang_prepare(JobId job, GroupId group) {
+  auto req = make_gang_prepare_req(next_rid_++, job, group);
+  req.fence = fence_token_;
+  const auto resp = round_trip(req, MsgType::kGangPrepareResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> LoopbackPeer::gang_commit(JobId job, GroupId group) {
+  auto req = make_gang_commit_req(next_rid_++, job, group);
+  req.fence = fence_token_;
+  const auto resp = round_trip(req, MsgType::kGangCommitResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> LoopbackPeer::gang_abort(JobId job, GroupId group) {
+  auto req = make_gang_abort_req(next_rid_++, job, group);
+  req.fence = fence_token_;
+  const auto resp = round_trip(req, MsgType::kGangAbortResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
+std::optional<bool> LoopbackPeer::gang_victim(JobId job, GroupId group) {
+  auto req = make_gang_victim_req(next_rid_++, job, group);
+  req.fence = fence_token_;
+  const auto resp = round_trip(req, MsgType::kGangVictimResp);
+  if (!resp) return std::nullopt;
+  return resp->ok;
+}
+
 std::optional<HeartbeatInfo> LoopbackPeer::heartbeat(
     const HeartbeatInfo& mine) {
   const auto resp = round_trip(make_heartbeat_req(next_rid_++, mine),

@@ -28,6 +28,32 @@ class PeerClient {
   virtual std::optional<bool> try_start_mate(JobId mate) = 0;
   virtual std::optional<bool> start_job(JobId job) = 0;
 
+  /// Two-phase gang costart calls (k >= 3 domains).  All side-effecting:
+  /// fenced and deduped like tryStartMate/startJob.  nullopt = transport
+  /// failure (the coordinator treats an unanswered prepare/commit as a
+  /// reason to abort the round).  Defaults keep legacy peers compiling and
+  /// report "remote cannot gang-start".
+  virtual std::optional<bool> gang_prepare(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return std::optional<bool>(false);
+  }
+  virtual std::optional<bool> gang_commit(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return std::optional<bool>(false);
+  }
+  virtual std::optional<bool> gang_abort(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return std::optional<bool>(false);
+  }
+  virtual std::optional<bool> gang_victim(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return std::optional<bool>(false);
+  }
+
   /// Liveness probe carrying the local domain's payload; the remote's
   /// payload comes back.  nullopt = unreachable OR the remote predates the
   /// liveness protocol — either way no evidence of life.  Default keeps
@@ -60,6 +86,10 @@ class LoopbackPeer final : public PeerClient {
   std::optional<MateStatus> get_mate_status(JobId mate) override;
   std::optional<bool> try_start_mate(JobId mate) override;
   std::optional<bool> start_job(JobId job) override;
+  std::optional<bool> gang_prepare(JobId job, GroupId group) override;
+  std::optional<bool> gang_commit(JobId job, GroupId group) override;
+  std::optional<bool> gang_abort(JobId job, GroupId group) override;
+  std::optional<bool> gang_victim(JobId job, GroupId group) override;
   std::optional<HeartbeatInfo> heartbeat(const HeartbeatInfo& mine) override;
   void set_fence_token(std::uint64_t token) override { fence_token_ = token; }
 

@@ -25,12 +25,27 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(
   // from the dedup cache on retry instead of re-executing.
   const bool dedupable = config_.dedup != nullptr && req.incarnation != 0 &&
                          (req.type == MsgType::kTryStartMateReq ||
-                          req.type == MsgType::kStartJobReq);
+                          req.type == MsgType::kStartJobReq ||
+                          req.type == MsgType::kGangPrepareReq ||
+                          req.type == MsgType::kGangCommitReq ||
+                          req.type == MsgType::kGangAbortReq ||
+                          req.type == MsgType::kGangVictimReq);
   if (dedupable) {
     if (auto hit = config_.dedup->lookup(req.incarnation, req.request_id)) {
-      return finish(req.type == MsgType::kTryStartMateReq
-                        ? make_try_start_mate_resp(req.request_id, hit->verdict)
-                        : make_start_job_resp(req.request_id, hit->verdict));
+      switch (req.type) {
+        case MsgType::kTryStartMateReq:
+          return finish(make_try_start_mate_resp(req.request_id, hit->verdict));
+        case MsgType::kGangPrepareReq:
+          return finish(make_gang_prepare_resp(req.request_id, hit->verdict));
+        case MsgType::kGangCommitReq:
+          return finish(make_gang_commit_resp(req.request_id, hit->verdict));
+        case MsgType::kGangAbortReq:
+          return finish(make_gang_abort_resp(req.request_id, hit->verdict));
+        case MsgType::kGangVictimReq:
+          return finish(make_gang_victim_resp(req.request_id, hit->verdict));
+        default:
+          return finish(make_start_job_resp(req.request_id, hit->verdict));
+      }
     }
   }
 
@@ -60,6 +75,34 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(
         if (dedupable && admitted)
           config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
         return finish(make_start_job_resp(req.request_id, ok));
+      }
+      case MsgType::kGangPrepareReq: {
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool ok = admitted && service_.gang_prepare(req.job, req.group);
+        if (dedupable && admitted)
+          config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+        return finish(make_gang_prepare_resp(req.request_id, ok));
+      }
+      case MsgType::kGangCommitReq: {
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool ok = admitted && service_.gang_commit(req.job, req.group);
+        if (dedupable && admitted)
+          config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+        return finish(make_gang_commit_resp(req.request_id, ok));
+      }
+      case MsgType::kGangAbortReq: {
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool ok = admitted && service_.gang_abort(req.job, req.group);
+        if (dedupable && admitted)
+          config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+        return finish(make_gang_abort_resp(req.request_id, ok));
+      }
+      case MsgType::kGangVictimReq: {
+        const bool admitted = service_.admit_fence(req.job, req.fence);
+        const bool ok = admitted && service_.gang_victim(req.job, req.group);
+        if (dedupable && admitted)
+          config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+        return finish(make_gang_victim_resp(req.request_id, ok));
       }
       case MsgType::kHelloReq:
         if (config_.dedup && req.incarnation != 0)

@@ -49,6 +49,34 @@ class CoschedService {
     return std::nullopt;
   }
 
+  /// Two-phase gang costart (k >= 3 domains).  Prepare places the local
+  /// member of `group` into a fenced, leased hold and answers true only if
+  /// the member is holding afterwards; commit starts a prepared (holding)
+  /// member; abort releases a prepared hold without starting it; victim
+  /// orders a deadlock-cycle victim to yield its hold and back off before
+  /// re-preparing.  Defaults preserve legacy two-domain behaviour: the
+  /// dispatcher answers false and nothing mutates.
+  virtual bool gang_prepare(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return false;
+  }
+  virtual bool gang_commit(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return false;
+  }
+  virtual bool gang_abort(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return false;
+  }
+  virtual bool gang_victim(JobId job, GroupId group) {
+    (void)job;
+    (void)group;
+    return false;
+  }
+
   /// Fencing gate for the side-effecting calls.  `fence` is the caller's
   /// view of this domain's fencing epoch (0 = unfenced legacy caller, always
   /// admitted).  False rejects the call without executing it: the caller

@@ -37,7 +37,7 @@ TEST(Algorithm1, DisabledIgnoresPairs) {
   EXPECT_TRUE(r.completed);
   EXPECT_EQ(find_job(sim, 0, 1).start, 0);       // did not wait
   EXPECT_EQ(find_job(sim, 1, 10).start, 3000);
-  EXPECT_EQ(r.pairs.groups_started_together, 0u);
+  EXPECT_EQ(r.groups.groups_started_together, 0u);
 }
 
 // Lines 10-14: mate queued and startable -> tryStartMate starts it and both
@@ -60,8 +60,8 @@ TEST(Algorithm1, QueuedMateStartedViaTryStartMate) {
   EXPECT_GT(sim.cluster(0).try_start_requests() +
                 sim.cluster(1).try_start_requests(),
             0u);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
-  EXPECT_EQ(r.pairs.max_start_skew, 0);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.max_start_skew, 0);
 }
 
 // Lines 6-8: mate holding -> both start immediately when the second becomes
@@ -97,7 +97,7 @@ TEST(Algorithm1, UnsubmittedMateHolds) {
   EXPECT_TRUE(r.completed);
   EXPECT_EQ(find_job(sim, 0, 1).start, 400);
   EXPECT_EQ(find_job(sim, 1, 10).start, 400);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
 }
 
 // Yield scheme: the local job gives up its slot, letting others run, and the
@@ -134,8 +134,8 @@ TEST(Algorithm1, AllCombosSynchronize) {
     CoupledSim sim(specs, {a, b});
     const SimResult r = sim.run();
     EXPECT_TRUE(r.completed) << combo.label;
-    EXPECT_EQ(r.pairs.groups_total, 1u) << combo.label;
-    EXPECT_EQ(r.pairs.groups_started_together, 1u) << combo.label;
+    EXPECT_EQ(r.groups.groups_total, 1u) << combo.label;
+    EXPECT_EQ(r.groups.groups_started_together, 1u) << combo.label;
   }
 }
 

@@ -55,7 +55,7 @@ TEST(CoupledSim, BaselineWithoutPairsCompletes) {
   CoupledSim sim(specs_for(kHH), {w.a, w.b});
   const SimResult r = sim.run(90 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_total, 0u);
+  EXPECT_EQ(r.groups.groups_total, 0u);
   EXPECT_EQ(r.systems[0].jobs_finished, w.a.size());
   EXPECT_EQ(r.systems[1].jobs_finished, w.b.size());
   // Nothing held when nothing is paired.
@@ -69,11 +69,11 @@ TEST(CoupledSim, AllCombosCompleteAndSynchronize) {
     CoupledSim sim(specs_for(combo), {w.a, w.b});
     const SimResult r = sim.run(90 * kDay);
     EXPECT_TRUE(r.completed) << combo.label;
-    EXPECT_GT(r.pairs.groups_total, 0u) << combo.label;
-    EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total)
+    EXPECT_GT(r.groups.groups_total, 0u) << combo.label;
+    EXPECT_EQ(r.groups.groups_started_together, r.groups.groups_total)
         << combo.label << ": all paired jobs must start simultaneously";
-    EXPECT_EQ(r.pairs.max_start_skew, 0) << combo.label;
-    EXPECT_EQ(r.pairs.groups_unstarted, 0u) << combo.label;
+    EXPECT_EQ(r.groups.max_start_skew, 0) << combo.label;
+    EXPECT_EQ(r.groups.groups_unstarted, 0u) << combo.label;
   }
 }
 
@@ -147,7 +147,7 @@ TEST(CoupledSim, WfpPolicyAlsoSynchronizes) {
   CoupledSim sim(specs, {w.a, w.b});
   const SimResult r = sim.run(90 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total);
+  EXPECT_EQ(r.groups.groups_started_together, r.groups.groups_total);
 }
 
 TEST(CoupledSim, PartitionAllocationChargesRoundedSizes) {

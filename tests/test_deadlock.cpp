@@ -33,7 +33,7 @@ TEST(Deadlock, HoldHoldWithoutReleaseDeadlocks) {
   EXPECT_TRUE(r.deadlocked);
   EXPECT_FALSE(r.completed);
   // No paired job ever started.
-  EXPECT_EQ(r.pairs.groups_unstarted, 2u);
+  EXPECT_EQ(r.groups.groups_unstarted, 2u);
   // The circular-wait witness is present post-mortem.
   EXPECT_TRUE(has_hold_wait_cycle(
       {&sim.cluster(0), &sim.cluster(1)}));
@@ -45,8 +45,8 @@ TEST(Deadlock, ReleaseEnhancementBreaksDeadlock) {
   const SimResult r = sim.run(/*max_time=*/30 * kDay);
   EXPECT_TRUE(r.completed);
   EXPECT_FALSE(r.deadlocked);
-  EXPECT_EQ(r.pairs.groups_total, 2u);
-  EXPECT_EQ(r.pairs.groups_started_together, 2u);
+  EXPECT_EQ(r.groups.groups_total, 2u);
+  EXPECT_EQ(r.groups.groups_started_together, 2u);
   EXPECT_GT(sim.cluster(0).forced_releases() +
                 sim.cluster(1).forced_releases(),
             0u);
@@ -99,7 +99,65 @@ TEST(Deadlock, SynchronizedReleaseBreaksMultiHolderKnot) {
                  {a, b});
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed) << "multi-holder knot must resolve";
-  EXPECT_EQ(r.pairs.groups_started_together, 4u);
+  EXPECT_EQ(r.groups.groups_started_together, 4u);
+}
+
+// -- cycle extraction and victim selection (unit) ----------------------------
+
+TEST(Deadlock, ExtractsLengthThreeCycle) {
+  // 0 -> 1 -> 2 -> 0 plus a distracting dead-end edge 0 -> 3; given out of
+  // order to prove extraction is a function of the edge set, not build order.
+  const std::vector<WaitEdge> edges = {
+      {0, 3, 99}, {2, 0, 30}, {0, 1, 10}, {1, 2, 20}};
+  const WaitCycle c = extract_wait_cycle(edges, 4);
+  ASSERT_EQ(c.length(), 3u);
+  for (std::size_t i = 0; i < c.edges.size(); ++i)
+    EXPECT_EQ(c.edges[i].to, c.edges[(i + 1) % c.edges.size()].from);
+  EXPECT_EQ(c.edges[0].from, 0u);
+  EXPECT_EQ(c.edges[0].holding_job, 10);
+  EXPECT_EQ(c.edges[1].holding_job, 20);
+  EXPECT_EQ(c.edges[2].holding_job, 30);
+}
+
+TEST(Deadlock, ExtractsLengthFourCycle) {
+  const std::vector<WaitEdge> edges = {
+      {3, 0, 40}, {1, 2, 20}, {0, 1, 10}, {2, 3, 30}};
+  const WaitCycle c = extract_wait_cycle(edges, 4);
+  ASSERT_EQ(c.length(), 4u);
+  for (std::size_t i = 0; i < c.edges.size(); ++i)
+    EXPECT_EQ(c.edges[i].to, c.edges[(i + 1) % c.edges.size()].from);
+  EXPECT_EQ(c.edges[0].from, 0u);
+}
+
+TEST(Deadlock, ExtractReturnsEmptyWithoutCycle) {
+  const std::vector<WaitEdge> edges = {{0, 1, 10}, {1, 2, 20}, {0, 2, 30}};
+  EXPECT_TRUE(extract_wait_cycle(edges, 3).empty());
+  EXPECT_TRUE(extract_wait_cycle({}, 3).empty());
+}
+
+TEST(Deadlock, VictimIsLatestSubmitTiesTowardLowestId) {
+  WaitCycle c;
+  c.edges = {{0, 1, 10}, {1, 2, 20}, {2, 0, 30}};
+  // Latest submit = lowest FCFS priority loses.
+  const WaitEdge latest = choose_victim(c, [](const WaitEdge& e) -> Time {
+    return e.holding_job == 20 ? 500 : 100;
+  });
+  EXPECT_EQ(latest.holding_job, 20);
+  // Full tie: the lowest job id loses, deterministically.
+  const WaitEdge tie =
+      choose_victim(c, [](const WaitEdge&) -> Time { return 100; });
+  EXPECT_EQ(tie.holding_job, 10);
+}
+
+TEST(Deadlock, FindHoldWaitCycleReturnsTheFig2Cycle) {
+  Fig2 f;
+  CoupledSim sim(f.specs(0), {f.a, f.b});
+  sim.run(30 * kDay);
+  const WaitCycle c =
+      find_hold_wait_cycle({&sim.cluster(0), &sim.cluster(1)});
+  ASSERT_EQ(c.length(), 2u);
+  EXPECT_EQ(c.edges[0].to, c.edges[1].from);
+  EXPECT_EQ(c.edges[1].to, c.edges[0].from);
 }
 
 TEST(Deadlock, YieldOnEitherSideAvoidsDeadlock) {
@@ -110,7 +168,7 @@ TEST(Deadlock, YieldOnEitherSideAvoidsDeadlock) {
     CoupledSim sim(specs, {f.a, f.b});
     const SimResult r = sim.run(30 * kDay);
     EXPECT_TRUE(r.completed) << combo.label;
-    EXPECT_EQ(r.pairs.groups_started_together, 2u) << combo.label;
+    EXPECT_EQ(r.groups.groups_started_together, 2u) << combo.label;
   }
 }
 

@@ -127,7 +127,7 @@ TEST(ClusterDependency, DependencyComposesWithCoscheduling) {
   ASSERT_TRUE(r.completed);
   EXPECT_EQ(find_job(sim, 0, 1).start, 400);   // co-start with mate
   EXPECT_EQ(find_job(sim, 0, 2).start, 1000);  // after compute finishes
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
 }
 
 TEST(SwfDependency, RoundTripsPrecedingJobAndThinkTime) {

@@ -57,6 +57,23 @@ TEST(MalformedWire, DecodeBadStatusValue) {
   EXPECT_THROW(Message::decode(bytes), ParseError);
 }
 
+TEST(MalformedWire, DecodeEveryGangTruncation) {
+  // Strict prefixes of each new gang encoding must raise ParseError; the
+  // full encodings must round-trip.
+  for (const Message& original :
+       {make_gang_prepare_req(21, 123456789, 987654321),
+        make_gang_commit_req(22, 123456789, 987654321),
+        make_gang_abort_req(23, 123456789, 987654321),
+        make_gang_victim_req(24, 123456789, 987654321)}) {
+    const auto bytes = original.encode();
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+      EXPECT_THROW(Message::decode(std::span(bytes.data(), n)), ParseError)
+          << "prefix length " << n << " parsed successfully";
+    }
+    EXPECT_EQ(Message::decode(bytes), original);
+  }
+}
+
 TEST(MalformedWire, DecodeRandomFuzzNeverCrashes) {
   // Deterministic fuzz: every input either parses or throws ParseError —
   // nothing else escapes.
@@ -80,7 +97,10 @@ TEST(MalformedWire, DecodeMutatedValidMessagesNeverCrash) {
   const Message seeds[] = {
       make_get_mate_job_req(1, 10, 20), make_get_mate_job_resp(2, 30),
       make_get_mate_status_resp(3, MateStatus::kRunning),
-      make_start_job_resp(4, true), make_error_resp(5, "boom")};
+      make_start_job_resp(4, true), make_error_resp(5, "boom"),
+      make_gang_prepare_req(6, 40, 8), make_gang_prepare_resp(6, true),
+      make_gang_commit_req(7, 40, 8), make_gang_abort_req(8, 40, 8),
+      make_gang_victim_req(9, 40, 8), make_gang_victim_resp(9, false)};
   for (const Message& seed : seeds) {
     const auto clean = seed.encode();
     for (int iter = 0; iter < 400; ++iter) {

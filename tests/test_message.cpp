@@ -107,6 +107,35 @@ TEST(Message, FencedSideEffectingCallsRoundTrip) {
   expect_round_trip(make_start_job_req(5, 78));  // fence defaults to 0
 }
 
+TEST(Message, GangCallsRoundTrip) {
+  expect_round_trip(make_gang_prepare_req(11, 42, 7));
+  expect_round_trip(make_gang_prepare_resp(11, true));
+  expect_round_trip(make_gang_commit_req(12, 42, 7));
+  expect_round_trip(make_gang_commit_resp(12, false));
+  expect_round_trip(make_gang_abort_req(13, 42, 7));
+  expect_round_trip(make_gang_abort_resp(13, true));
+  expect_round_trip(make_gang_victim_req(14, 42, 7));
+  expect_round_trip(make_gang_victim_resp(14, true));
+  // Sentinel ids survive.
+  expect_round_trip(make_gang_prepare_req(15, kNoJob, kNoGroup));
+}
+
+TEST(Message, GangRequestsCarryTheFence) {
+  // All four gang calls are side-effecting, so the fencing token must ride
+  // on (and survive) each request.
+  for (Message m : {make_gang_prepare_req(1, 5, 9), make_gang_commit_req(2, 5, 9),
+                    make_gang_abort_req(3, 5, 9), make_gang_victim_req(4, 5, 9)}) {
+    m.fence = make_fence_token(3, 21);
+    expect_round_trip(m);
+  }
+}
+
+TEST(Message, TruncatedGangRequestRejected) {
+  auto bytes = make_gang_commit_req(9, 123456789, 42).encode();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(Message::decode(bytes), ParseError);
+}
+
 TEST(Message, TruncatedHeartbeatRejected) {
   HeartbeatInfo info;
   info.incarnation = 1;

@@ -35,8 +35,8 @@ TEST(NWay, ThreeDomainsStartTogether) {
                  {a, b, c});
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_total, 1u);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_total, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
   const Time start = sim.cluster(0).scheduler().find(1)->start;
   EXPECT_EQ(start, 400);  // last member's arrival
   EXPECT_EQ(sim.cluster(1).scheduler().find(10)->start, start);
@@ -52,7 +52,7 @@ TEST(NWay, MixedSchemesAcrossThreeDomains) {
                  {a, b, c});
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
 }
 
 TEST(NWay, TryStartChainAcrossThreeDomains) {
@@ -67,7 +67,7 @@ TEST(NWay, TryStartChainAcrossThreeDomains) {
       {a, b, c});
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
   EXPECT_EQ(sim.cluster(0).scheduler().find(1)->start, 20);
 }
 
@@ -81,7 +81,7 @@ TEST(NWay, PartialGroupSpanningTwoOfThreeDomains) {
                  {a, b, c});
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
   EXPECT_EQ(sim.cluster(0).scheduler().find(1)->start, 100);
 }
 
@@ -105,9 +105,9 @@ TEST(NWay, GroupedSyntheticWorkloadCompletes) {
                  traces);
   const SimResult r = sim.run(90 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_total, groups);
-  EXPECT_EQ(r.pairs.groups_started_together, groups);
-  EXPECT_EQ(r.pairs.max_start_skew, 0);
+  EXPECT_EQ(r.groups.groups_total, groups);
+  EXPECT_EQ(r.groups.groups_started_together, groups);
+  EXPECT_EQ(r.groups.max_start_skew, 0);
 }
 
 TEST(NWay, FourDomainsStartTogether) {
@@ -124,7 +124,7 @@ TEST(NWay, FourDomainsStartTogether) {
   CoupledSim sim(specs, traces);
   const SimResult r = sim.run(30 * kDay);
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, 1u);
+  EXPECT_EQ(r.groups.groups_started_together, 1u);
   for (int i = 0; i < 4; ++i)
     EXPECT_EQ(sim.cluster(i).scheduler().find(100 + i)->start, 300);
 }

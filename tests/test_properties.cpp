@@ -76,9 +76,9 @@ TEST_P(CoschedSweep, CompletesWithAllPairsSynchronized) {
   // §V-B capability validation: every simulation completes and every paired
   // group starts simultaneously, whichever member got ready first.
   ASSERT_TRUE(r.completed) << "simulation deadlocked or stalled";
-  EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total);
-  EXPECT_EQ(r.pairs.max_start_skew, 0);
-  EXPECT_EQ(r.pairs.groups_unstarted, 0u);
+  EXPECT_EQ(r.groups.groups_started_together, r.groups.groups_total);
+  EXPECT_EQ(r.groups.max_start_skew, 0);
+  EXPECT_EQ(r.groups.groups_unstarted, 0u);
 
   for (std::size_t d = 0; d < 2; ++d) {
     const auto& pool = sim.cluster(d).scheduler().pool();
@@ -97,7 +97,7 @@ TEST_P(CoschedSweep, CompletesWithAllPairsSynchronized) {
 
   // Scheme-specific invariants.
   const SweepParam& p = GetParam();
-  const bool any_pairs = r.pairs.groups_total > 0;
+  const bool any_pairs = r.groups.groups_total > 0;
   if (p.combo.first == Scheme::kYield && p.combo.second == Scheme::kYield) {
     EXPECT_DOUBLE_EQ(
         r.systems[0].held_node_hours + r.systems[1].held_node_hours, 0.0)
@@ -349,8 +349,8 @@ TEST_P(EnhancementSweep, GuaranteeHoldsUnderThresholds) {
   CoupledSim sim(specs, {a, b});
   const SimResult r = sim.run(120 * kDay);
   ASSERT_TRUE(r.completed);
-  EXPECT_EQ(r.pairs.groups_started_together, r.pairs.groups_total);
-  EXPECT_EQ(r.pairs.max_start_skew, 0);
+  EXPECT_EQ(r.groups.groups_started_together, r.groups.groups_total);
+  EXPECT_EQ(r.groups.max_start_skew, 0);
 
   // The hold-fraction cap bounds held nodes at every instant; verify the
   // aggregate consequence: held node-time never exceeds the cap's share.

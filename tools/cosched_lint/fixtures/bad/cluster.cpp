@@ -15,6 +15,11 @@ void Cluster::expire_lease(JobId job) {
   ++fence_counter_;
 }
 
+bool Cluster::gang_victim(JobId job) {
+  sched_.release_hold(job, engine_.now());  // no journal append in this body
+  return true;
+}
+
 bool Cluster::grant_lease(JobId job) {
   leases_[job] = HoldLease{};  // mutation first...
   WireWriter w;

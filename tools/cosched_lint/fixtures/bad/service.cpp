@@ -10,6 +10,11 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(Request req) {
       return finish(
           make_try_start_mate_resp(req.request_id,
                                    service_.try_start_mate(req.job)));
+    case MsgType::kGangVictimReq:
+      // Gang calls are side-effecting too: replying without recording the
+      // verdict lets a retried victim order fire twice.
+      return finish(make_gang_victim_resp(
+          req.request_id, service_.gang_victim(req.job, req.group)));
     default:
       return finish(make_error_resp(req.request_id, "unexpected"));
   }

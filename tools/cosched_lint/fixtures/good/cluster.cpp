@@ -34,6 +34,18 @@ void Cluster::reset_leases_for_test() {
   leases_.clear();
 }
 
+bool Cluster::gang_abort(JobId job, GroupId group) {
+  if (journaling()) {
+    WireWriter w;
+    w.put_i64(job);
+    w.put_i64(group);
+    journal_->append(JournalRecordKind::kGangAbort, w.bytes());
+  }
+  sched_.release_hold(job, engine_.now());  // record precedes the release
+  journal_commit();
+  return true;
+}
+
 bool Cluster::start_job(JobId job) {
   // cosched-lint: allow(journal-before-mutate) kStart journaled by on_start
   sched_.start_holding(job, engine_.now());

@@ -13,6 +13,13 @@ std::vector<std::uint8_t> ServiceDispatcher::dispatch(Request req) {
                               started);
       return finish(make_try_start_mate_resp(req.request_id, started));
     }
+    case MsgType::kGangCommitReq: {
+      const bool admitted = service_.admit_fence(req.job, req.fence);
+      const bool ok = admitted && service_.gang_commit(req.job, req.group);
+      if (dedupable && admitted)
+        config_.dedup->record(req.incarnation, req.request_id, req.type, ok);
+      return finish(make_gang_commit_resp(req.request_id, ok));
+    }
     default:
       return finish(make_error_resp(req.request_id, "unexpected"));
   }

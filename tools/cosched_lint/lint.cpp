@@ -514,7 +514,8 @@ void rule_dedup_before_reply(RuleContext& ctx) {
     const bool effectful = code.find("service_.try_start_mate(") !=
                                std::string::npos ||
                            code.find("service_.start_job(") !=
-                               std::string::npos;
+                               std::string::npos ||
+                           code.find("service_.gang_") != std::string::npos;
     if (!effectful) continue;
     // The verdict must reach the dedup cache (whose persist hook journals
     // and commits it) before the reply for this call is built.

@@ -99,13 +99,23 @@ TEST(CoschedLint, EngineRuleAcceptsLockedAndLaneConfinedLambdas) {
 
 TEST(CoschedLint, BadJournalFindingPointsAtMutation) {
   const Report r = lint_dir("bad");
-  ASSERT_EQ(count_rule(r, "journal-before-mutate"), 1);
-  const auto it = std::find_if(
-      r.findings.begin(), r.findings.end(),
-      [](const Finding& f) { return f.rule == "journal-before-mutate"; });
-  EXPECT_NE(it->file.find("cluster.cpp"), std::string::npos);
-  EXPECT_NE(it->message.find("kill_job"), std::string::npos);
-  EXPECT_NE(it->message.find("sched_.kill"), std::string::npos);
+  // kill_job forgets the kKill record; gang_victim releases the hold with no
+  // record — the rule must name each method and its mutator.
+  ASSERT_EQ(count_rule(r, "journal-before-mutate"), 2);
+  std::set<std::string> methods;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "journal-before-mutate") continue;
+    EXPECT_NE(f.file.find("cluster.cpp"), std::string::npos);
+    if (f.message.find("kill_job") != std::string::npos) {
+      EXPECT_NE(f.message.find("sched_.kill"), std::string::npos);
+      methods.insert("kill_job");
+    }
+    if (f.message.find("gang_victim") != std::string::npos) {
+      EXPECT_NE(f.message.find("sched_.release_hold"), std::string::npos);
+      methods.insert("gang_victim");
+    }
+  }
+  EXPECT_EQ(methods, (std::set<std::string>{"kill_job", "gang_victim"}));
 }
 
 TEST(CoschedLint, BadLeaseFindingsCatchMissingAndLateAppends) {
@@ -141,7 +151,29 @@ TEST(CoschedLint, LeaseRuleAcceptsWriteAheadOrderAndExemptsReplay) {
 
 TEST(CoschedLint, BadDedupFindingOnEffectfulCall) {
   const Report r = lint_dir("bad");
-  EXPECT_EQ(count_rule(r, "dedup-before-reply"), 1);
+  // try_start_mate and the gang_victim dispatch both reply unrecorded.
+  EXPECT_EQ(count_rule(r, "dedup-before-reply"), 2);
+}
+
+TEST(CoschedLint, GangDispatchCountsAsEffectful) {
+  // Any service_.gang_*( call is side-effecting: a reply without a dedup
+  // record must be flagged, and record-before-reply must pass.
+  const std::vector<SourceFile> bad = {
+      {"fake/proto/service.cpp",
+       {"case MsgType::kGangPrepareReq: {",
+        "  const bool ok = service_.gang_prepare(req.job, req.group);",
+        "  return finish(make_gang_prepare_resp(req.request_id, ok));",
+        "}"}}};
+  EXPECT_EQ(count_rule(run_lint(bad), "dedup-before-reply"), 1);
+  const std::vector<SourceFile> good = {
+      {"fake/proto/service.cpp",
+       {"case MsgType::kGangAbortReq: {",
+        "  const bool ok = service_.gang_abort(req.job, req.group);",
+        "  config_.dedup->record(req.incarnation, req.request_id, req.type,",
+        "                        ok);",
+        "  return finish(make_gang_abort_resp(req.request_id, ok));",
+        "}"}}};
+  EXPECT_EQ(count_rule(run_lint(good), "dedup-before-reply"), 0);
 }
 
 TEST(CoschedLint, BadBannedCallsAllCaught) {
