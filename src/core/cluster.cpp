@@ -1569,6 +1569,7 @@ void Cluster::apply_record(const JournalRecord& rec) {
       break;
     }
     case JournalRecordKind::kIterate:
+      // cosched-lint: allow(journal-coverage) replay-scoped scratch (kNoTime outside recovery), consumed by rearm_after_restore in the same pass
       replay_last_iterate_ = r.get_i64();
       iteration_pending_ = false;
       ++iterations_run_;

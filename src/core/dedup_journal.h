@@ -1,0 +1,24 @@
+// Durable wiring between the RPC exactly-once cache and the journal.
+//
+// RpcDedup itself is storage-agnostic: record() fires a persist hook under
+// the cache lock and the owner decides what durable means.  This is the
+// canonical owner-side wiring — every verdict becomes a committed kDedup
+// journal record before the dispatcher's reply leaves (durable-before-
+// reply), and replay feeds the records straight back into a fresh cache.
+#pragma once
+
+#include "core/journal.h"
+#include "proto/service.h"
+
+namespace cosched {
+
+/// Sets `dedup`'s persist hook to append + commit a kDedup record on
+/// `journal` for every verdict.  `journal` must outlive `dedup` (or the
+/// hook must be cleared first).
+void bind_dedup_journal(RpcDedup& dedup, Journal& journal);
+
+/// Replays one kDedup record into the cache (recovery path; does not
+/// re-fire the persist hook).  The record must be a kDedup record.
+void apply_dedup_record(RpcDedup& dedup, const JournalRecord& rec);
+
+}  // namespace cosched

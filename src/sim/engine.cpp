@@ -159,6 +159,7 @@ const Engine::Entry* Engine::peek_live(Lane& lane, bool in_window) {
     if (in_window) {
       ++lane.win_tombstones;
     } else {
+      // cosched-lint: allow(engine-shared-state) serial-path branch only; in-window workers count via lane.win_tombstones above
       ++tombstones_;
     }
   }

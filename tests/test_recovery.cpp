@@ -1,5 +1,6 @@
 // Crash consistency: journal framing, snapshot/restore, kill-anywhere
 // recovery, and exactly-once RPC semantics (docs/RECOVERY.md).
+#include "core/dedup_journal.h"
 #include "core/journal.h"
 
 #include <gtest/gtest.h>
@@ -674,16 +675,7 @@ TEST(ExactlyOnce, DedupVerdictsPersistThroughJournalRestart) {
   Journal journal(std::make_unique<MemoryJournalSink>());
   CountingService service;
   RpcDedup dedup;
-  dedup.set_persist([&journal](std::uint64_t inc, std::uint64_t rid,
-                               MsgType op, bool verdict) {
-    WireWriter w;
-    w.put_u64(inc);
-    w.put_u64(rid);
-    w.put_u8(static_cast<std::uint8_t>(op));
-    w.put_bool(verdict);
-    journal.append(JournalRecordKind::kDedup, w.bytes());
-    journal.commit();
-  });
+  bind_dedup_journal(dedup, journal);
   ServiceDispatcher d(service, DispatcherConfig{2, &dedup});
   Message req = make_try_start_mate_req(11, 30);
   req.incarnation = kClientInc;
@@ -694,11 +686,7 @@ TEST(ExactlyOnce, DedupVerdictsPersistThroughJournalRestart) {
   for (const JournalRecord& rec : read_journal(journal.sink().contents())
                                       .records) {
     ASSERT_EQ(rec.kind, JournalRecordKind::kDedup);
-    WireReader r(rec.payload);
-    const std::uint64_t inc = r.get_u64();
-    const std::uint64_t rid = r.get_u64();
-    const MsgType op = static_cast<MsgType>(r.get_u8());
-    restored.insert_restored(inc, rid, op, r.get_bool());
+    apply_dedup_record(restored, rec);
   }
   CountingService fresh_service;
   ServiceDispatcher d2(fresh_service, DispatcherConfig{3, &restored});

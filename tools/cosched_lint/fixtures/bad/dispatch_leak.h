@@ -1,0 +1,30 @@
+// dispatch-exhaustiveness bad fixture: kProdReq's dispatcher arm was
+// deleted, and kZapReq's effect runs through a helper that never records a
+// dedup verdict.
+#pragma once
+
+enum class MsgType : std::uint8_t {
+  kZapReq = 1,
+  kZapResp = 2,
+  kProdReq = 3,
+  kProdResp = 4,
+};
+
+class LeakyDispatcher {
+ public:
+  Bytes dispatch(const Message& m) {
+    switch (m.type) {
+      case MsgType::kZapReq:
+        return handle_zap(m);
+      default:
+        return encode_error(m);
+    }
+  }
+
+ private:
+  Bytes handle_zap(const Message& m) {
+    return encode(leaky_service_.start_job(m.a, m.b));
+  }
+
+  CoschedService& leaky_service_;
+};

@@ -1,0 +1,13 @@
+// lane-purity bad fixture: the mutation is one call away from the pool
+// lambda — invisible to a lambda-body-only rule, caught interprocedurally.
+#include "sim/lanes_fanout.h"
+
+void FanoutEngine::run_window(unsigned threads) {
+  pool_->run([this](unsigned lane) {
+    bump(lane);
+  });
+}
+
+void FanoutEngine::bump(unsigned lane) {
+  ++fanout_steps_;
+}

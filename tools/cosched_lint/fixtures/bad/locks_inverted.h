@@ -1,0 +1,24 @@
+// lock-order bad fixture: forward() takes head_mu_ then tail_mu_ while
+// backward() takes tail_mu_ then head_mu_ — the classic AB/BA deadlock.
+#pragma once
+
+class Inverted {
+ public:
+  void forward() {
+    MutexLock a(head_mu_);
+    MutexLock b(tail_mu_);
+    ++fwd_;
+  }
+
+  void backward() {
+    MutexLock b(tail_mu_);
+    MutexLock a(head_mu_);
+    ++bwd_;
+  }
+
+ private:
+  Mutex head_mu_;
+  Mutex tail_mu_;
+  std::int64_t fwd_ = 0;
+  std::int64_t bwd_ = 0;
+};

@@ -1,0 +1,39 @@
+// dispatch-exhaustiveness good fixture: every k*Req has an arm, and both
+// helper-mediated effects record a dedup verdict before the reply.
+#pragma once
+
+enum class MsgType : std::uint8_t {
+  kPingReq = 1,
+  kPingResp = 2,
+  kNudgeReq = 3,
+  kNudgeResp = 4,
+};
+
+class MiniDispatcher {
+ public:
+  Bytes dispatch(const Message& m) {
+    switch (m.type) {
+      case MsgType::kPingReq:
+        return handle_ping(m);
+      case MsgType::kNudgeReq:
+        return handle_nudge(m);
+      default:
+        return encode_error(m);
+    }
+  }
+
+ private:
+  Bytes handle_ping(const Message& m) {
+    const bool ok = mini_service_.try_start_mate(m.a, m.b);
+    dedup_->record(m.inc, m.rid, m.type, ok);
+    return encode(ok);
+  }
+  Bytes handle_nudge(const Message& m) {
+    const bool ok = mini_service_.gang_prepare(m.a);
+    dedup_->record(m.inc, m.rid, m.type, ok);
+    return encode(ok);
+  }
+
+  CoschedService& mini_service_;
+  RpcDedup* dedup_ = nullptr;
+};

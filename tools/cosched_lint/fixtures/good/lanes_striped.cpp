@@ -1,0 +1,20 @@
+// lane-purity good fixture: everything the pool lambda reaches is either
+// MutexLock-guarded or thread_local; the shared fold happens post-barrier.
+#include "sim/lanes_striped.h"
+
+static thread_local unsigned tls_scratch_ = 0;
+
+void StripedEngine::run_window(unsigned threads) {
+  pool_->run([this](unsigned lane) {
+    run_stripe(lane);
+    tally(lane);
+  });
+  folded_ += 1;  // post-barrier: outside the lambda region
+}
+
+void StripedEngine::run_stripe(unsigned lane) {
+  MutexLock lock(mu_);
+  stripe_done_ += 1;
+}
+
+void StripedEngine::tally(unsigned lane) { tls_scratch_ = lane; }

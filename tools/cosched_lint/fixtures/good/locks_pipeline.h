@@ -1,0 +1,23 @@
+// lock-order good fixture: both paths take head_mu_ then tail_mu_ — one
+// fixed order, no cycle.
+#pragma once
+
+class Pipeline {
+ public:
+  void push(Item it) {
+    MutexLock head(head_mu_);
+    MutexLock tail(tail_mu_);
+    buf_.push_back(it);
+  }
+
+  void drain() {
+    MutexLock head(head_mu_);
+    MutexLock tail(tail_mu_);
+    buf_.clear();
+  }
+
+ private:
+  Mutex head_mu_;
+  Mutex tail_mu_;
+  std::vector<Item> buf_ GUARDED_BY(tail_mu_);
+};

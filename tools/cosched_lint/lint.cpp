@@ -1,3 +1,7 @@
+// cosched_lint v2 driver: loads the tree, builds the whole-project index
+// (index.cpp), runs the per-line rules here and the cross-file analyses in
+// rules_graph.cpp through one waiver-aware sink, and renders text/JSON
+// reports.
 #include "lint.h"
 
 #include <algorithm>
@@ -10,13 +14,12 @@
 #include <sstream>
 #include <tuple>
 
+#include "index.h"
+#include "rules.h"
+
 namespace cosched::lint {
 
 namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 std::string trim(const std::string& s) {
   std::size_t b = 0, e = s.size();
@@ -25,53 +28,12 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-/// Blanks out // comments and the contents of string/char literals so rule
-/// matchers never fire on prose or quoted text.  (Block comments spanning
-/// lines are rare in this tree; the opening line is still blanked.)
-std::string code_view(const std::string& raw) {
-  std::string out = raw;
-  bool in_str = false, in_chr = false;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    if (in_str) {
-      if (c == '\\') {
-        if (i + 1 < out.size()) out[i + 1] = ' ';
-        out[i] = ' ';
-        ++i;
-      } else if (c == '"') {
-        in_str = false;
-      } else {
-        out[i] = ' ';
-      }
-    } else if (in_chr) {
-      if (c == '\\') {
-        if (i + 1 < out.size()) out[i + 1] = ' ';
-        out[i] = ' ';
-        ++i;
-      } else if (c == '\'') {
-        in_chr = false;
-      } else {
-        out[i] = ' ';
-      }
-    } else if (c == '"') {
-      in_str = true;
-    } else if (c == '\'' && i > 0 && !is_ident(out[i - 1])) {
-      in_chr = true;
-    } else if (c == '/' && i + 1 < out.size() &&
-               (out[i + 1] == '/' || out[i + 1] == '*')) {
-      out.resize(i);
-      break;
-    }
-  }
-  return out;
-}
-
 /// True when `token` occurs in `code` with no identifier character
 /// immediately before it (so "rand(" does not match "srand(").
 bool has_token(const std::string& code, const std::string& token) {
   std::size_t pos = 0;
   while ((pos = code.find(token, pos)) != std::string::npos) {
-    if (pos == 0 || !is_ident(code[pos - 1])) return true;
+    if (pos == 0 || !is_ident_char(code[pos - 1])) return true;
     pos += 1;
   }
   return false;
@@ -87,98 +49,37 @@ bool has_component(const std::string& path, const std::string& dir) {
                      [&dir](const auto& part) { return part == dir; });
 }
 
-/// Waiver lookup on the finding line or the line directly above.
-struct WaiverScan {
-  bool waived = false;
-  bool ordered = false;  ///< suppressed by ordered(), not allow()
-};
-
-WaiverScan find_waiver(const std::vector<std::string>& raw, std::size_t idx,
-                       const std::string& rule, bool accepts_ordered) {
-  const auto check = [&](const std::string& line) -> WaiverScan {
-    if (accepts_ordered &&
-        line.find("cosched-lint: ordered(") != std::string::npos)
-      return {true, true};
-    if (line.find("cosched-lint: allow(" + rule + ")") != std::string::npos)
-      return {true, false};
-    return {};
-  };
-  WaiverScan w = check(raw[idx]);
-  if (!w.waived && idx > 0) w = check(raw[idx - 1]);
-  return w;
-}
-
-/// Declaration scan: names of variables declared with an unordered
-/// container type, and names of functions returning a reference to one.
-/// `ordered_accessors` collects same-shaped declarations returning ordered
-/// containers so a name used for both (Trace::jobs() -> vector vs
-/// Scheduler::jobs() -> unordered_map) can be recognized as ambiguous — a
-/// textual matcher cannot resolve the receiver's type, so ambiguous accessor
-/// names are skipped rather than flagged.
-struct UnorderedDecls {
-  std::set<std::string> vars;
-  std::set<std::string> accessors;
-  std::set<std::string> ordered_accessors;
-};
-
-void scan_container_decls(const std::vector<std::string>& raw,
-                          const char* const* types, std::size_t n_types,
-                          std::set<std::string>* vars,
-                          std::set<std::string>* accessors) {
-  for (const std::string& rawline : raw) {
-    const std::string code = code_view(rawline);
-    for (std::size_t t = 0; t < n_types; ++t) {
-      const char* type = types[t];
-      std::size_t pos = 0;
-      while ((pos = code.find(type, pos)) != std::string::npos) {
-        // Identifier boundary so "map" never matches inside "unordered_map".
-        if (pos > 0 && is_ident(code[pos - 1])) {
-          pos += 1;
-          continue;
-        }
-        std::size_t i = pos + std::string(type).size();
-        pos = i;
-        if (i >= code.size() || code[i] != '<') continue;
-        // Find the matching '>' of the template argument list.
-        int depth = 0;
-        for (; i < code.size(); ++i) {
-          if (code[i] == '<') ++depth;
-          if (code[i] == '>' && --depth == 0) break;
-        }
-        if (i >= code.size()) continue;  // args continue on the next line
-        ++i;
-        while (i < code.size() && (std::isspace(static_cast<unsigned char>(
-                                       code[i])) != 0 ||
-                                   code[i] == '&' || code[i] == '*'))
-          ++i;
-        std::size_t name_begin = i;
-        while (i < code.size() && is_ident(code[i])) ++i;
-        if (i == name_begin) continue;  // e.g. "#include <unordered_map>"
-        const std::string name = code.substr(name_begin, i - name_begin);
-        while (i < code.size() &&
-               std::isspace(static_cast<unsigned char>(code[i])) != 0)
-          ++i;
-        if (i < code.size() && code[i] == '(') {
-          if (accessors != nullptr) accessors->insert(name);
-        } else {
-          if (vars != nullptr) vars->insert(name);
+/// Scans the tree for waiver comments up front, so the sink can both apply
+/// them (v1 semantics: finding line or the line directly above) and report
+/// the ones nothing consumed.
+std::vector<WaiverRecord> scan_waivers(const std::vector<SourceFile>& files) {
+  std::vector<WaiverRecord> out;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<std::string>& raw = files[fi].lines;
+    for (std::size_t li = 0; li < raw.size(); ++li) {
+      const std::string& line = raw[li];
+      if (line.find("cosched-lint: ordered(") != std::string::npos) {
+        WaiverRecord w;
+        w.file = static_cast<int>(fi);
+        w.line0 = static_cast<int>(li);
+        w.ordered = true;
+        out.push_back(std::move(w));
+      }
+      const std::size_t a = line.find("cosched-lint: allow(");
+      if (a != std::string::npos) {
+        const std::size_t open = a + std::string("cosched-lint: allow(").size();
+        const std::size_t close = line.find(')', open);
+        if (close != std::string::npos) {
+          WaiverRecord w;
+          w.file = static_cast<int>(fi);
+          w.line0 = static_cast<int>(li);
+          w.rule = line.substr(open, close - open);
+          out.push_back(std::move(w));
         }
       }
     }
   }
-}
-
-void scan_unordered_decls(const std::vector<std::string>& raw,
-                          UnorderedDecls& out) {
-  static const char* kUnordered[] = {"unordered_map", "unordered_set",
-                                     "unordered_multimap",
-                                     "unordered_multiset"};
-  static const char* kOrdered[] = {"vector", "map",      "set",  "multimap",
-                                   "multiset", "deque",  "array", "list"};
-  scan_container_decls(raw, kUnordered, std::size(kUnordered), &out.vars,
-                       &out.accessors);
-  scan_container_decls(raw, kOrdered, std::size(kOrdered), nullptr,
-                       &out.ordered_accessors);
+  return out;
 }
 
 /// Extracts the sequence expression of a single-line range-for, or "" when
@@ -214,67 +115,51 @@ std::string trailing_call_name(const std::string& seq) {
   if (seq.size() < 3 || seq.substr(seq.size() - 2) != "()") return "";
   std::size_t e = seq.size() - 2;
   std::size_t b = e;
-  while (b > 0 && is_ident(seq[b - 1])) --b;
+  while (b > 0 && is_ident_char(seq[b - 1])) --b;
   if (b == e) return "";
   return seq.substr(b, e - b);
 }
 
-struct RuleContext {
-  const SourceFile* file = nullptr;
-  std::vector<std::string> code;  ///< code_view of each line
-  const UnorderedDecls* decls = nullptr;
-  Report* report = nullptr;
+/// Per-file context for the line rules.
+struct FileContext {
+  int file = 0;
+  const SourceFile* src = nullptr;
+  const std::vector<std::string>* code = nullptr;  ///< code_view lines
+  UnorderedDecls decls;
 };
-
-void emit(RuleContext& ctx, std::size_t idx, const std::string& rule,
-          std::string message, bool accepts_ordered) {
-  const WaiverScan w =
-      find_waiver(ctx.file->lines, idx, rule, accepts_ordered);
-  Finding f{ctx.file->path, static_cast<int>(idx + 1), rule,
-            std::move(message)};
-  if (w.waived) {
-    if (w.ordered)
-      ++ctx.report->ordered_waivers_used;
-    else
-      ++ctx.report->allow_waivers_used;
-    ctx.report->waived.push_back(std::move(f));
-  } else {
-    ctx.report->findings.push_back(std::move(f));
-  }
-}
 
 // -- rule: banned-call -------------------------------------------------------
 
-void rule_banned_call(RuleContext& ctx) {
+void rule_banned_call(const FileContext& ctx, RuleSink& sink) {
   static const char* kDirs[] = {"core", "sched", "sim", "workload"};
   const bool in_scope = std::any_of(
       std::begin(kDirs), std::end(kDirs),
-      [&](const char* d) { return has_component(ctx.file->path, d); });
+      [&](const char* d) { return has_component(ctx.src->path, d); });
   if (!in_scope) return;
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& code = ctx.code[i];
+  for (std::size_t i = 0; i < ctx.code->size(); ++i) {
+    const std::string& code = (*ctx.code)[i];
     if (has_token(code, "rand(") || has_token(code, "srand"))
-      emit(ctx, i, "banned-call",
-           "libc PRNG breaks deterministic replay; use util/rng.h",
-           /*accepts_ordered=*/false);
+      sink.emit(ctx.file, static_cast<int>(i), "banned-call",
+                "libc PRNG breaks deterministic replay; use util/rng.h",
+                /*accepts_ordered=*/false);
     if (code.find("system_clock") != std::string::npos)
-      emit(ctx, i, "banned-call",
-           "wall clock in deterministic code; use engine time or "
-           "steady_clock",
-           /*accepts_ordered=*/false);
+      sink.emit(ctx.file, static_cast<int>(i), "banned-call",
+                "wall clock in deterministic code; use engine time or "
+                "steady_clock",
+                /*accepts_ordered=*/false);
     if (has_token(code, "time(")) {
       // Only the wall-clock forms: time(), time(nullptr), time(NULL), time(0).
       std::size_t pos = code.find("time(");
       while (pos != std::string::npos) {
-        if (pos == 0 || !is_ident(code[pos - 1])) {
+        if (pos == 0 || !is_ident_char(code[pos - 1])) {
           const std::size_t close = code.find(')', pos);
           if (close != std::string::npos) {
             const std::string arg = trim(code.substr(pos + 5, close - pos - 5));
             if (arg.empty() || arg == "nullptr" || arg == "NULL" ||
                 arg == "0") {
-              emit(ctx, i, "banned-call",
-                   "wall clock in deterministic code; use engine time",
-                   /*accepts_ordered=*/false);
+              sink.emit(ctx.file, static_cast<int>(i), "banned-call",
+                        "wall clock in deterministic code; use engine time",
+                        /*accepts_ordered=*/false);
               break;
             }
           }
@@ -287,38 +172,38 @@ void rule_banned_call(RuleContext& ctx) {
 
 // -- rule: unordered-iter ----------------------------------------------------
 
-void rule_unordered_iter(RuleContext& ctx) {
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& code = ctx.code[i];
+void rule_unordered_iter(const FileContext& ctx, RuleSink& sink) {
+  for (std::size_t i = 0; i < ctx.code->size(); ++i) {
+    const std::string& code = (*ctx.code)[i];
 
     const std::string seq = range_for_sequence(code);
     if (!seq.empty()) {
       bool hit = false;
-      if (std::all_of(seq.begin(), seq.end(), is_ident) &&
-          ctx.decls->vars.count(seq)) {
+      if (std::all_of(seq.begin(), seq.end(), is_ident_char) &&
+          ctx.decls.vars.count(seq)) {
         hit = true;
       } else {
         const std::string call = trailing_call_name(seq);
-        if (!call.empty() && ctx.decls->accessors.count(call)) hit = true;
+        if (!call.empty() && ctx.decls.accessors.count(call)) hit = true;
       }
       if (hit)
-        emit(ctx, i, "unordered-iter",
-             "iteration over unordered container '" + seq +
-                 "' — hash order may leak into fingerprints/metrics/output; "
-                 "sort first or waive with ordered(<reason>)",
-             /*accepts_ordered=*/true);
+        sink.emit(ctx.file, static_cast<int>(i), "unordered-iter",
+                  "iteration over unordered container '" + seq +
+                      "' — hash order may leak into fingerprints/metrics/"
+                      "output; sort first or waive with ordered(<reason>)",
+                  /*accepts_ordered=*/true);
     }
 
-    for (const std::string& var : ctx.decls->vars) {
+    for (const std::string& var : ctx.decls.vars) {
       const std::string pat = var + ".begin(";
       std::size_t pos = 0;
       bool flagged = false;
       while (!flagged && (pos = code.find(pat, pos)) != std::string::npos) {
-        if (pos == 0 || !is_ident(code[pos - 1])) {
-          emit(ctx, i, "unordered-iter",
-               "iterator range over unordered container '" + var +
-                   "' — sort first or waive with ordered(<reason>)",
-               /*accepts_ordered=*/true);
+        if (pos == 0 || !is_ident_char(code[pos - 1])) {
+          sink.emit(ctx.file, static_cast<int>(i), "unordered-iter",
+                    "iterator range over unordered container '" + var +
+                        "' — sort first or waive with ordered(<reason>)",
+                    /*accepts_ordered=*/true);
           flagged = true;
         }
         pos += 1;
@@ -327,7 +212,7 @@ void rule_unordered_iter(RuleContext& ctx) {
   }
 }
 
-// -- rule: journal-before-mutate ---------------------------------------------
+// -- rules: journal-before-mutate / lease-journal ----------------------------
 
 bool journal_exempt_method(const std::string& name) {
   static const char* kPrefixes[] = {"apply_",  "restore_", "wipe_",
@@ -337,78 +222,42 @@ bool journal_exempt_method(const std::string& name) {
                      [&](const char* p) { return name.rfind(p, 0) == 0; });
 }
 
-void rule_journal_before_mutate(RuleContext& ctx) {
-  if (file_stem(ctx.file->path) != "cluster") return;
-  static const char* kMutators[] = {
+/// Runs the two Cluster write-ahead rules over every indexed
+/// Cluster::<method> body in this file (the index replaces v1's inline
+/// brace tracking; the per-line matching inside a body is unchanged).
+void rule_cluster_write_ahead(const FileContext& ctx, const ProjectIndex& ix,
+                              RuleSink& sink) {
+  if (file_stem(ctx.src->path) != "cluster") return;
+  static const char* kSchedMutators[] = {
       "sched_.submit(",        "sched_.kill(",
       "sched_.finish(",        "sched_.release_hold(",
       "sched_.start_holding(",
   };
+  static const char* kLeaseMutators[] = {"leases_[", "leases_.emplace",
+                                         "leases_.insert", "leases_.erase",
+                                         "leases_.clear"};
 
-  std::string method;
-  bool in_method = false;
-  int depth = 0;
-  bool body_entered = false;
-  std::size_t first_mutation = std::string::npos;
-  std::string mutation_text;
-  bool has_append = false;
-
-  const auto finish_method = [&]() {
-    if (first_mutation != std::string::npos && !has_append &&
-        !journal_exempt_method(method))
-      emit(ctx, first_mutation, "journal-before-mutate",
-           "Cluster::" + method + " mutates scheduler state (" +
-               mutation_text +
-               ") without journaling a record in the same body; append a "
-               "JournalRecord before the effect becomes visible or waive "
-               "with allow(journal-before-mutate)",
-           /*accepts_ordered=*/false);
-    in_method = false;
-    body_entered = false;
-    depth = 0;
-    first_mutation = std::string::npos;
-    has_append = false;
-  };
-
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& code = ctx.code[i];
-    if (!in_method) {
-      const std::size_t pos = code.rfind("Cluster::");
-      if (pos == std::string::npos) continue;
-      std::size_t b = pos + 9, e = b;
-      while (e < code.size() && (is_ident(code[e]) || code[e] == '~')) ++e;
-      if (e == b) continue;
-      // A definition, not a qualified call: the name must be followed by
-      // '(' and the line must not end in ';' before any '{' appears.
-      std::size_t after = e;
-      while (after < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[after])) != 0)
-        ++after;
-      if (after >= code.size() || code[after] != '(') continue;
-      method = code.substr(b, e - b);
-      in_method = true;
-      depth = 0;
-      body_entered = false;
-      first_mutation = std::string::npos;
-      has_append = false;
-      // fall through to brace tracking on this same line
-    }
-    for (char c : code) {
-      if (c == '{') {
-        ++depth;
-        body_entered = true;
-      }
-      if (c == '}') --depth;
-    }
-    if (in_method && !body_entered && code.find(';') != std::string::npos) {
-      // Declaration-only line (e.g. an out-of-class member initializer);
-      // not a definition after all.
-      in_method = false;
+  for (const FunctionInfo& f : ix.functions) {
+    if (f.file != ctx.file || f.cls != "Cluster") continue;
+    if (f.body_first_line <= 0 || f.body_last_line < f.body_first_line)
       continue;
-    }
-    if (in_method && body_entered) {
-      if (first_mutation == std::string::npos) {
-        for (const char* m : kMutators) {
+    const std::size_t first = static_cast<std::size_t>(f.body_first_line - 1);
+    const std::size_t last = std::min(
+        static_cast<std::size_t>(f.body_last_line - 1), ctx.code->size() - 1);
+    const bool exempt = journal_exempt_method(f.name);
+
+    // journal-before-mutate: same-body presence of an append.
+    std::size_t first_mutation = std::string::npos;
+    std::string mutation_text;
+    bool has_append = false;
+    // lease-journal: append must *precede* the lease-table write.
+    bool append_seen = false;
+
+    for (std::size_t i = first; i <= last; ++i) {
+      const std::string& code = (*ctx.code)[i];
+      const std::size_t apos = code.find("journal_->append(");
+      if (!exempt && first_mutation == std::string::npos) {
+        for (const char* m : kSchedMutators) {
           if (code.find(m) != std::string::npos) {
             first_mutation = i;
             mutation_text = m;
@@ -417,100 +266,47 @@ void rule_journal_before_mutate(RuleContext& ctx) {
           }
         }
       }
-      if (code.find("journal_->append(") != std::string::npos)
-        has_append = true;
-      if (depth == 0) finish_method();
-    }
-  }
-}
-
-// -- rule: lease-journal -----------------------------------------------------
-
-/// Liveness refinement of journal-before-mutate with strict ordering: every
-/// mutation of the Cluster lease table (`leases_`) must be *preceded*, in
-/// the same method body, by a journal append.  A crash between a lease
-/// state change and its record would replay to a different lease — and
-/// therefore fencing — state, exactly the divergence the leased-hold layer
-/// exists to rule out.  Replay/restore methods (which run with journaling
-/// off against already-durable records) are exempt by name.
-void rule_lease_journal(RuleContext& ctx) {
-  if (file_stem(ctx.file->path) != "cluster") return;
-  static const char* kMutators[] = {"leases_[", "leases_.emplace",
-                                    "leases_.insert", "leases_.erase",
-                                    "leases_.clear"};
-
-  std::string method;
-  bool in_method = false;
-  int depth = 0;
-  bool body_entered = false;
-  bool append_seen = false;
-
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& code = ctx.code[i];
-    if (!in_method) {
-      const std::size_t pos = code.rfind("Cluster::");
-      if (pos == std::string::npos) continue;
-      std::size_t b = pos + 9, e = b;
-      while (e < code.size() && (is_ident(code[e]) || code[e] == '~')) ++e;
-      if (e == b) continue;
-      std::size_t after = e;
-      while (after < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[after])) != 0)
-        ++after;
-      if (after >= code.size() || code[after] != '(') continue;
-      method = code.substr(b, e - b);
-      in_method = true;
-      depth = 0;
-      body_entered = false;
-      append_seen = false;
-      // fall through to brace tracking on this same line
-    }
-    for (char c : code) {
-      if (c == '{') {
-        ++depth;
-        body_entered = true;
-      }
-      if (c == '}') --depth;
-    }
-    if (in_method && !body_entered && code.find(';') != std::string::npos) {
-      in_method = false;
-      continue;
-    }
-    if (in_method && body_entered) {
-      const std::size_t apos = code.find("journal_->append(");
-      if (!journal_exempt_method(method)) {
-        for (const char* m : kMutators) {
+      if (!exempt) {
+        for (const char* m : kLeaseMutators) {
           const std::size_t mpos = code.find(m);
           if (mpos == std::string::npos) continue;
-          // Ordered: an append earlier in the body, or earlier on this line.
           if (append_seen || (apos != std::string::npos && apos < mpos))
             continue;
           std::string token(m);
           if (token.back() == '(' || token.back() == '[') token.pop_back();
-          emit(ctx, i, "lease-journal",
-               "Cluster::" + method + " mutates the lease table (" + token +
-                   ") before any journal append in this body; journal the "
-                   "lease record first (write-ahead) or waive with "
-                   "allow(lease-journal)",
-               /*accepts_ordered=*/false);
+          sink.emit(ctx.file, static_cast<int>(i), "lease-journal",
+                    "Cluster::" + f.name + " mutates the lease table (" +
+                        token +
+                        ") before any journal append in this body; journal "
+                        "the lease record first (write-ahead) or waive with "
+                        "allow(lease-journal)",
+                    /*accepts_ordered=*/false);
         }
       }
-      if (apos != std::string::npos) append_seen = true;
-      if (depth == 0) {
-        in_method = false;
-        body_entered = false;
-        append_seen = false;
+      if (apos != std::string::npos) {
+        has_append = true;
+        append_seen = true;
       }
     }
+
+    if (first_mutation != std::string::npos && !has_append && !exempt)
+      sink.emit(ctx.file, static_cast<int>(first_mutation),
+                "journal-before-mutate",
+                "Cluster::" + f.name + " mutates scheduler state (" +
+                    mutation_text +
+                    ") without journaling a record in the same body; append "
+                    "a JournalRecord before the effect becomes visible or "
+                    "waive with allow(journal-before-mutate)",
+                /*accepts_ordered=*/false);
   }
 }
 
 // -- rule: dedup-before-reply ------------------------------------------------
 
-void rule_dedup_before_reply(RuleContext& ctx) {
-  if (file_stem(ctx.file->path) != "service") return;
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::string& code = ctx.code[i];
+void rule_dedup_before_reply(const FileContext& ctx, RuleSink& sink) {
+  if (file_stem(ctx.src->path) != "service") return;
+  for (std::size_t i = 0; i < ctx.code->size(); ++i) {
+    const std::string& code = (*ctx.code)[i];
     const bool effectful = code.find("service_.try_start_mate(") !=
                                std::string::npos ||
                            code.find("service_.start_job(") !=
@@ -521,59 +317,110 @@ void rule_dedup_before_reply(RuleContext& ctx) {
     // and commits it) before the reply for this call is built.
     bool recorded = false;
     std::size_t j = i;
-    for (; j < ctx.code.size(); ++j) {
-      if (ctx.code[j].find("->record(") != std::string::npos ||
-          ctx.code[j].find(".record(") != std::string::npos)
+    for (; j < ctx.code->size(); ++j) {
+      if ((*ctx.code)[j].find("->record(") != std::string::npos ||
+          (*ctx.code)[j].find(".record(") != std::string::npos)
         recorded = true;
-      if (ctx.code[j].find("return") != std::string::npos) break;
+      if ((*ctx.code)[j].find("return") != std::string::npos) break;
     }
     if (!recorded)
-      emit(ctx, i, "dedup-before-reply",
-           "side-effecting service call replies without recording the "
-           "verdict in RpcDedup (durable-before-reply); record it or waive "
-           "with allow(dedup-before-reply)",
-           /*accepts_ordered=*/false);
+      sink.emit(ctx.file, static_cast<int>(i), "dedup-before-reply",
+                "side-effecting service call replies without recording the "
+                "verdict in RpcDedup (durable-before-reply); record it or "
+                "waive with allow(dedup-before-reply)",
+                /*accepts_ordered=*/false);
   }
 }
-
-// -- rule: engine-shared-state -----------------------------------------------
 
 /// Identifier ending right before `pos` (walking back over ident chars).
 std::string ident_before(const std::string& code, std::size_t pos) {
   std::size_t b = pos;
-  while (b > 0 && is_ident(code[b - 1])) --b;
+  while (b > 0 && is_ident_char(code[b - 1])) --b;
   return code.substr(b, pos - b);
 }
 
-/// Column where a worker-pool dispatch starts on this line, or npos.
-/// Matches WorkerPool dispatch (`<something-pool>.run(` / `->run(`) and raw
-/// std::thread construction; Engine::run()/CoupledSim::run() never match
-/// because their receivers are not pools.
-std::size_t worker_dispatch_pos(const std::string& code) {
-  const std::size_t t = code.find("std::thread(");
-  if (t != std::string::npos) return t;
-  for (const char* pat : {"->run(", ".run("}) {
-    std::size_t pos = 0;
-    while ((pos = code.find(pat, pos)) != std::string::npos) {
-      std::string recv = ident_before(code, pos);
-      std::transform(recv.begin(), recv.end(), recv.begin(),
-                     [](unsigned char c) { return std::tolower(c); });
-      if (recv.find("pool") != std::string::npos) return pos;
-      pos += 1;
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
-  return std::string::npos;
+  return out;
 }
 
-/// First `_`-suffixed identifier on `code` mutated with =, +=, -=, ++ or --
-/// (an implicit this-> member write), or "" when none.  `obj.member_` and
-/// `other->member_` are another object's state, not the enclosing class's —
-/// only bare and explicit `this->` accesses count.
+void json_findings(std::ostringstream& os, const char* key,
+                   const std::vector<Finding>& v) {
+  os << "  \"" << key << "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << json_escape(v[i].file) << "\", \"line\": "
+       << v[i].line << ", \"rule\": \"" << json_escape(v[i].rule)
+       << "\", \"message\": \"" << json_escape(v[i].message) << "\"}";
+  }
+  os << (v.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+void RuleSink::emit(int file, int line0, const std::string& rule,
+                    std::string message, bool accepts_ordered) {
+  const std::vector<std::string>& raw = (*files)[file].lines;
+  const auto match_line = [&](int li) -> int {
+    // Returns 1 for ordered(), 2 for allow(rule), 0 for no waiver.
+    if (li < 0 || li >= static_cast<int>(raw.size())) return 0;
+    const std::string& line = raw[li];
+    if (accepts_ordered &&
+        line.find("cosched-lint: ordered(") != std::string::npos)
+      return 1;
+    if (line.find("cosched-lint: allow(" + rule + ")") != std::string::npos)
+      return 2;
+    return 0;
+  };
+  int waiver_line = line0;
+  int kind = match_line(line0);
+  if (kind == 0) {
+    kind = match_line(line0 - 1);
+    waiver_line = line0 - 1;
+  }
+
+  Finding f{(*files)[file].path, line0 + 1, rule, std::move(message)};
+  if (kind == 0) {
+    report->findings.push_back(std::move(f));
+    return;
+  }
+  if (kind == 1)
+    ++report->ordered_waivers_used;
+  else
+    ++report->allow_waivers_used;
+  report->waived.push_back(std::move(f));
+  if (waivers != nullptr) {
+    for (WaiverRecord& w : *waivers) {
+      if (w.file != file || w.line0 != waiver_line) continue;
+      if (kind == 1 && w.ordered) w.used = true;
+      if (kind == 2 && !w.ordered && w.rule == rule) w.used = true;
+    }
+  }
+}
+
 std::string member_mutation(const std::string& code) {
   for (std::size_t i = 0; i < code.size(); ++i) {
-    if (!is_ident(code[i])) continue;
+    if (!is_ident_char(code[i])) continue;
     const std::size_t b = i;
-    while (i < code.size() && is_ident(code[i])) ++i;
+    while (i < code.size() && is_ident_char(code[i])) ++i;
     if (code[i - 1] != '_') continue;
     const std::string name = code.substr(b, i - b);
     if (b > 0 && code[b - 1] == '.') continue;
@@ -611,79 +458,6 @@ std::string member_mutation(const std::string& code) {
   return "";
 }
 
-/// Worker-pool lambdas run concurrently with each other (and, for raw
-/// threads, with the spawning thread): writing engine/cluster members from
-/// one is a data race unless the write sits in a REQUIRES-annotated section
-/// or under a MutexLock.  The checked region is the first lambda body after
-/// a dispatch site; thread-safety annotations only cover functions the
-/// analysis can see, so lambda bodies need this textual backstop.
-void rule_engine_shared_state(RuleContext& ctx) {
-  for (std::size_t i = 0; i < ctx.code.size(); ++i) {
-    const std::size_t dispatch = worker_dispatch_pos(ctx.code[i]);
-    if (dispatch == std::string::npos) continue;
-
-    // Find the lambda introducer, then its body braces.
-    std::size_t line = i, col = dispatch;
-    bool found_lambda = false;
-    for (; line < ctx.code.size() && line < i + 4 && !found_lambda; ++line) {
-      const std::size_t l = ctx.code[line].find('[', col);
-      if (l != std::string::npos) {
-        col = l;
-        found_lambda = true;
-        break;
-      }
-      col = 0;
-    }
-    if (!found_lambda) continue;
-
-    int depth = 0;
-    bool body_entered = false;
-    bool guarded = false;
-    for (std::size_t j = line; j < ctx.code.size(); ++j) {
-      const std::string& code = ctx.code[j];
-      const std::size_t from = (j == line) ? col : 0;
-      const bool was_in_body = body_entered;
-      std::size_t open_col = std::string::npos;
-      std::size_t close_col = std::string::npos;
-      for (std::size_t k = from; k < code.size(); ++k) {
-        if (code[k] == '{') {
-          ++depth;
-          if (!body_entered) {
-            body_entered = true;
-            open_col = k;
-          }
-        }
-        if (code[k] == '}' && --depth == 0) {
-          close_col = k;
-          break;
-        }
-      }
-      if (body_entered) {
-        // Only the slice of this line inside the body is part of the region.
-        const std::size_t b = was_in_body ? 0 : open_col + 1;
-        const std::size_t e = close_col == std::string::npos ? code.size()
-                                                             : close_col;
-        const std::string body = code.substr(b, e - b);
-        if (body.find("MutexLock") != std::string::npos ||
-            body.find("REQUIRES(") != std::string::npos)
-          guarded = true;
-        const std::string hit = guarded ? "" : member_mutation(body);
-        if (!hit.empty())
-          emit(ctx, j, "engine-shared-state",
-               "worker-pool lambda mutates shared member '" + hit +
-                   "' outside a REQUIRES-annotated section; take the "
-                   "owning Mutex (MutexLock), move the write to the "
-                   "post-barrier fold, or waive with "
-                   "allow(engine-shared-state)",
-               /*accepts_ordered=*/false);
-      }
-      if (close_col != std::string::npos) break;
-    }
-  }
-}
-
-}  // namespace
-
 std::vector<std::string> split_lines(const std::string& contents) {
   std::vector<std::string> lines;
   std::string cur;
@@ -703,53 +477,55 @@ Report run_lint(const std::vector<SourceFile>& files) {
   Report report;
   report.files_scanned = files.size();
 
-  // Cross-file declaration context: a .cpp sees its own declarations plus
-  // those of any file sharing its stem (cluster.cpp <- cluster.h); accessor
-  // names (functions returning unordered refs) apply globally, since they
-  // are called through an object of the declaring class.
-  std::map<std::string, UnorderedDecls> by_stem;
-  UnorderedDecls global;
-  for (const SourceFile& f : files) {
-    UnorderedDecls d;
-    scan_unordered_decls(f.lines, d);
-    UnorderedDecls& slot = by_stem[file_stem(f.path)];
-    slot.vars.insert(d.vars.begin(), d.vars.end());
-    slot.accessors.insert(d.accessors.begin(), d.accessors.end());
-    global.accessors.insert(d.accessors.begin(), d.accessors.end());
-    global.ordered_accessors.insert(d.ordered_accessors.begin(),
-                                    d.ordered_accessors.end());
+  const ProjectIndex index = build_index(files);
+  std::vector<WaiverRecord> waivers = scan_waivers(files);
+
+  RuleSink sink;
+  sink.files = &files;
+  sink.report = &report;
+  sink.waivers = &waivers;
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileContext ctx;
+    ctx.file = static_cast<int>(i);
+    ctx.src = &files[i];
+    ctx.code = &index.file_model[i].code;
+    // v1 declaration-context merge: own stem's vars + global accessors,
+    // minus the ordered/unordered-ambiguous names.
+    const auto it = index.decls_by_stem.find(file_stem(files[i].path));
+    if (it != index.decls_by_stem.end()) ctx.decls = it->second;
+    ctx.decls.accessors.insert(index.global_decls.accessors.begin(),
+                               index.global_decls.accessors.end());
+    for (const std::string& name : index.global_decls.ordered_accessors)
+      ctx.decls.accessors.erase(name);
+
+    rule_banned_call(ctx, sink);
+    rule_unordered_iter(ctx, sink);
+    rule_cluster_write_ahead(ctx, index, sink);
+    rule_dedup_before_reply(ctx, sink);
   }
-  // An accessor name declared with both ordered and unordered return types
-  // (Trace::jobs() vs Scheduler::jobs()) is ambiguous to a textual matcher:
-  // skip it rather than flag every vector-returning call site.
-  for (const std::string& name : global.ordered_accessors)
-    global.accessors.erase(name);
 
-  for (const SourceFile& f : files) {
-    RuleContext ctx;
-    ctx.file = &f;
-    ctx.code.reserve(f.lines.size());
-    for (const std::string& l : f.lines) ctx.code.push_back(code_view(l));
-    UnorderedDecls decls = by_stem[file_stem(f.path)];
-    decls.accessors.insert(global.accessors.begin(), global.accessors.end());
-    for (const std::string& name : global.ordered_accessors)
-      decls.accessors.erase(name);
-    ctx.decls = &decls;
-    ctx.report = &report;
+  rule_journal_coverage(index, sink);
+  rule_dispatch_exhaustiveness(index, sink);
+  rule_lock_order(index, sink);
+  rule_lane_purity(index, sink);
 
-    rule_banned_call(ctx);
-    rule_unordered_iter(ctx);
-    rule_journal_before_mutate(ctx);
-    rule_lease_journal(ctx);
-    rule_dedup_before_reply(ctx);
-    rule_engine_shared_state(ctx);
+  for (const WaiverRecord& w : waivers) {
+    if (w.used) continue;
+    report.unused_waivers.push_back(Finding{
+        files[w.file].path, w.line0 + 1, "unused-waiver",
+        std::string(w.ordered ? "ordered(...)" : "allow(" + w.rule + ")") +
+            " waiver suppressed no finding — stale debt; remove it"});
   }
 
   const auto by_location = [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
   };
   std::sort(report.findings.begin(), report.findings.end(), by_location);
   std::sort(report.waived.begin(), report.waived.end(), by_location);
+  std::sort(report.unused_waivers.begin(), report.unused_waivers.end(),
+            by_location);
   return report;
 }
 
@@ -798,6 +574,44 @@ bool lint_paths(const std::vector<std::string>& roots, Report& out,
 std::string to_string(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
          f.message;
+}
+
+std::string to_json(const Report& r) {
+  // Per-rule tallies over a stable rule list (plus anything else seen), so
+  // CI tables have fixed rows run over run.
+  static const char* kKnownRules[] = {
+      "banned-call",          "dedup-before-reply",
+      "dispatch-exhaustiveness", "engine-shared-state",
+      "journal-before-mutate", "journal-coverage",
+      "lease-journal",        "lock-order",
+      "unordered-iter",
+  };
+  std::map<std::string, std::pair<int, int>> rules;  // rule -> (findings, waived)
+  for (const char* k : kKnownRules) rules[k] = {0, 0};
+  for (const Finding& f : r.findings) ++rules[f.rule].first;
+  for (const Finding& f : r.waived) ++rules[f.rule].second;
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"files_scanned\": " << r.files_scanned << ",\n";
+  os << "  \"ordered_waivers\": " << r.ordered_waivers_used << ",\n";
+  os << "  \"allow_waivers\": " << r.allow_waivers_used << ",\n";
+  json_findings(os, "findings", r.findings);
+  os << ",\n";
+  json_findings(os, "waived", r.waived);
+  os << ",\n";
+  json_findings(os, "unused_waivers", r.unused_waivers);
+  os << ",\n";
+  os << "  \"rules\": {";
+  bool first = true;
+  for (const auto& [rule, counts] : rules) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << json_escape(rule) << "\": {\"findings\": "
+       << counts.first << ", \"waived\": " << counts.second << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
 }
 
 }  // namespace cosched::lint

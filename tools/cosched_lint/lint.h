@@ -1,8 +1,12 @@
 // cosched-lint: domain-rule static checks the compiler cannot express.
 //
-// A line/decl-level matcher over the source tree enforcing the invariants
-// the runtime defenses (TSan, invariant reports, kill-anywhere recovery)
-// only catch when a test happens to hit them:
+// v2: every file is parsed once by a lightweight tokenizer into a shared
+// project index (index.h) — functions, enums, case arms, lock sites,
+// annotations — and the rules run over that index.  The per-line rules keep
+// their v1 behavior; four cross-file analyses walk the whole-project model.
+// The rules enforce the invariants the runtime defenses (TSan, invariant
+// reports, kill-anywhere recovery) only catch when a test happens to hit
+// them:
 //
 //   journal-before-mutate  every state-mutating Cluster method appends a
 //                          journal record in the same body as the mutation
@@ -32,7 +36,28 @@
 //                          (`<pool>.run(...)` / std::thread) outside a
 //                          MutexLock/REQUIRES-guarded section — parallel-
 //                          window workers may only touch their own lane;
-//                          shared counters belong in the post-barrier fold
+//                          shared counters belong in the post-barrier fold.
+//                          v2 makes this interprocedural: unguarded member
+//                          mutations in any function *reachable* from the
+//                          lambda are flagged too (REQUIRES-annotated
+//                          callees, thread_local members, and MutexLock-
+//                          guarded writes are exempt)
+//   journal-coverage       every JournalRecordKind enumerator has a writer
+//                          site (append/frame), a replay arm in the journal
+//                          apply switch, a to_string name arm, and its
+//                          replay-arm state is covered by write_snapshot/
+//                          apply_snapshot — a kind missing any of these
+//                          silently loses state across recovery/compaction
+//   dispatch-exhaustiveness  every MsgType request enumerator has a dispatch
+//                          arm, and every arm whose effects run through a
+//                          helper still records a dedup verdict before the
+//                          reply (the whole-dispatch-graph generalization of
+//                          dedup-before-reply)
+//   lock-order             the project-wide mutex acquisition graph (nested
+//                          MutexLock scopes, calls made under a lock,
+//                          REQUIRES-held edges) must be acyclic — a cycle is
+//                          a latent ABBA deadlock even if no test interleaves
+//                          it
 //
 // Escape hatches (same line or the line above the finding):
 //   // cosched-lint: ordered(<why hash order cannot leak>)   unordered-iter
@@ -63,6 +88,10 @@ struct Report {
   int ordered_waivers_used = 0;
   int allow_waivers_used = 0;
   std::size_t files_scanned = 0;
+  /// Waiver comments that suppressed nothing this run (rule "unused-waiver",
+  /// line = the comment's line).  Reported, never failing — the signal that
+  /// drives waiver audits.
+  std::vector<Finding> unused_waivers;
 };
 
 /// Splits file contents into lines (tolerates missing trailing newline).
@@ -82,5 +111,11 @@ bool lint_paths(const std::vector<std::string>& roots, Report& out,
 
 /// Formats one finding as "file:line: [rule] message".
 std::string to_string(const Finding& f);
+
+/// Renders the full report as JSON with stable key and array order:
+/// files_scanned / ordered_waivers / allow_waivers, the three finding
+/// arrays (each sorted by file, line, rule), and a per-rule
+/// {findings, waived} tally covering every known rule id.
+std::string to_json(const Report& r);
 
 }  // namespace cosched::lint

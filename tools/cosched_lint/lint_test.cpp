@@ -59,19 +59,22 @@ TEST(CoschedLint, GoodFixturesCountWaivers) {
 TEST(CoschedLint, BadFixturesAreAllFlagged) {
   const Report r = lint_dir("bad");
   const std::set<std::string> expected = {
-      "journal-before-mutate", "lease-journal", "dedup-before-reply",
-      "banned-call", "unordered-iter", "engine-shared-state"};
+      "journal-before-mutate", "lease-journal",      "dedup-before-reply",
+      "banned-call",           "unordered-iter",     "engine-shared-state",
+      "journal-coverage",      "dispatch-exhaustiveness", "lock-order"};
   EXPECT_EQ(rules_hit(r), expected);
 }
 
 TEST(CoschedLint, BadEngineFindingsNameTheRacingMembers) {
   const Report r = lint_dir("bad");
   // run_window races executed_ and now_; spawn_helper races pinned_steps_
-  // from a raw std::thread lambda.
-  ASSERT_EQ(count_rule(r, "engine-shared-state"), 3);
+  // from a raw std::thread lambda; lanes_fanout.cpp adds the
+  // interprocedural fanout_steps_ hit (checked in its own test below).
+  ASSERT_EQ(count_rule(r, "engine-shared-state"), 4);
   std::set<std::string> members;
   for (const Finding& f : r.findings) {
     if (f.rule != "engine-shared-state") continue;
+    if (f.file.find("lanes_fanout.cpp") != std::string::npos) continue;
     EXPECT_NE(f.file.find("engine.cpp"), std::string::npos);
     for (const char* m : {"executed_", "now_", "pinned_steps_"})
       if (f.message.find(std::string("'") + m + "'") != std::string::npos)
@@ -236,6 +239,172 @@ TEST(CoschedLint, AccessorIterationNeedsWaiver) {
   const Report r = run_lint(files);
   ASSERT_EQ(r.findings.size(), 1u);
   EXPECT_EQ(r.findings[0].rule, "unordered-iter");
+}
+
+// -- cross-file analyses (v2) ------------------------------------------------
+
+TEST(CoschedLint, BadJournalKindsMissReplayAndSnapshot) {
+  const Report r = lint_dir("bad");
+  // kDeltaNote's replay arm was deleted; kGammaMark's replay arm rebuilds
+  // gamma_seen_, which the snapshot pair never carries.
+  ASSERT_EQ(count_rule(r, "journal-coverage"), 2);
+  std::set<std::string> hits;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "journal-coverage") continue;
+    EXPECT_NE(f.file.find("journal_kinds.h"), std::string::npos);
+    if (f.message.find("'kDeltaNote'") != std::string::npos &&
+        f.message.find("no replay case") != std::string::npos)
+      hits.insert("missing-replay");
+    if (f.message.find("'gamma_seen_'") != std::string::npos)
+      hits.insert("missing-snapshot");
+  }
+  EXPECT_EQ(hits,
+            (std::set<std::string>{"missing-replay", "missing-snapshot"}));
+}
+
+TEST(CoschedLint, JournalReplayArmDeletionIsCaught) {
+  // Full coverage passes; removing exactly one replay arm must fail.
+  const std::vector<std::string> full = {
+      "enum class JournalRecordKind { kOneMark = 1, kTwoMark = 2 };",
+      "void Box::save() {",
+      "  journal_->append(JournalRecordKind::kOneMark, b);",
+      "  journal_->append(JournalRecordKind::kTwoMark, b);",
+      "}",
+      "void Box::apply_record(const Record& r) {",
+      "  switch (r.kind) {",
+      "    case JournalRecordKind::kOneMark: break;",
+      "    case JournalRecordKind::kTwoMark: break;",
+      "  }",
+      "}"};
+  EXPECT_EQ(count_rule(run_lint({{"fake/core/box.cpp", full}}),
+                       "journal-coverage"),
+            0);
+  std::vector<std::string> missing = full;
+  missing.erase(missing.begin() + 8);  // drop the kTwoMark replay arm
+  const Report r = run_lint({{"fake/core/box.cpp", missing}});
+  ASSERT_EQ(count_rule(r, "journal-coverage"), 1);
+  EXPECT_NE(r.findings[0].message.find("'kTwoMark'"), std::string::npos);
+}
+
+TEST(CoschedLint, BadDispatchLeakFindsMissingArmAndUnrecordedHelper) {
+  const Report r = lint_dir("bad");
+  ASSERT_EQ(count_rule(r, "dispatch-exhaustiveness"), 2);
+  std::set<std::string> hits;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "dispatch-exhaustiveness") continue;
+    EXPECT_NE(f.file.find("dispatch_leak.h"), std::string::npos);
+    if (f.message.find("'kProdReq'") != std::string::npos)
+      hits.insert("missing-arm");
+    if (f.message.find("'handle_zap'") != std::string::npos)
+      hits.insert("unrecorded-helper");
+  }
+  EXPECT_EQ(hits,
+            (std::set<std::string>{"missing-arm", "unrecorded-helper"}));
+}
+
+TEST(CoschedLint, DispatchArmDeletionIsCaught) {
+  // Both request arms present passes; removing exactly one must fail.
+  const std::vector<std::string> full = {
+      "enum class MsgType { kAReq = 1, kAResp = 2, kBReq = 3, kBResp = 4 };",
+      "Bytes Hub::dispatch(const Message& m) {",
+      "  switch (m.type) {",
+      "    case MsgType::kAReq: return reply_a(m);",
+      "    case MsgType::kBReq: return reply_b(m);",
+      "  }",
+      "}"};
+  EXPECT_EQ(count_rule(run_lint({{"fake/proto/hub.cpp", full}}),
+                       "dispatch-exhaustiveness"),
+            0);
+  std::vector<std::string> missing = full;
+  missing.erase(missing.begin() + 4);  // drop the kBReq arm
+  const Report r = run_lint({{"fake/proto/hub.cpp", missing}});
+  ASSERT_EQ(count_rule(r, "dispatch-exhaustiveness"), 1);
+  EXPECT_NE(r.findings[0].message.find("'kBReq'"), std::string::npos);
+}
+
+TEST(CoschedLint, BadLockInversionIsACycle) {
+  const Report r = lint_dir("bad");
+  ASSERT_EQ(count_rule(r, "lock-order"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule != "lock-order") continue;
+    EXPECT_NE(f.file.find("locks_inverted.h"), std::string::npos);
+    EXPECT_NE(f.message.find("Inverted::head_mu_"), std::string::npos);
+    EXPECT_NE(f.message.find("Inverted::tail_mu_"), std::string::npos);
+  }
+}
+
+TEST(CoschedLint, BadFanoutInterproceduralMutationIsCaught) {
+  const Report r = lint_dir("bad");
+  // ++fanout_steps_ is one call away from the pool lambda: invisible to the
+  // v1 lambda-slice rule, caught by the reachability walk.
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "engine-shared-state" ||
+        f.file.find("lanes_fanout.cpp") == std::string::npos)
+      continue;
+    found = true;
+    EXPECT_NE(f.message.find("'fanout_steps_'"), std::string::npos);
+    EXPECT_NE(f.message.find("via bump"), std::string::npos);
+    EXPECT_NE(f.message.find("FanoutEngine::bump"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CoschedLint, RequiresAnnotatedCalleeIsExemptFromLanePurity) {
+  // A REQUIRES-annotated callee runs with the lock held by contract — the
+  // interprocedural walk must not flag its writes.
+  const std::vector<SourceFile> files = {
+      {"fake/sim/guarded.cpp",
+       {"void Striper::run_window(unsigned threads) {",
+        "  pool_->run([this](unsigned lane) {",
+        "    locked_add(lane);",
+        "  });",
+        "}",
+        "void Striper::locked_add(unsigned lane) REQUIRES(mu_) {",
+        "  ++stripe_sum_;",
+        "}"}}};
+  EXPECT_EQ(count_rule(run_lint(files), "engine-shared-state"), 0);
+}
+
+TEST(CoschedLint, JsonReportParsesAndIsStable) {
+  const Report r = lint_dir("bad");
+  const std::string a = to_json(r);
+  const std::string b = to_json(lint_dir("bad"));
+  EXPECT_EQ(a, b);  // byte-stable across identical runs
+  for (const char* key :
+       {"\"files_scanned\"", "\"findings\"", "\"waived\"",
+        "\"unused_waivers\"", "\"rules\"", "\"lock-order\"",
+        "\"journal-coverage\"", "\"dispatch-exhaustiveness\""})
+    EXPECT_NE(a.find(key), std::string::npos) << key;
+  // Balanced braces/brackets outside strings — cheap structural parse.
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char c = a[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_str);
+}
+
+TEST(CoschedLint, UnusedWaiverIsReported) {
+  const std::vector<SourceFile> files = {
+      {"fake/core/tidy.cpp",
+       {"// cosched-lint: allow(banned-call) left over from a deleted line",
+        "int x = 1;"}}};
+  const Report r = run_lint(files);
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.unused_waivers.size(), 1u);
+  EXPECT_EQ(r.unused_waivers[0].rule, "unused-waiver");
+  EXPECT_EQ(r.unused_waivers[0].line, 1);
 }
 
 }  // namespace

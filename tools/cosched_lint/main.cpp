@@ -2,12 +2,14 @@
 // any unwaived finding.  Registered as the `lint`-labeled ctest target so
 // `ctest -L lint` gates the tree.
 //
-//   cosched_lint [--verbose-waivers] <dir-or-file>...
+//   cosched_lint [--verbose-waivers] [--json <path>] <dir-or-file>...
 //
 // The final summary line is stable and machine-parseable (CI step
 // summaries grep it):
 //   cosched-lint: files=N findings=F ordered_waivers=X allow_waivers=Y
+//       unused_waivers=U
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,13 +17,22 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::string json_path;
   bool verbose_waivers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--verbose-waivers") {
       verbose_waivers = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cosched_lint: --json needs a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: cosched_lint [--verbose-waivers] <dir-or-file>...\n");
+      std::printf(
+          "usage: cosched_lint [--verbose-waivers] [--json <path>] "
+          "<dir-or-file>...\n");
       return 0;
     } else {
       roots.push_back(arg);
@@ -45,9 +56,26 @@ int main(int argc, char** argv) {
     for (const auto& f : report.waived)
       std::printf("waived: %s\n", cosched::lint::to_string(f).c_str());
   }
-  std::printf("cosched-lint: files=%zu findings=%zu ordered_waivers=%d "
-              "allow_waivers=%d\n",
-              report.files_scanned, report.findings.size(),
-              report.ordered_waivers_used, report.allow_waivers_used);
+  // Unused waivers are advisory (never fail the run) but always printed:
+  // stale waivers are debt the next reviewer should see.
+  for (const auto& f : report.unused_waivers)
+    std::printf("note: %s\n", cosched::lint::to_string(f).c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cosched_lint: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << cosched::lint::to_json(report);
+  }
+
+  std::printf(
+      "cosched-lint: files=%zu findings=%zu ordered_waivers=%d "
+      "allow_waivers=%d unused_waivers=%zu\n",
+      report.files_scanned, report.findings.size(),
+      report.ordered_waivers_used, report.allow_waivers_used,
+      report.unused_waivers.size());
   return report.findings.empty() ? 0 : 1;
 }
