@@ -1175,20 +1175,52 @@ void Cluster::set_journal(Journal* journal, std::uint64_t compact_every) {
   compact_every_ = compact_every;
   if (journal_ == nullptr) return;
   // The journal must be recoverable from its very first byte: start it with
-  // a snapshot of the current state.
+  // a snapshot of the current state.  There is no previous generation to
+  // retain on the initial attach.
   WireWriter snap;
   write_snapshot(snap);
-  journal_->compact(snap.bytes());
+  journal_->compact(snap.bytes(), /*retain_previous=*/false);
 }
 
 void Cluster::journal_commit() {
   if (!journaling()) return;
+  // ENOSPC ladder, rung 1: an append was dropped since the last commit.
+  // Compact before the barrier so the hole the dropped record left never
+  // becomes the durable tip of the log.
+  if (journal_->no_space()) emergency_compact();
   journal_->commit();
   if (compact_every_ > 0 &&
       journal_->records_since_compaction() >= compact_every_) {
     WireWriter snap;
     write_snapshot(snap);
-    journal_->compact(snap.bytes());
+    try {
+      journal_->compact(snap.bytes());
+    } catch (const JournalNoSpace&) {
+      // The generation-retaining image no longer fits — fall through to the
+      // ladder, which collapses to a single snapshot (and beyond).
+      emergency_compact();
+    } catch (const JournalIoError&) {
+      // Transient medium error while re-reading the old image: skip this
+      // round; the periodic trigger re-fires at the next threshold commit.
+    }
+  }
+}
+
+void Cluster::emergency_compact() {
+  ++enospc_events_;
+  WireWriter snap;
+  write_snapshot(snap);
+  try {
+    // Rung 2: collapse the whole log into one snapshot frame, freeing every
+    // byte the tail occupied.
+    journal_->compact(snap.bytes(), /*retain_previous=*/false);
+    ++emergency_compactions_;
+  } catch (const Error&) {
+    // Rung 3: even a single snapshot does not fit (or the old image cannot
+    // be read back) — keep journaling in memory so in-process recovery and
+    // the exactly-once cache stay alive, and raise the degraded alarm.
+    journal_->degrade_to_memory();
+    journal_->compact(snap.bytes(), /*retain_previous=*/false);
   }
 }
 
@@ -1200,6 +1232,8 @@ void Cluster::write_snapshot(WireWriter& w) const {
   w.put_u64(unknown_status_decisions_);
   w.put_u64(unsync_starts_);
   w.put_u64(degraded_forced_releases_);
+  w.put_u64(enospc_events_);
+  w.put_u64(emergency_compactions_);
 
   // All containers go out in a canonical (sorted) order so two snapshots of
   // equal state are byte-identical.
@@ -1314,6 +1348,8 @@ void Cluster::apply_snapshot(WireReader& r) {
   unknown_status_decisions_ = r.get_u64();
   unsync_starts_ = r.get_u64();
   degraded_forced_releases_ = r.get_u64();
+  enospc_events_ = r.get_u64();
+  emergency_compactions_ = r.get_u64();
 
   for (std::uint64_t n = r.get_u64(); n > 0; --n) {
     const JobSpec spec = decode_job_spec(r);
@@ -1429,6 +1465,8 @@ void Cluster::wipe_for_recovery() {
   unknown_status_decisions_ = 0;
   unsync_starts_ = 0;
   degraded_forced_releases_ = 0;
+  enospc_events_ = 0;
+  emergency_compactions_ = 0;
   incarnation_ = 1;
   starting_from_hold_ = false;
 
@@ -1473,9 +1511,10 @@ void Cluster::apply_record(const JournalRecord& rec) {
   WireReader r(rec.payload);
   switch (rec.kind) {
     case JournalRecordKind::kSnapshot:
-      // Compaction rewrites the whole journal, so a snapshot can only be the
-      // first record — recover_from_journal() handles it there.
-      COSCHED_CHECK_MSG(false, name_ << ": snapshot record mid-journal");
+      // Snapshot records are verified and applied (or skipped, for the
+      // generations behind the one chosen) by recover_from_journal(); the
+      // replay loop never routes them here.
+      COSCHED_CHECK_MSG(false, name_ << ": snapshot record routed to replay");
       break;
     case JournalRecordKind::kIncarnation:
       incarnation_ = r.get_u64();
@@ -1716,23 +1755,108 @@ void Cluster::apply_record(const JournalRecord& rec) {
   }
 }
 
+std::size_t Cluster::apply_verified_snapshot(
+    const std::vector<JournalRecord>& records, RecoveryStats& stats) {
+  // Candidate snapshots, newest first.
+  std::vector<std::size_t> snaps;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (records[i].kind == JournalRecordKind::kSnapshot) snaps.push_back(i);
+  COSCHED_CHECK_MSG(!snaps.empty(),
+                    name_ << ": no snapshot record salvaged from the journal");
+
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    const JournalRecord& rec = records[*it];
+    const SnapshotView view = parse_snapshot_payload(rec);
+    if (!view.checksum_ok) {
+      // The envelope says the state bytes rotted — do not even try to parse
+      // them; fall back a generation.
+      stats.snapshot_fallback = true;
+      continue;
+    }
+    wipe_for_recovery();
+    try {
+      WireReader sr(view.state);
+      apply_snapshot(sr);
+    } catch (const ParseError&) {
+      // A v1 snapshot carries no checksum, so rot surfaces here instead; a
+      // clean wipe makes the next (older) candidate start from scratch.
+      wipe_for_recovery();
+      stats.snapshot_fallback = true;
+      continue;
+    }
+    stats.snapshot_generation = view.generation;
+    return *it;
+  }
+  COSCHED_CHECK_MSG(false,
+                    name_ << ": every salvaged snapshot generation is corrupt");
+  return records.size();
+}
+
+void Cluster::replay_salvaged_tail(const std::vector<JournalRecord>& records,
+                                   std::size_t snap_idx, RecoveryStats& stats) {
+  // Records to replay: everything sequenced after the chosen snapshot.  A
+  // salvage scan returns stream order, which reordered pre-fsync writes can
+  // permute — sort by sequence number (stable within a seq so a duplicate's
+  // first copy wins) before judging holes.
+  std::vector<const JournalRecord*> tail;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (records[i].seq > records[snap_idx].seq) tail.push_back(&records[i]);
+  std::stable_sort(tail.begin(), tail.end(),
+                   [](const JournalRecord* a, const JournalRecord* b) {
+                     return a->seq < b->seq;
+                   });
+
+  std::uint64_t prev_seq = records[snap_idx].seq;
+  bool holed = false;
+  for (const JournalRecord* rec : tail) {
+    if (rec->seq == prev_seq) {
+      // Same record persisted twice (reorder + retry artifacts): the first
+      // copy already applied; re-applying would double-count.
+      ++stats.duplicates_skipped;
+      continue;
+    }
+    if (holed || rec->seq != prev_seq + 1) {
+      // First hole ends the sound replay: records beyond it would apply over
+      // missing intermediate state.  Count both the hole and the survivors
+      // we refuse to use — this is the data_loss_reported() contract.
+      if (!holed) {
+        holed = true;
+        ++stats.seq_holes;
+        stats.records_missing += rec->seq - prev_seq - 1;
+      }
+      ++stats.records_dropped;
+      prev_seq = rec->seq;
+      continue;
+    }
+    prev_seq = rec->seq;
+    if (rec->kind == JournalRecordKind::kSnapshot) {
+      // A newer-but-rejected (or mid-tail retained) snapshot: its state is
+      // already covered by the records around it; it only advances the seq.
+      continue;
+    }
+    apply_record(*rec);
+    ++stats.records_replayed;
+  }
+}
+
 Cluster::RecoveryStats Cluster::recover_from_journal(Journal& journal) {
   const auto t0 = std::chrono::steady_clock::now();
+  // A JournalIoError here (transient read failure) propagates: the caller
+  // owns the retry loop, and each retry re-draws the fault stream.
   const std::vector<std::uint8_t> bytes = journal.sink().contents();
-  const JournalReplay rep = read_journal(bytes);
-  COSCHED_CHECK_MSG(!rep.records.empty() &&
-                        rep.records.front().kind == JournalRecordKind::kSnapshot,
-                    name_ << ": journal does not begin with a snapshot");
+  const SalvageReport rep = salvage_scan(bytes);
+
+  RecoveryStats stats;
+  stats.bytes_scanned = rep.bytes_scanned;
+  stats.bytes_skipped = rep.bytes_skipped;
+  stats.corrupt_regions = rep.corrupt_regions.size();
+  stats.tail_torn = rep.tail_torn;
 
   journal_ = nullptr;  // never journal while wiping or replaying
-  wipe_for_recovery();
   replaying_ = true;
-  {
-    WireReader sr(rep.records.front().payload);
-    apply_snapshot(sr);
-  }
-  for (std::size_t i = 1; i < rep.records.size(); ++i)
-    apply_record(rep.records[i]);
+  const std::size_t snap_idx = apply_verified_snapshot(rep.records, stats);
+  stats.records_replayed = 1;  // the snapshot itself
+  replay_salvaged_tail(rep.records, snap_idx, stats);
   replaying_ = false;
   rearm_after_restore();
 
@@ -1745,10 +1869,6 @@ Cluster::RecoveryStats Cluster::recover_from_journal(Journal& journal) {
   journal_->append(JournalRecordKind::kIncarnation, inc.bytes());
   journal_->commit();
 
-  RecoveryStats stats;
-  stats.records_replayed = rep.records.size();
-  stats.bytes_scanned = rep.bytes_scanned;
-  stats.tail_torn = rep.tail_torn;
   stats.incarnation = incarnation_;
   stats.replay_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

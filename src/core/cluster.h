@@ -111,6 +111,20 @@ class Cluster final : public CoschedService {
     return degraded_forced_releases_;
   }
 
+  // -- storage alarm counters (journal ENOSPC ladder) --------------------
+  /// Commits that found the journal out of space (each triggers the
+  /// emergency-compaction → degrade-to-memory ladder).
+  std::uint64_t storage_enospc_events() const { return enospc_events_; }
+  /// Emergency compactions that freed enough space to stay durable.
+  std::uint64_t storage_emergency_compactions() const {
+    return emergency_compactions_;
+  }
+  /// The attached journal fell back to an in-memory sink (durability lost
+  /// until an operator intervenes).
+  bool journal_degraded() const {
+    return journal_ != nullptr && journal_->degraded();
+  }
+
   // -- liveness layer (heartbeats, failure detector, leased holds) -------
 
   /// This domain's current liveness payload (also what heartbeats carry).
@@ -186,13 +200,39 @@ class Cluster final : public CoschedService {
 
   // -- crash-consistent persistence (core/journal.h) ---------------------
 
-  /// Outcome of one journal recovery.
+  /// Outcome of one journal recovery.  The salvage fields are the
+  /// zero-silent-loss contract: whatever the replay could not restore is
+  /// counted here, never quietly dropped.
   struct RecoveryStats {
     std::size_t records_replayed = 0;  ///< snapshot + tail records applied
-    std::size_t bytes_scanned = 0;     ///< intact journal bytes consumed
+    std::size_t bytes_scanned = 0;     ///< journal bytes examined
     bool tail_torn = false;            ///< the torn-tail rule fired
     std::uint64_t incarnation = 0;     ///< incarnation after the bump
     double replay_seconds = 0.0;       ///< wall-clock spent wiping+replaying
+
+    // -- salvage accounting (storage fault plane) ------------------------
+    std::size_t corrupt_regions = 0;   ///< unreadable byte ranges skipped
+    std::size_t bytes_skipped = 0;     ///< bytes inside those regions
+    std::uint64_t seq_holes = 0;       ///< gaps in the record sequence
+    std::uint64_t records_missing = 0; ///< sequence numbers lost in holes
+    /// Intact records beyond the first hole: replaying them over missing
+    /// intermediate state would be unsound, so they are dropped — and
+    /// counted.
+    std::uint64_t records_dropped = 0;
+    std::uint64_t duplicates_skipped = 0;  ///< repeated seqs not re-applied
+    /// The newest snapshot failed verification; an older generation was
+    /// applied with a longer tail replay.
+    bool snapshot_fallback = false;
+    std::uint64_t snapshot_generation = 0; ///< generation actually applied
+    int read_retries = 0;              ///< transient read errors retried
+
+    /// True when the journal image could not be fully restored — every
+    /// such loss is itemized above.
+    bool data_loss_reported() const {
+      return corrupt_regions > 0 || seq_holes > 0 || records_missing > 0 ||
+             records_dropped > 0 || duplicates_skipped > 0 ||
+             snapshot_fallback;
+    }
   };
 
   /// Attaches a write-ahead journal (not owned; nullptr detaches).  Writes
@@ -300,9 +340,23 @@ class Cluster final : public CoschedService {
   /// Group-commit point at the end of every journaling entry body; also
   /// triggers compaction once compact_every_ records accumulate.
   void journal_commit();
+  /// ENOSPC ladder step: fold the whole tail into one snapshot (freeing
+  /// quota); if even that does not fit, degrade the journal to memory.
+  void emergency_compact();
   void wipe_for_recovery();
   void apply_snapshot(WireReader& r);
   void apply_record(const JournalRecord& rec);
+  /// Picks the newest snapshot record that verifies (checksum + parse) and
+  /// applies it, walking back a generation per failure.  Returns the index
+  /// into `records` or records.size() when none verifies.
+  std::size_t apply_verified_snapshot(const std::vector<JournalRecord>& records,
+                                      RecoveryStats& stats);
+  /// Replays the salvaged tail after the applied snapshot: sorts by
+  /// sequence number (healing reordered writes), skips duplicates and
+  /// rejected snapshots, and stops at the first hole — everything beyond it
+  /// is counted into `stats`, never silently applied.
+  void replay_salvaged_tail(const std::vector<JournalRecord>& records,
+                            std::size_t snap_idx, RecoveryStats& stats);
 
   Engine& engine_;
   std::string name_;
@@ -387,6 +441,10 @@ class Cluster final : public CoschedService {
   std::uint64_t compact_every_ = 0;
   bool replaying_ = false;
   std::uint64_t incarnation_ = 1;
+  /// Times the journal hit ENOSPC and entered the degradation ladder.
+  std::uint64_t enospc_events_ = 0;
+  /// Emergency compactions that successfully recovered journal space.
+  std::uint64_t emergency_compactions_ = 0;
   /// True while start_job() promotes a holder, so the kStart record can
   /// distinguish holding-origin from queued-origin starts.
   bool starting_from_hold_ = false;

@@ -243,6 +243,8 @@ EventLog& CoupledSim::enable_event_log() {
 void CoupledSim::enable_journaling(std::uint64_t compact_every) {
   if (!journals_.empty()) return;
   recoveries_.resize(clusters_.size());
+  corruptors_.resize(clusters_.size());
+  faulty_sinks_.resize(clusters_.size(), nullptr);
   journals_.reserve(clusters_.size());
   for (auto& c : clusters_) {
     journals_.push_back(
@@ -251,11 +253,31 @@ void CoupledSim::enable_journaling(std::uint64_t compact_every) {
   }
 }
 
+void CoupledSim::enable_faulty_journaling(const StorageFaultPlan& plan,
+                                          std::uint64_t compact_every) {
+  if (!journals_.empty()) return;
+  recoveries_.resize(clusters_.size());
+  corruptors_.resize(clusters_.size());
+  faulty_sinks_.resize(clusters_.size(), nullptr);
+  journals_.reserve(clusters_.size());
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    StorageFaultPlan domain_plan = plan;
+    domain_plan.seed = plan.seed + i;  // independent corruption per domain
+    auto sink = std::make_unique<FaultyJournalSink>(
+        std::make_unique<MemoryJournalSink>(), domain_plan);
+    faulty_sinks_[i] = sink.get();
+    journals_.push_back(std::make_unique<Journal>(std::move(sink)));
+    clusters_[i]->set_journal(journals_.back().get(), compact_every);
+  }
+}
+
 void CoupledSim::schedule_crash_recovery(std::size_t domain,
-                                         std::uint64_t at_seq) {
+                                         std::uint64_t at_seq,
+                                         JournalCorruptor corrupt) {
   COSCHED_CHECK(domain < clusters_.size());
   COSCHED_CHECK_MSG(!journals_.empty(),
                     "schedule_crash_recovery needs enable_journaling()");
+  corruptors_[domain] = std::move(corrupt);
   journals_[domain]->set_on_commit([this, domain, at_seq](std::uint64_t seq) {
     if (seq < at_seq) return;
     // Disarm first: the crash event itself commits records while recovering.
@@ -277,10 +299,44 @@ void CoupledSim::crash_and_recover(std::size_t domain) {
                      << ": process crash at t=" << engine_.now()
                      << " (durable seq " << journal.last_committed_seq()
                      << ")";
+  // Transient read errors (JournalIoError) are retryable by definition: each
+  // attempt draws a fresh per-operation fault seed.  Hard-cap the retries so
+  // a plan with read_error_probability = 1.0 fails loudly instead of
+  // spinning.
+  constexpr int kMaxReadRetries = 8;
+  int read_retries = 0;
+  const auto with_retries = [&](auto&& fn) {
+    for (;;) {
+      try {
+        return fn();
+      } catch (const JournalIoError&) {
+        COSCHED_CHECK_MSG(++read_retries <= kMaxReadRetries,
+                          clusters_[domain]->name()
+                              << ": journal unreadable after "
+                              << kMaxReadRetries << " retries");
+      }
+    }
+  };
+
   // The crash loses everything appended but not committed; reopen re-syncs
   // the journal's counters to its durable image.
-  journal.reopen();
-  recoveries_[domain] = clusters_[domain]->recover_from_journal(journal);
+  with_retries([&] { journal.reopen(); });
+
+  if (corruptors_[domain]) {
+    // At-rest corruption lands after the crash, before recovery reads the
+    // image back (the corrupt-anywhere harness hook; one shot per arm).
+    JournalCorruptor corrupt = std::move(corruptors_[domain]);
+    corruptors_[domain] = nullptr;
+    std::vector<std::uint8_t> image =
+        with_retries([&] { return journal.sink().contents(); });
+    corrupt(image);
+    journal.sink().reset(std::move(image));
+    with_retries([&] { journal.reopen(); });
+  }
+
+  recoveries_[domain] = with_retries(
+      [&] { return clusters_[domain]->recover_from_journal(journal); });
+  recoveries_[domain]->read_retries = read_retries;
   COSCHED_LOG(kInfo) << clusters_[domain]->name() << ": recovered "
                      << recoveries_[domain]->records_replayed
                      << " records, incarnation "
@@ -445,6 +501,15 @@ void CoupledSim::check_invariants(SimResult& result, bool aborted) const {
               std::to_string(cluster->stale_fence_starts()) +
               " start(s) executed under a stale fencing token");
     }
+
+    // Storage fault plane alarms — surfaced, never counted as violations
+    // (see InvariantReport).
+    result.invariants.storage_enospc_events +=
+        static_cast<std::size_t>(cluster->storage_enospc_events());
+    result.invariants.storage_emergency_compactions +=
+        static_cast<std::size_t>(cluster->storage_emergency_compactions());
+    if (cluster->journal_degraded())
+      ++result.invariants.storage_degraded_domains;
   }
 
   // k-of-N gang atomicity: once any member of a group starts through a gang

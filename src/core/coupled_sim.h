@@ -16,6 +16,7 @@
 #include "core/config.h"
 #include "core/fault.h"
 #include "core/journal.h"
+#include "core/storage_fault.h"
 #include "metrics/report.h"
 #include "sim/engine.h"
 #include "workload/trace.h"
@@ -73,6 +74,14 @@ struct InvariantReport {
   /// member never started by a non-aborted drain (k-of-N atomicity: a
   /// committed gang must fully start).
   std::size_t gang_atomicity_violations = 0;
+
+  // -- storage fault plane (informational, not violations) ----------------
+  // Nonzero values mean the ENOSPC degradation ladder ran; whether that is a
+  // problem depends on the scenario, so they never populate `violations`.
+  std::size_t storage_enospc_events = 0;         ///< ENOSPC ladder entries
+  std::size_t storage_emergency_compactions = 0; ///< successful rung-2 saves
+  std::size_t storage_degraded_domains = 0;      ///< journals now memory-only
+
   std::vector<std::string> violations;   ///< human-readable details
   bool ok() const { return violations.empty(); }
 };
@@ -190,8 +199,21 @@ class CoupledSim {
   /// Call before run().  `compact_every` > 0 also enables periodic
   /// compaction (see Cluster::set_journal).
   void enable_journaling(std::uint64_t compact_every = 0);
+  /// Like enable_journaling(), but each domain's in-memory sink is wrapped
+  /// in a FaultyJournalSink injecting storage faults per `plan` (the same
+  /// plan, but domain `i` draws from `plan.seed + i` so the domains corrupt
+  /// independently).  Idempotent with enable_journaling(): whichever runs
+  /// first wins.
+  void enable_faulty_journaling(const StorageFaultPlan& plan,
+                                std::uint64_t compact_every = 0);
   bool journaling_enabled() const { return !journals_.empty(); }
   Journal& journal(std::size_t i) { return *journals_.at(i); }
+  /// Domain `i`'s fault injector (nullptr unless enable_faulty_journaling).
+  FaultyJournalSink* faulty_sink(std::size_t i) { return faulty_sinks_.at(i); }
+
+  /// Mutates a journal's raw durable image between crash and recovery (the
+  /// corrupt-anywhere harness hook).
+  using JournalCorruptor = std::function<void(std::vector<std::uint8_t>&)>;
 
   /// Schedules an in-process crash + journal recovery of `domain`, fired by
   /// the first commit whose durable sequence number reaches `at_seq`.  The
@@ -199,7 +221,10 @@ class CoupledSim {
   /// rebuilds it from the journal — peers observe no outage (the recovery
   /// itself is instantaneous in simulated time).  Requires
   /// enable_journaling(); at most one trigger per domain at a time.
-  void schedule_crash_recovery(std::size_t domain, std::uint64_t at_seq);
+  /// `corrupt`, if given, runs once on the durable image after the crash
+  /// and before recovery — simulated at-rest corruption.
+  void schedule_crash_recovery(std::size_t domain, std::uint64_t at_seq,
+                               JournalCorruptor corrupt = nullptr);
 
   /// Stats of the most recent journal recovery of domain `i`
   /// (nullopt = that domain never recovered).
@@ -235,6 +260,12 @@ class CoupledSim {
   std::vector<std::vector<std::unique_ptr<FaultInjectingPeer>>> links_;
   std::unique_ptr<EventLog> event_log_;
   std::vector<std::unique_ptr<Journal>> journals_;  ///< empty unless enabled
+  /// Per-domain fault injectors (nullptr entries unless faulty journaling);
+  /// the sinks are owned by journals_, these are observation pointers.
+  std::vector<FaultyJournalSink*> faulty_sinks_;
+  /// Per-domain at-rest corruptors armed by schedule_crash_recovery
+  /// (consumed by the first crash of that domain).
+  std::vector<JournalCorruptor> corruptors_;
   std::vector<std::optional<Cluster::RecoveryStats>> recoveries_;
   std::optional<InvariantReport> abort_invariants_;
   unsigned parallel_threads_ = 0;  ///< 0 = serial run loop

@@ -3,8 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
-#include <bit>
 #include <cerrno>
 #include <cstring>
 
@@ -32,11 +32,113 @@ void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
+void put_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_le32(out, static_cast<std::uint32_t>(v));
+  put_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
 std::uint32_t get_le32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
          static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_le32(p)) |
+         static_cast<std::uint64_t>(get_le32(p + 4)) << 32;
+}
+
+/// Outcome of decoding one frame at a fixed offset.  kTruncated means the
+/// frame runs past the end of the buffer (a crash artifact when nothing
+/// intact follows); kBad means the bytes are there but wrong (rot).
+enum class FrameStatus { kOk, kTruncated, kBad };
+
+struct ParsedFrame {
+  JournalRecord rec;
+  std::size_t size = 0;  ///< total frame bytes (header + body)
+  const char* error = "";
+};
+
+FrameStatus parse_frame_at(std::span<const std::uint8_t> bytes,
+                           std::size_t pos, ParsedFrame& out) {
+  const std::size_t n = bytes.size();
+  if (n - pos < 4) {
+    out.error = "truncated header";
+    return FrameStatus::kTruncated;
+  }
+  const std::uint32_t first = get_le32(bytes.data() + pos);
+  std::size_t header = 0;
+  std::uint32_t len = 0;
+  std::uint32_t body_crc = 0;
+  std::uint8_t version = 1;
+  if (first == kJournalMagicV2) {
+    if (n - pos < 16) {
+      out.error = "truncated v2 header";
+      return FrameStatus::kTruncated;
+    }
+    len = get_le32(bytes.data() + pos + 4);
+    body_crc = get_le32(bytes.data() + pos + 8);
+    const std::uint32_t header_crc = get_le32(bytes.data() + pos + 12);
+    if (crc32(std::span<const std::uint8_t>(bytes.data() + pos, 12)) !=
+        header_crc) {
+      out.error = "rotten v2 header";
+      return FrameStatus::kBad;
+    }
+    header = 16;
+    version = 2;
+  } else {
+    if (n - pos < 8) {
+      out.error = "truncated header";
+      return FrameStatus::kTruncated;
+    }
+    len = first;
+    body_crc = get_le32(bytes.data() + pos + 4);
+    header = 8;
+    version = 1;
+  }
+  if (n - pos - header < len) {
+    out.error =
+        version == 2 ? "truncated v2 body" : "truncated body";
+    return FrameStatus::kTruncated;
+  }
+  const std::span<const std::uint8_t> body(bytes.data() + pos + header, len);
+  if (crc32(body) != body_crc) {
+    out.error = "body CRC mismatch";
+    return FrameStatus::kBad;
+  }
+  try {
+    WireReader r(body);
+    out.rec.seq = r.get_u64();
+    const std::uint8_t k = r.get_u8();
+    if (k > static_cast<std::uint8_t>(JournalRecordKind::kGangVictim))
+      throw ParseError("journal: unknown record kind");
+    out.rec.kind = static_cast<JournalRecordKind>(k);
+    out.rec.payload.assign(body.begin() + (len - r.remaining()), body.end());
+  } catch (const ParseError&) {
+    out.error = "unparseable record";
+    return FrameStatus::kBad;
+  }
+  out.rec.version = version;
+  out.size = header + len;
+  return FrameStatus::kOk;
+}
+
+/// Finds the next offset >= `from` holding a fully intact v2 frame (v1
+/// frames carry no magic, so rot inside a pure-v1 region cannot be
+/// resynced past).  Returns npos when nothing intact follows.
+std::size_t resync_to_magic(std::span<const std::uint8_t> bytes,
+                            std::size_t from) {
+  constexpr std::uint8_t first_byte =
+      static_cast<std::uint8_t>(kJournalMagicV2 & 0xffu);
+  const std::size_t n = bytes.size();
+  for (std::size_t p = from; p + 16 <= n; ++p) {
+    if (bytes[p] != first_byte) continue;
+    if (get_le32(bytes.data() + p) != kJournalMagicV2) continue;
+    ParsedFrame pf;
+    if (parse_frame_at(bytes, p, pf) == FrameStatus::kOk) return p;
+  }
+  return static_cast<std::size_t>(-1);
 }
 
 }  // namespace
@@ -82,6 +184,54 @@ const char* to_string(JournalRecordKind k) {
   return "?";
 }
 
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq,
+                                       JournalRecordKind kind,
+                                       std::span<const std::uint8_t> payload) {
+  WireWriter pw;
+  pw.put_u64(seq);
+  pw.put_u8(static_cast<std::uint8_t>(kind));
+  std::vector<std::uint8_t> body = pw.take();
+  body.insert(body.end(), payload.begin(), payload.end());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(body.size() + 16);
+  put_le32(out, kJournalMagicV2);
+  put_le32(out, static_cast<std::uint32_t>(body.size()));
+  put_le32(out, crc32(body));
+  put_le32(out, crc32(std::span<const std::uint8_t>(out.data(), 12)));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> make_snapshot_payload(
+    std::uint64_t generation, std::span<const std::uint8_t> state) {
+  std::vector<std::uint8_t> out;
+  out.reserve(state.size() + 12);
+  put_le64(out, generation);
+  put_le32(out, crc32(state));
+  out.insert(out.end(), state.begin(), state.end());
+  return out;
+}
+
+SnapshotView parse_snapshot_payload(const JournalRecord& rec) {
+  SnapshotView v;
+  if (rec.version < 2) {
+    // v1 snapshots are the raw state — nothing to verify against.
+    v.state = std::span<const std::uint8_t>(rec.payload);
+    return v;
+  }
+  if (rec.payload.size() < 12) {
+    v.checksum_ok = false;
+    return v;
+  }
+  v.generation = get_le64(rec.payload.data());
+  const std::uint32_t want = get_le32(rec.payload.data() + 8);
+  v.state = std::span<const std::uint8_t>(rec.payload.data() + 12,
+                                          rec.payload.size() - 12);
+  v.checksum_ok = crc32(v.state) == want;
+  return v;
+}
+
 // -- FileJournalSink ---------------------------------------------------------
 
 FileJournalSink::FileJournalSink(std::string path) : path_(std::move(path)) {
@@ -100,6 +250,9 @@ void FileJournalSink::append(std::span<const std::uint8_t> frame) {
     const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC)
+        throw JournalNoSpace(std::string("journal write: ") +
+                             std::strerror(errno));
       throw Error(std::string("journal write: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -122,17 +275,45 @@ void FileJournalSink::reset(std::vector<std::uint8_t> contents) {
                               contents.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int e = errno;
       ::close(tfd);
-      throw Error(std::string("journal compact write: ") +
-                  std::strerror(errno));
+      ::unlink(tmp.c_str());
+      if (e == ENOSPC)
+        throw JournalNoSpace(std::string("journal compact write: ") +
+                             std::strerror(e));
+      throw Error(std::string("journal compact write: ") + std::strerror(e));
     }
     off += static_cast<std::size_t>(n);
   }
-  ::fsync(tfd);
+  if (::fsync(tfd) != 0) {
+    const int e = errno;
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw Error(std::string("journal compact fsync: ") + std::strerror(e));
+  }
   ::close(tfd);
   if (::rename(tmp.c_str(), path_.c_str()) != 0)
     throw Error(std::string("journal compact rename: ") +
                 std::strerror(errno));
+  // The rename is only durable once the parent directory's entry is on
+  // disk: without this fsync a crash right here can resurrect the old image
+  // or leave the name dangling, undoing a "completed" compaction.
+  const auto slash = path_.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos
+          ? "."
+          : (slash == 0 ? "/" : path_.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0)
+    throw Error(std::string("journal compact dir open ") + dir + ": " +
+                std::strerror(errno));
+  if (::fsync(dfd) != 0) {
+    const int e = errno;
+    ::close(dfd);
+    throw Error(std::string("journal compact dir fsync: ") +
+                std::strerror(e));
+  }
+  ::close(dfd);
   ::close(fd_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
   COSCHED_CHECK_MSG(fd_ >= 0, "journal reopen " << path_ << ": "
@@ -142,13 +323,20 @@ void FileJournalSink::reset(std::vector<std::uint8_t> contents) {
 std::vector<std::uint8_t> FileJournalSink::contents() const {
   std::vector<std::uint8_t> out;
   const int rfd = ::open(path_.c_str(), O_RDONLY);
-  if (rfd < 0) return out;
+  if (rfd < 0)
+    throw JournalIoError(std::string("journal read open ") + path_ + ": " +
+                         std::strerror(errno));
   std::uint8_t buf[4096];
   for (;;) {
     const ssize_t n = ::read(rfd, buf, sizeof buf);
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;
+      // A partial read must never masquerade as a clean short journal —
+      // recovery would replay a silently truncated image.
+      const int e = errno;
+      ::close(rfd);
+      throw JournalIoError(std::string("journal read ") + path_ + ": " +
+                           std::strerror(e));
     }
     if (n == 0) break;
     out.insert(out.end(), buf, buf + n);
@@ -166,24 +354,21 @@ Journal::Journal(std::unique_ptr<JournalSink> sink) : sink_(std::move(sink)) {
 std::vector<std::uint8_t> Journal::frame(
     std::uint64_t seq, JournalRecordKind kind,
     std::span<const std::uint8_t> payload) {
-  WireWriter pw;
-  pw.put_u64(seq);
-  pw.put_u8(static_cast<std::uint8_t>(kind));
-  std::vector<std::uint8_t> body = pw.take();
-  body.insert(body.end(), payload.begin(), payload.end());
-
-  std::vector<std::uint8_t> out;
-  out.reserve(body.size() + 8);
-  put_le32(out, static_cast<std::uint32_t>(body.size()));
-  put_le32(out, crc32(body));
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  return encode_frame(seq, kind, payload);
 }
 
 std::uint64_t Journal::append(JournalRecordKind kind,
                               std::span<const std::uint8_t> payload) {
   const std::uint64_t seq = next_seq_++;
-  sink_->append(frame(seq, kind, payload));
+  try {
+    sink_->append(frame(seq, kind, payload));
+  } catch (const JournalNoSpace&) {
+    // Swallow here, surface at the commit boundary: an append sits in the
+    // middle of a mutation path, and tearing that apart would leave live
+    // state half-changed.  The sequence number stays consumed, so the
+    // dropped record is a detectable hole, never a silent splice.
+    no_space_ = true;
+  }
   last_appended_seq_ = seq;
   ++records_since_compaction_;
   dirty_ = true;
@@ -206,28 +391,81 @@ void Journal::commit() {
 void Journal::reopen() {
   // Whatever was appended but never committed is gone — model the crash by
   // resetting the sink to its durable image, then re-sync counters from it.
+  // Salvage (not strict) scanning: even with rot mid-log the counters must
+  // resume past the highest intact record, or post-recovery appends would
+  // reuse sequence numbers and forge duplicates.
   sink_->reset(sink_->contents());
   const std::vector<std::uint8_t> bytes = sink_->contents();
-  const JournalReplay rep = read_journal(bytes);
+  const SalvageReport rep = salvage_scan(bytes);
   std::uint64_t last = 0;
-  std::uint64_t non_snapshot = 0;
+  std::uint64_t last_snap_seq = 0;
   for (const JournalRecord& rec : rep.records) {
-    last = rec.seq;
-    if (rec.kind != JournalRecordKind::kSnapshot) ++non_snapshot;
+    last = std::max(last, rec.seq);
+    if (rec.kind == JournalRecordKind::kSnapshot) {
+      last_snap_seq = std::max(last_snap_seq, rec.seq);
+      const SnapshotView v = parse_snapshot_payload(rec);
+      snapshot_generation_ = std::max(snapshot_generation_, v.generation);
+    }
   }
+  std::uint64_t after_snap = 0;
+  for (const JournalRecord& rec : rep.records)
+    if (rec.seq > last_snap_seq) ++after_snap;
   next_seq_ = last + 1;
   last_appended_seq_ = last;
   last_committed_seq_ = last;
-  records_since_compaction_ = non_snapshot;
+  records_since_compaction_ = after_snap;
   dirty_ = false;
+  no_space_ = false;
 }
 
-void Journal::compact(std::span<const std::uint8_t> snapshot_payload) {
+void Journal::compact(std::span<const std::uint8_t> snapshot_payload,
+                      bool retain_previous) {
+  std::vector<std::uint8_t> image;
+  if (retain_previous) {
+    const SalvageReport rep = salvage_scan(sink_->contents());
+    std::size_t snap_idx = rep.records.size();
+    for (std::size_t i = 0; i < rep.records.size(); ++i)
+      if (rep.records[i].kind == JournalRecordKind::kSnapshot) snap_idx = i;
+    // Keep the previous snapshot and everything intact after it as the
+    // fallback generation.  Re-framing scrubs any rot that crept in (the
+    // records are re-encoded from their decoded, CRC-verified form) and
+    // upgrades v1 frames to v2 as a side effect.  A v1 snapshot's payload is
+    // the raw state; once its frame says v2, readers expect the generation
+    // envelope, so wrap it (generation 0 = pre-generation legacy).
+    for (std::size_t i = snap_idx; i < rep.records.size(); ++i) {
+      const JournalRecord& rec = rep.records[i];
+      const auto f =
+          rec.version < 2 && rec.kind == JournalRecordKind::kSnapshot
+              ? encode_frame(rec.seq, rec.kind,
+                             make_snapshot_payload(0, rec.payload))
+              : encode_frame(rec.seq, rec.kind, rec.payload);
+      image.insert(image.end(), f.begin(), f.end());
+    }
+  }
   const std::uint64_t seq = next_seq_++;
-  sink_->reset(frame(seq, JournalRecordKind::kSnapshot, snapshot_payload));
+  const auto wrapped =
+      make_snapshot_payload(++snapshot_generation_, snapshot_payload);
+  const auto f = encode_frame(seq, JournalRecordKind::kSnapshot, wrapped);
+  image.insert(image.end(), f.begin(), f.end());
+  sink_->reset(std::move(image));
   last_appended_seq_ = seq;
   last_committed_seq_ = seq;
   records_since_compaction_ = 0;
+  dirty_ = false;
+  no_space_ = false;
+}
+
+void Journal::degrade_to_memory() {
+  auto mem = std::make_unique<MemoryJournalSink>();
+  try {
+    mem->reset(sink_->contents());
+  } catch (const Error&) {
+    // Nothing readable to carry over — degrade to an empty in-memory
+    // journal; the owner re-seeds it with a fresh snapshot.
+  }
+  sink_ = std::move(mem);
+  degraded_ = true;
+  no_space_ = false;
   dirty_ = false;
 }
 
@@ -235,37 +473,57 @@ JournalReplay read_journal(std::span<const std::uint8_t> bytes) {
   JournalReplay out;
   std::size_t pos = 0;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos < 8) {
-      out.tail_torn = true;  // truncated header
+    ParsedFrame pf;
+    if (parse_frame_at(bytes, pos, pf) != FrameStatus::kOk) {
+      out.tail_torn = true;  // strict torn-tail rule: stop at the first flaw
       break;
     }
-    const std::uint32_t len = get_le32(bytes.data() + pos);
-    const std::uint32_t crc = get_le32(bytes.data() + pos + 4);
-    if (bytes.size() - pos - 8 < len) {
-      out.tail_torn = true;  // truncated body
-      break;
-    }
-    const std::span<const std::uint8_t> body(bytes.data() + pos + 8, len);
-    if (crc32(body) != crc) {
-      out.tail_torn = true;  // corrupt body (or header)
-      break;
-    }
-    JournalRecord rec;
-    try {
-      WireReader r(body);
-      rec.seq = r.get_u64();
-      const std::uint8_t k = r.get_u8();
-      if (k > static_cast<std::uint8_t>(JournalRecordKind::kGangVictim))
-        throw ParseError("journal: unknown record kind");
-      rec.kind = static_cast<JournalRecordKind>(k);
-      rec.payload.assign(body.begin() + (len - r.remaining()), body.end());
-    } catch (const ParseError&) {
-      out.tail_torn = true;
-      break;
-    }
-    out.records.push_back(std::move(rec));
-    pos += 8 + len;
+    out.records.push_back(std::move(pf.rec));
+    pos += pf.size;
     out.bytes_scanned = pos;
+  }
+  return out;
+}
+
+SalvageReport salvage_scan(std::span<const std::uint8_t> bytes) {
+  SalvageReport out;
+  out.bytes_scanned = bytes.size();
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    ParsedFrame pf;
+    const FrameStatus st = parse_frame_at(bytes, pos, pf);
+    if (st == FrameStatus::kOk) {
+      out.records.push_back(std::move(pf.rec));
+      pos += pf.size;
+      continue;
+    }
+    const std::size_t next = resync_to_magic(bytes, pos + 1);
+    if (next == static_cast<std::size_t>(-1)) {
+      // Nothing intact follows.  A frame that simply ran off the end of the
+      // buffer is a torn tail (normal crash artifact); bytes that are
+      // present but wrong are trailing rot.
+      if (st == FrameStatus::kTruncated) {
+        out.tail_torn = true;
+      } else {
+        out.corrupt_regions.push_back(
+            {pos, bytes.size() - pos, pf.error});
+        out.bytes_skipped += bytes.size() - pos;
+      }
+      break;
+    }
+    out.corrupt_regions.push_back({pos, next - pos, pf.error});
+    out.bytes_skipped += next - pos;
+    pos = next;
+  }
+  for (std::size_t i = 1; i < out.records.size(); ++i) {
+    const std::uint64_t prev = out.records[i - 1].seq;
+    const std::uint64_t cur = out.records[i].seq;
+    if (cur <= prev) {
+      ++out.duplicate_records;
+    } else if (cur != prev + 1) {
+      ++out.seq_holes;
+      out.records_missing += cur - prev - 1;
+    }
   }
   return out;
 }

@@ -10,14 +10,32 @@
 // effects become visible to peers; recovery replays snapshot + tail and
 // reconstructs bit-identical scheduler state.
 //
-// Frame layout (little-endian):
-//   [u32 payload_len][u32 crc32(payload)][payload]
-//   payload = varint seq ++ u8 kind ++ kind-specific body (wire varints)
+// Frame layout v2 (little-endian), written by every append since PR 10:
+//   [u32 magic "JLF2"][u32 body_len][u32 crc32(body)][u32 crc32(header[0:12])]
+//   [body]
+//   body = varint seq ++ u8 kind ++ kind-specific payload (wire varints)
+// The magic lets a salvage scan resync past a corrupt region (bit rot, torn
+// write, lost sector) instead of discarding everything after it, and the
+// header CRC distinguishes a rotten header from a genuinely torn tail.
 //
-// Torn-tail rule: replay stops at the first frame whose length prefix is
-// incomplete, overruns the buffer, or fails its CRC.  Everything before it
-// is applied; the torn frame and anything after are discarded (a frame is
-// only semantically required once its commit() returned — see RECOVERY.md).
+// Frame layout v1 (still readable; detected per frame by the absence of the
+// magic — a v1 length prefix of 0x32464c4a would be an 843 MB record, far
+// beyond any real frame):
+//   [u32 body_len][u32 crc32(body)][body]
+//
+// Torn-tail rule (read_journal): replay stops at the first frame whose
+// length prefix is incomplete, overruns the buffer, or fails its CRC.
+// Everything before it is applied; the torn frame and anything after are
+// discarded (a frame is only semantically required once its commit()
+// returned — see RECOVERY.md).  salvage_scan() relaxes this: it resyncs on
+// the v2 magic after a bad region and reports corrupt regions, sequence
+// holes, and duplicates so recovery can account for exactly what was lost.
+//
+// Snapshot generations: Journal::compact() wraps each snapshot payload in a
+// generation-numbered, checksummed envelope and (by default) retains the
+// previous snapshot plus the records between the two generations, so a
+// recovery that finds the newest snapshot rotten can fall back one
+// generation and replay a longer tail instead of losing everything.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +46,32 @@
 #include <vector>
 
 #include "proto/wire.h"
+#include "util/error.h"
 
 namespace cosched {
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte span.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// v2 frame magic ("JLF2" on disk, read as a little-endian u32).
+inline constexpr std::uint32_t kJournalMagicV2 = 0x32464c4au;
+
+/// The durable medium failed to persist bytes (disk full).  Journal::append
+/// swallows this into a sticky no_space() flag so a mutation path is never
+/// torn apart mid-flight; the owner reacts at the commit boundary
+/// (emergency compaction, then degrade-to-memory).
+class JournalNoSpace : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The durable medium failed to *read* back (transient medium error).
+/// Distinct from Error so recovery paths can retry reads without masking
+/// hard failures.
+class JournalIoError : public Error {
+ public:
+  using Error::Error;
+};
 
 /// Record kinds.  Values are wire format — append only, never renumber.
 enum class JournalRecordKind : std::uint8_t {
@@ -72,7 +111,32 @@ struct JournalRecord {
   std::uint64_t seq = 0;
   JournalRecordKind kind = JournalRecordKind::kSnapshot;
   std::vector<std::uint8_t> payload;
+  /// Frame format the record was read from (or will be written as): 1 or 2.
+  std::uint8_t version = 2;
 };
+
+/// Encodes one v2 frame (magic + header CRC) around seq/kind/payload.
+std::vector<std::uint8_t> encode_frame(std::uint64_t seq,
+                                       JournalRecordKind kind,
+                                       std::span<const std::uint8_t> payload);
+
+/// Snapshot envelope (v2 snapshot payloads): generation number + state CRC
+/// so recovery can verify a snapshot *before* applying it and fall back a
+/// generation when the newest one rotted.
+std::vector<std::uint8_t> make_snapshot_payload(
+    std::uint64_t generation, std::span<const std::uint8_t> state);
+
+/// Decoded view of a snapshot record's payload.  v1 snapshot records carry
+/// the raw state (generation 0, checksum trivially ok — nothing to verify).
+struct SnapshotView {
+  std::uint64_t generation = 0;
+  bool checksum_ok = true;
+  std::span<const std::uint8_t> state;
+};
+
+/// Parses a kSnapshot record's payload per its frame version.  The view's
+/// `state` aliases `rec.payload` — the record must outlive the view.
+SnapshotView parse_snapshot_payload(const JournalRecord& rec);
 
 /// Durable byte store under a journal.  append() may buffer; commit() makes
 /// everything appended so far durable (the group-commit fsync point).
@@ -84,6 +148,7 @@ class JournalSink {
   /// Atomically replaces the durable contents (compaction rewrite).
   virtual void reset(std::vector<std::uint8_t> contents) = 0;
   /// The bytes that would survive a crash right now (committed only).
+  /// Throws JournalIoError when the medium cannot be read back.
   virtual std::vector<std::uint8_t> contents() const = 0;
 };
 
@@ -116,7 +181,9 @@ class MemoryJournalSink final : public JournalSink {
 
 /// File-backed sink for the live daemons: append() writes to the file,
 /// commit() flushes and fsyncs once per batch (group commit), reset()
-/// rewrites via a temp file + rename so compaction is crash-atomic.
+/// rewrites via a temp file + rename (with the parent directory fsynced) so
+/// compaction is crash-atomic.  ENOSPC surfaces as JournalNoSpace; read
+/// failures surface as JournalIoError — never as a silently short image.
 class FileJournalSink final : public JournalSink {
  public:
   /// Opens (creating if absent) `path` for appending.  Throws Error on
@@ -137,13 +204,16 @@ class FileJournalSink final : public JournalSink {
 };
 
 /// Write-ahead journal: frames records over a sink with group commit,
-/// monotone sequence numbers, and compaction.
+/// monotone sequence numbers, compaction, and storage-fault degradation.
 class Journal {
  public:
   explicit Journal(std::unique_ptr<JournalSink> sink);
 
   /// Frames and appends one record (buffered until commit()).  Returns the
-  /// record's sequence number.
+  /// record's sequence number.  A JournalNoSpace from the sink is absorbed
+  /// into the sticky no_space() flag (the sequence number is still consumed,
+  /// so the dropped record shows up as a detectable hole rather than a
+  /// silent splice) — the owner reacts at its commit boundary.
   std::uint64_t append(JournalRecordKind kind,
                        std::span<const std::uint8_t> payload);
 
@@ -159,14 +229,36 @@ class Journal {
     on_commit_ = std::move(fn);
   }
 
-  /// Replaces the journal contents with a single snapshot record
-  /// (compaction).  Durable on return.  Sequence numbers keep counting.
-  void compact(std::span<const std::uint8_t> snapshot_payload);
+  /// Compaction: rewrites the journal around a fresh generation-numbered,
+  /// checksummed snapshot.  With `retain_previous` (the default) the new
+  /// image keeps the previous snapshot and every intact record after it —
+  /// the fallback generation — followed by the new snapshot; re-framing the
+  /// retained records also scrubs any rot that crept in between them.
+  /// With retain_previous = false the image collapses to the single new
+  /// snapshot frame (initial attach, emergency ENOSPC compaction).
+  /// Durable on return.  Sequence numbers keep counting.
+  void compact(std::span<const std::uint8_t> snapshot_payload,
+               bool retain_previous = true);
 
   /// Crash-restart over the same sink: drops any uncommitted (buffered)
-  /// bytes, rescans the durable image, and re-syncs the sequence counters to
-  /// its last intact record so new appends continue the same journal.
+  /// bytes, salvage-scans the durable image, and re-syncs the sequence
+  /// counters to the highest intact record so new appends continue the same
+  /// journal (never reusing a sequence number, even past a corrupt region).
   void reopen();
+
+  /// Swaps the sink for an in-memory one seeded with whatever durable bytes
+  /// are still readable — the ENOSPC last resort: journaling continues (so
+  /// in-process recovery still works) but durability is lost until an
+  /// operator intervenes.  Clears no_space().
+  void degrade_to_memory();
+  bool degraded() const { return degraded_; }
+
+  /// Sticky flag: some append was dropped by the sink for lack of space
+  /// since the last compact()/degrade_to_memory()/reopen().
+  bool no_space() const { return no_space_; }
+
+  /// Generation number of the newest snapshot written by compact().
+  std::uint64_t snapshot_generation() const { return snapshot_generation_; }
 
   /// Records appended since the last compact() (or construction).
   std::uint64_t records_since_compaction() const {
@@ -190,10 +282,13 @@ class Journal {
   std::uint64_t last_appended_seq_ = 0;
   std::uint64_t last_committed_seq_ = 0;
   std::uint64_t records_since_compaction_ = 0;
+  std::uint64_t snapshot_generation_ = 0;
   bool dirty_ = false;
+  bool no_space_ = false;
+  bool degraded_ = false;
 };
 
-/// Result of scanning a journal byte image.
+/// Result of scanning a journal byte image (strict torn-tail semantics).
 struct JournalReplay {
   std::vector<JournalRecord> records;
   /// True when the scan stopped at a torn/corrupt frame before the end of
@@ -204,7 +299,41 @@ struct JournalReplay {
 };
 
 /// Decodes every intact frame from `bytes`, stopping (not throwing) at the
-/// first torn or corrupt one.
+/// first torn or corrupt one.  v1 and v2 frames are detected per frame.
 JournalReplay read_journal(std::span<const std::uint8_t> bytes);
+
+/// One unreadable byte range found by salvage_scan.
+struct CorruptRegion {
+  std::size_t offset = 0;  ///< first bad byte
+  std::size_t length = 0;  ///< bytes skipped to the next intact frame (or end)
+  std::string reason;      ///< e.g. "body CRC mismatch", "rotten header"
+};
+
+/// Result of a salvage scan: every intact frame in stream order, plus an
+/// exact account of what could not be read — the zero-silent-loss contract
+/// is that records are either here or counted below, never quietly gone.
+struct SalvageReport {
+  std::vector<JournalRecord> records;
+  std::vector<CorruptRegion> corrupt_regions;
+  std::size_t bytes_scanned = 0;       ///< total input bytes examined
+  std::size_t bytes_skipped = 0;       ///< bytes inside corrupt regions
+  /// The image ends in an incomplete frame (normal crash artifact, distinct
+  /// from mid-log rot: nothing intact follows it).
+  bool tail_torn = false;
+  std::uint64_t seq_holes = 0;         ///< discontinuities in the seq stream
+  std::uint64_t records_missing = 0;   ///< sequence numbers lost inside holes
+  std::uint64_t duplicate_records = 0; ///< repeated/backwards sequence numbers
+  bool clean() const {
+    return corrupt_regions.empty() && !tail_torn && seq_holes == 0 &&
+           duplicate_records == 0;
+  }
+};
+
+/// Decodes every intact frame from `bytes`, resyncing on the v2 magic after
+/// a bad region instead of stopping (v1 regions cannot be resynced past —
+/// they carry no magic — so rot inside a pure-v1 image still truncates).
+/// Never throws; every unreadable byte is attributed to a corrupt region or
+/// the torn tail.
+SalvageReport salvage_scan(std::span<const std::uint8_t> bytes);
 
 }  // namespace cosched

@@ -1,0 +1,116 @@
+#include "core/storage_fault.h"
+
+#include <utility>
+
+namespace cosched {
+
+FaultyJournalSink::FaultyJournalSink(std::unique_ptr<JournalSink> inner,
+                                     StorageFaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {
+  COSCHED_CHECK(inner_ != nullptr);
+}
+
+void FaultyJournalSink::set_plan(StorageFaultPlan plan) {
+  plan_ = plan;
+  ops_ = 0;
+}
+
+Rng FaultyJournalSink::op_rng() const {
+  const std::uint64_t op = ops_++;
+  // splitmix over (seed, op ordinal): each operation owns an independent
+  // substream, so op i's outcome never depends on how many draws op i-1
+  // consumed.
+  SplitMix64 sm(plan_.seed ^ (op * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  return Rng(sm.next());
+}
+
+void FaultyJournalSink::append(std::span<const std::uint8_t> frame) {
+  ++stats_.appends;
+  Rng rng = op_rng();
+  std::vector<std::uint8_t> bytes(frame.begin(), frame.end());
+
+  if (plan_.lost_write_probability > 0.0 &&
+      rng.chance(plan_.lost_write_probability)) {
+    ++stats_.lost_writes;
+    stats_.bytes_dropped += bytes.size();
+    return;  // the page never left the cache
+  }
+  if (!bytes.empty() && plan_.torn_write_probability > 0.0 &&
+      rng.chance(plan_.torn_write_probability)) {
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    ++stats_.torn_writes;
+    stats_.bytes_dropped += bytes.size() - keep;
+    bytes.resize(keep);
+  }
+  if (!bytes.empty() && plan_.bit_flip_probability > 0.0 &&
+      rng.chance(plan_.bit_flip_probability)) {
+    const auto bit = static_cast<std::uint64_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(bytes.size()) * 8 - 1));
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++stats_.bits_flipped;
+  }
+  if (plan_.capacity_bytes > 0 &&
+      stored_bytes_ + bytes.size() > plan_.capacity_bytes) {
+    ++stats_.enospc_errors;
+    throw JournalNoSpace("storage fault: journal capacity exhausted");
+  }
+  if (!holding_ && plan_.reorder_probability > 0.0 &&
+      rng.chance(plan_.reorder_probability)) {
+    // Pre-fsync reordering: this frame reaches the medium after whatever is
+    // appended next (or at the commit barrier, whichever comes first).
+    held_ = std::move(bytes);
+    holding_ = true;
+    ++stats_.reorders;
+    return;
+  }
+  stored_bytes_ += bytes.size();
+  stats_.bytes_appended += bytes.size();
+  inner_->append(bytes);
+  if (holding_) {
+    stored_bytes_ += held_.size();
+    stats_.bytes_appended += held_.size();
+    inner_->append(held_);
+    held_.clear();
+    holding_ = false;
+  }
+}
+
+void FaultyJournalSink::commit() {
+  ++stats_.commits;
+  if (holding_) {
+    // The fsync barrier flushes the held write — reordering never crosses a
+    // completed commit.
+    stored_bytes_ += held_.size();
+    stats_.bytes_appended += held_.size();
+    inner_->append(held_);
+    held_.clear();
+    holding_ = false;
+  }
+  inner_->commit();
+}
+
+void FaultyJournalSink::reset(std::vector<std::uint8_t> contents) {
+  ++stats_.resets;
+  if (plan_.capacity_bytes > 0 && contents.size() > plan_.capacity_bytes) {
+    ++stats_.enospc_errors;
+    throw JournalNoSpace("storage fault: compacted image exceeds capacity");
+  }
+  held_.clear();
+  holding_ = false;
+  stored_bytes_ = contents.size();
+  inner_->reset(std::move(contents));
+}
+
+std::vector<std::uint8_t> FaultyJournalSink::contents() const {
+  ++stats_.reads;
+  Rng rng = op_rng();
+  if (plan_.read_error_probability > 0.0 &&
+      rng.chance(plan_.read_error_probability)) {
+    ++stats_.read_errors;
+    throw JournalIoError("storage fault: transient read error");
+  }
+  return inner_->contents();
+}
+
+}  // namespace cosched

@@ -1,0 +1,140 @@
+// Deterministic fault injection for the durable storage plane.
+//
+// The network plane got its seeded chaos schedule in core/fault.h; this is
+// the same treatment for the journal's disk: a StorageFaultPlan describes a
+// seedable corruption schedule for one journal sink — per-append bit flips,
+// torn (short) writes, writes lost before the fsync, write reordering,
+// transient read errors, and a byte-capacity quota that surfaces as
+// JournalNoSpace.  Fault decisions draw from a *decorrelated per-operation
+// seed* (splitmix over the plan seed and the operation ordinal), so adding
+// or removing one operation never shifts the fault outcomes of the others —
+// a corrupt-anywhere sweep stays byte-reproducible case by case.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/journal.h"
+#include "util/rng.h"
+
+namespace cosched {
+
+/// Seedable corruption schedule for one journal sink.  All probabilities
+/// are per operation (append or contents() read).
+struct StorageFaultPlan {
+  /// Substream seed: identical plans with identical seeds produce identical
+  /// corruption sequences.
+  std::uint64_t seed = 0x570fa17ULL;
+
+  /// Probability that an appended frame has one random bit flipped (silent
+  /// media rot at write time).
+  double bit_flip_probability = 0.0;
+
+  /// Probability that an appended frame is cut short (a torn write: only a
+  /// random proper prefix reaches the medium).
+  double torn_write_probability = 0.0;
+
+  /// Probability that an appended frame is dropped entirely before the
+  /// fsync (lost pre-fsync write — the page never made it out of cache).
+  double lost_write_probability = 0.0;
+
+  /// Probability that an appended frame is reordered behind its successor
+  /// (pre-fsync write reordering; flushed in held order at commit()).
+  double reorder_probability = 0.0;
+
+  /// Probability that a contents() read fails with JournalIoError
+  /// (transient medium error; a retry re-draws from the next op seed).
+  double read_error_probability = 0.0;
+
+  /// Byte quota modeling a full disk partition: an append or reset that
+  /// would push the stored size past this throws JournalNoSpace.  A reset
+  /// to a *smaller* image (compaction) frees quota.  0 = unlimited.
+  std::uint64_t capacity_bytes = 0;
+
+  bool has_faults() const {
+    return bit_flip_probability > 0.0 || torn_write_probability > 0.0 ||
+           lost_write_probability > 0.0 || reorder_probability > 0.0 ||
+           read_error_probability > 0.0 || capacity_bytes > 0;
+  }
+};
+
+/// Per-sink corruption accounting (degraded-mode observability).
+struct StorageFaultStats {
+  std::uint64_t appends = 0;        ///< append() calls reaching the injector
+  std::uint64_t commits = 0;        ///< commit() calls
+  std::uint64_t resets = 0;         ///< reset() calls (compactions)
+  std::uint64_t reads = 0;          ///< contents() calls
+  std::uint64_t bits_flipped = 0;   ///< frames corrupted by a bit flip
+  std::uint64_t torn_writes = 0;    ///< frames cut short
+  std::uint64_t lost_writes = 0;    ///< frames dropped pre-fsync
+  std::uint64_t reorders = 0;       ///< frames delayed behind a successor
+  std::uint64_t read_errors = 0;    ///< contents() calls failed
+  std::uint64_t enospc_errors = 0;  ///< operations refused for lack of space
+  std::uint64_t bytes_appended = 0; ///< bytes that reached the inner sink
+  std::uint64_t bytes_dropped = 0;  ///< bytes lost to torn/lost writes
+
+  std::uint64_t injected() const {
+    return bits_flipped + torn_writes + lost_writes + reorders + read_errors +
+           enospc_errors;
+  }
+
+  StorageFaultStats& operator+=(const StorageFaultStats& o) {
+    appends += o.appends;
+    commits += o.commits;
+    resets += o.resets;
+    reads += o.reads;
+    bits_flipped += o.bits_flipped;
+    torn_writes += o.torn_writes;
+    lost_writes += o.lost_writes;
+    reorders += o.reorders;
+    read_errors += o.read_errors;
+    enospc_errors += o.enospc_errors;
+    bytes_appended += o.bytes_appended;
+    bytes_dropped += o.bytes_dropped;
+    return *this;
+  }
+};
+
+/// Wraps another sink and injects storage faults per a StorageFaultPlan.
+/// With the default (empty) plan it is a transparent pass-through,
+/// byte-for-byte identical in behavior to the wrapped sink.  Models the
+/// failure classes the salvage scan, snapshot generations, and the ENOSPC
+/// degradation ladder exist for.
+class FaultyJournalSink final : public JournalSink {
+ public:
+  explicit FaultyJournalSink(std::unique_ptr<JournalSink> inner,
+                             StorageFaultPlan plan = {});
+
+  /// Installs a corruption schedule and restarts the per-operation seed
+  /// stream from plan.seed.
+  void set_plan(StorageFaultPlan plan);
+  const StorageFaultPlan& plan() const { return plan_; }
+
+  const StorageFaultStats& stats() const { return stats_; }
+
+  /// The wrapped sink (for direct inspection of the stored image).
+  JournalSink& inner() { return *inner_; }
+  const JournalSink& inner() const { return *inner_; }
+
+  void append(std::span<const std::uint8_t> frame) override;
+  void commit() override;
+  void reset(std::vector<std::uint8_t> contents) override;
+  std::vector<std::uint8_t> contents() const override;
+
+ private:
+  /// Decorrelated per-operation fault stream: op `i` always draws from the
+  /// same substream no matter what the other operations did.
+  Rng op_rng() const;
+
+  std::unique_ptr<JournalSink> inner_;
+  StorageFaultPlan plan_;
+  mutable std::uint64_t ops_ = 0;  ///< contents() is const but consumes ops
+  mutable StorageFaultStats stats_;
+  std::vector<std::uint8_t> held_;  ///< reorder buffer (at most one frame)
+  bool holding_ = false;
+  std::uint64_t stored_bytes_ = 0;  ///< quota accounting for capacity_bytes
+};
+
+}  // namespace cosched

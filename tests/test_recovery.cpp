@@ -95,14 +95,15 @@ TEST(Journal, CorruptFrameStopsReplayAtTheCrc) {
   j.commit();
 
   std::vector<std::uint8_t> bytes = j.sink().contents();
-  // Locate frame 2 via frame 1's length prefix and flip one payload byte.
-  const std::uint32_t len1 = static_cast<std::uint32_t>(bytes[0]) |
-                             (static_cast<std::uint32_t>(bytes[1]) << 8) |
-                             (static_cast<std::uint32_t>(bytes[2]) << 16) |
-                             (static_cast<std::uint32_t>(bytes[3]) << 24);
-  const std::size_t frame2 = 8 + len1;
-  ASSERT_LT(frame2 + 8, bytes.size());
-  bytes[frame2 + 8] ^= 0x40;
+  // Locate frame 2 via frame 1's v2 body-length field (header byte 4) and
+  // flip one of its body bytes.
+  const std::uint32_t len1 = static_cast<std::uint32_t>(bytes[4]) |
+                             (static_cast<std::uint32_t>(bytes[5]) << 8) |
+                             (static_cast<std::uint32_t>(bytes[6]) << 16) |
+                             (static_cast<std::uint32_t>(bytes[7]) << 24);
+  const std::size_t frame2 = 16 + len1;
+  ASSERT_LT(frame2 + 16, bytes.size());
+  bytes[frame2 + 16] ^= 0x40;
 
   const JournalReplay rep = read_journal(bytes);
   EXPECT_TRUE(rep.tail_torn);
@@ -125,8 +126,13 @@ TEST(Journal, CompactionKeepsOneSnapshotAndSequenceContinuity) {
   EXPECT_FALSE(rep.tail_torn);
   ASSERT_EQ(rep.records.size(), 1u);
   EXPECT_EQ(rep.records[0].kind, JournalRecordKind::kSnapshot);
-  EXPECT_EQ(rep.records[0].payload, snap);
   EXPECT_GT(rep.records[0].seq, 5u);
+  // The payload travels in a generation-numbered, checksummed envelope.
+  const SnapshotView view = parse_snapshot_payload(rep.records[0]);
+  EXPECT_EQ(view.generation, 1u);
+  EXPECT_TRUE(view.checksum_ok);
+  EXPECT_EQ(std::vector<std::uint8_t>(view.state.begin(), view.state.end()),
+            snap);
 
   // Sequence numbers keep counting across the rewrite.
   const std::uint64_t next = j.append(JournalRecordKind::kFinish, snap);

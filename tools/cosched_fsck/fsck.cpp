@@ -1,0 +1,135 @@
+#include "fsck.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cosched::fsck {
+
+FsckReport fsck_scan(std::span<const std::uint8_t> bytes) {
+  FsckReport report;
+  report.salvage = salvage_scan(bytes);
+  const SalvageReport& s = report.salvage;
+
+  for (const JournalRecord& rec : s.records) {
+    (rec.version == 1 ? report.v1_frames : report.v2_frames) += 1;
+    ++report.records_by_kind[to_string(rec.kind)];
+    if (rec.kind != JournalRecordKind::kSnapshot) continue;
+    const SnapshotView view = parse_snapshot_payload(rec);
+    report.snapshots.push_back({rec.seq, view.generation, view.checksum_ok,
+                                view.state.size(), rec.version});
+    if (view.checksum_ok)
+      report.recoverable = true;
+    else
+      report.problems.push_back(
+          "snapshot generation " + std::to_string(view.generation) + " (seq " +
+          std::to_string(rec.seq) +
+          ") fails its state checksum — recovery falls back a generation");
+  }
+
+  if (bytes.empty()) {
+    report.problems.push_back("journal is empty — nothing to recover");
+  } else if (report.snapshots.empty()) {
+    report.problems.push_back(
+        "no snapshot record found — recovery has no anchor");
+  } else if (!report.recoverable) {
+    report.problems.push_back(
+        "no snapshot generation verifies — the image cannot anchor a "
+        "recovery");
+  }
+
+  for (const CorruptRegion& region : s.corrupt_regions)
+    report.problems.push_back(
+        "corrupt region at offset " + std::to_string(region.offset) + " (" +
+        std::to_string(region.length) + " bytes): " + region.reason);
+  if (s.tail_torn)
+    report.problems.push_back(
+        "torn tail — the image ends in an incomplete frame (normal crash "
+        "artifact; the partial frame is discarded)");
+  if (s.seq_holes > 0)
+    report.problems.push_back(
+        std::to_string(s.seq_holes) + " sequence hole(s), " +
+        std::to_string(s.records_missing) +
+        " record(s) missing — replay past the first hole is unsound");
+  if (s.duplicate_records > 0)
+    report.problems.push_back(
+        std::to_string(s.duplicate_records) +
+        " duplicate/backwards sequence number(s) — only the first copy of "
+        "each record is usable");
+
+  return report;
+}
+
+std::vector<std::uint8_t> fsck_repair(std::span<const std::uint8_t> bytes) {
+  const SalvageReport s = salvage_scan(bytes);
+
+  // Anchor: the newest snapshot whose envelope verifies.
+  std::size_t anchor = s.records.size();
+  for (std::size_t i = 0; i < s.records.size(); ++i) {
+    const JournalRecord& rec = s.records[i];
+    if (rec.kind != JournalRecordKind::kSnapshot) continue;
+    if (parse_snapshot_payload(rec).checksum_ok) anchor = i;
+  }
+  if (anchor == s.records.size())
+    throw Error(
+        "fsck repair: no verifiable snapshot generation — refusing to forge "
+        "a journal");
+
+  // Tail after the anchor, in sequence order (first copy of a seq wins),
+  // truncated at the first hole — exactly the set recovery would replay.
+  std::vector<const JournalRecord*> tail;
+  for (const JournalRecord& rec : s.records)
+    if (rec.seq > s.records[anchor].seq) tail.push_back(&rec);
+  std::stable_sort(tail.begin(), tail.end(),
+                   [](const JournalRecord* a, const JournalRecord* b) {
+                     return a->seq < b->seq;
+                   });
+
+  std::vector<std::uint8_t> image;
+  const auto put = [&image](const JournalRecord& rec) {
+    // Upgrading a v1 snapshot frame to v2 changes how readers parse its
+    // payload — wrap the raw state in the generation envelope (generation 0
+    // marks pre-generation legacy state).
+    const auto f =
+        rec.version < 2 && rec.kind == JournalRecordKind::kSnapshot
+            ? encode_frame(rec.seq, rec.kind,
+                           make_snapshot_payload(0, rec.payload))
+            : encode_frame(rec.seq, rec.kind, rec.payload);
+    image.insert(image.end(), f.begin(), f.end());
+  };
+  put(s.records[anchor]);
+  std::uint64_t prev_seq = s.records[anchor].seq;
+  for (const JournalRecord* rec : tail) {
+    if (rec->seq == prev_seq) continue;       // duplicate: first copy won
+    if (rec->seq != prev_seq + 1) break;      // hole: truncate here
+    put(*rec);
+    prev_seq = rec->seq;
+  }
+  return image;
+}
+
+std::string to_text(const FsckReport& report, const std::string& name) {
+  std::ostringstream out;
+  const SalvageReport& s = report.salvage;
+  out << name << ": " << s.records.size() << " intact record(s) ("
+      << report.v2_frames << " v2, " << report.v1_frames << " v1), "
+      << s.bytes_scanned << " byte(s) scanned, " << s.bytes_skipped
+      << " unreadable\n";
+  for (const auto& [kind, count] : report.records_by_kind)
+    out << "  kind " << kind << ": " << count << "\n";
+  for (const SnapshotInfo& snap : report.snapshots)
+    out << "  snapshot generation " << snap.generation << " @ seq " << snap.seq
+        << " (v" << static_cast<int>(snap.version) << ", " << snap.state_bytes
+        << " state bytes): "
+        << (snap.checksum_ok ? "verified" : "CHECKSUM FAILED") << "\n";
+  if (report.healthy()) {
+    out << "  clean: every byte accounted for, newest generation verifies\n";
+  } else {
+    for (const std::string& problem : report.problems)
+      out << "  problem: " << problem << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cosched::fsck

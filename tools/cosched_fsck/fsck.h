@@ -1,0 +1,66 @@
+// cosched_fsck — offline journal inspection and repair.
+//
+// The in-process recovery path (Cluster::recover_from_journal) salvages what
+// it can and accounts for the rest, but it runs inside the daemon.  This
+// tool is the operator-facing half: point it at a journal image (file) and
+// it scans without mutating, classifies every byte (intact frame, corrupt
+// region, torn tail), verifies each snapshot generation's checksum, and
+// reports exactly what a recovery would keep and what it would lose.
+//
+// `--repair` rewrites the journal to the maximal image a recovery can use
+// losslessly: the newest *verifiable* snapshot generation plus the longest
+// contiguous run of records after it, re-framed as v2 (scrubbing rot and
+// upgrading v1 frames), duplicates dropped (first copy wins), truncated at
+// the first sequence hole.  Everything removed was either unreadable or
+// unsound to replay — and is itemized in the report before the rewrite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+
+namespace cosched::fsck {
+
+/// One snapshot generation found in the image.
+struct SnapshotInfo {
+  std::uint64_t seq = 0;         ///< record sequence number
+  std::uint64_t generation = 0;  ///< envelope generation (0 for v1 frames)
+  bool checksum_ok = true;       ///< envelope CRC over the state bytes
+  std::size_t state_bytes = 0;   ///< size of the wrapped state
+  std::uint8_t version = 2;      ///< frame format the record was read from
+};
+
+struct FsckReport {
+  SalvageReport salvage;         ///< the raw scan (regions, holes, dups)
+  std::size_t v1_frames = 0;
+  std::size_t v2_frames = 0;
+  /// Intact records per kind name (to_string of JournalRecordKind).
+  std::map<std::string, std::size_t> records_by_kind;
+  /// Every snapshot generation, in stream order.
+  std::vector<SnapshotInfo> snapshots;
+  /// Human-readable problems, one line each; empty = healthy.
+  std::vector<std::string> problems;
+  /// A recovery could restore state from this image (at least one snapshot
+  /// generation verifies).
+  bool recoverable = false;
+
+  bool healthy() const { return problems.empty(); }
+};
+
+/// Scans a journal byte image.  Never throws; an empty or garbage image is
+/// reported, not rejected.
+FsckReport fsck_scan(std::span<const std::uint8_t> bytes);
+
+/// Builds the repaired image (see file header for the exact policy).
+/// Throws Error when no snapshot generation verifies — there is nothing
+/// sound to anchor a repair on, and guessing would forge state.
+std::vector<std::uint8_t> fsck_repair(std::span<const std::uint8_t> bytes);
+
+/// Renders a report as the CLI's human-readable output.
+std::string to_text(const FsckReport& report, const std::string& name);
+
+}  // namespace cosched::fsck

@@ -1,0 +1,246 @@
+// Fixture suite for cosched_fsck: scans and repairs of clean, rotten, torn,
+// reordered, and v1-format journal images.  Runs under the `storage` ctest
+// label with the rest of the storage fault plane.
+#include "fsck.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "util/error.h"
+
+namespace cosched::fsck {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> xs) {
+  WireWriter w;
+  for (int x : xs) w.put_i64(x);
+  return w.take();
+}
+
+/// A journal image with one snapshot followed by `n` committed records.
+std::vector<std::uint8_t> make_image(int n) {
+  Journal j(std::make_unique<MemoryJournalSink>());
+  j.compact(payload_of({7, 7}), /*retain_previous=*/false);
+  for (int i = 0; i < n; ++i)
+    j.append(JournalRecordKind::kIterate, payload_of({i}));
+  j.commit();
+  return j.sink().contents();
+}
+
+/// Hand-encodes a v1 frame: [u32 len][u32 crc32(body)][body].
+std::vector<std::uint8_t> v1_frame(std::uint64_t seq, JournalRecordKind kind,
+                                   std::span<const std::uint8_t> payload) {
+  WireWriter bw;
+  bw.put_u64(seq);
+  bw.put_u8(static_cast<std::uint8_t>(kind));
+  std::vector<std::uint8_t> body = bw.take();
+  body.insert(body.end(), payload.begin(), payload.end());
+  std::vector<std::uint8_t> out;
+  const auto le32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  le32(static_cast<std::uint32_t>(body.size()));
+  le32(crc32(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+TEST(Fsck, CleanImageIsHealthy) {
+  const auto bytes = make_image(4);
+  const FsckReport r = fsck_scan(bytes);
+  EXPECT_TRUE(r.healthy()) << to_text(r, "img");
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_EQ(r.salvage.records.size(), 5u);
+  EXPECT_EQ(r.v2_frames, 5u);
+  EXPECT_EQ(r.v1_frames, 0u);
+  EXPECT_EQ(r.records_by_kind.at("snapshot"), 1u);
+  EXPECT_EQ(r.records_by_kind.at("iterate"), 4u);
+  ASSERT_EQ(r.snapshots.size(), 1u);
+  EXPECT_EQ(r.snapshots[0].generation, 1u);
+  EXPECT_TRUE(r.snapshots[0].checksum_ok);
+}
+
+TEST(Fsck, MidLogRotIsARegionAndAHole) {
+  auto bytes = make_image(5);
+  // Rot one body byte of the middle frame: the scan must resync on the next
+  // magic, report one corrupt region, and count the lost record.
+  const FsckReport clean = fsck_scan(bytes);
+  ASSERT_EQ(clean.salvage.records.size(), 6u);
+  // Frame 3 starts after frames 1..2; find it by re-scanning offsets.
+  std::size_t offset = 0;
+  for (int skip = 0; skip < 3; ++skip) {
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes[offset + 4]) |
+                              (static_cast<std::uint32_t>(bytes[offset + 5])
+                               << 8);
+    offset += 16 + len;
+  }
+  bytes[offset + 16] ^= 0x01;  // first body byte of frame 4
+
+  const FsckReport r = fsck_scan(bytes);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_EQ(r.salvage.records.size(), 5u);
+  ASSERT_EQ(r.salvage.corrupt_regions.size(), 1u);
+  EXPECT_EQ(r.salvage.corrupt_regions[0].offset, offset);
+  EXPECT_EQ(r.salvage.seq_holes, 1u);
+  EXPECT_EQ(r.salvage.records_missing, 1u);
+  EXPECT_FALSE(r.salvage.tail_torn);
+
+  // Repair truncates at the hole: snapshot + the records before the rot.
+  const auto fixed = fsck_repair(bytes);
+  const FsckReport rr = fsck_scan(fixed);
+  EXPECT_TRUE(rr.healthy()) << to_text(rr, "fixed");
+  EXPECT_EQ(rr.salvage.records.size(), 3u);  // snapshot + 2 intact records
+  const JournalReplay strict = read_journal(fixed);
+  EXPECT_FALSE(strict.tail_torn);
+  EXPECT_EQ(strict.records.size(), 3u);
+}
+
+TEST(Fsck, TornTailIsReportedAndTrimmed) {
+  auto bytes = make_image(3);
+  bytes.resize(bytes.size() - 5);  // tear the last frame
+
+  const FsckReport r = fsck_scan(bytes);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_TRUE(r.salvage.tail_torn);
+  EXPECT_TRUE(r.salvage.corrupt_regions.empty());
+  EXPECT_EQ(r.salvage.records.size(), 3u);
+
+  const auto fixed = fsck_repair(bytes);
+  const FsckReport rr = fsck_scan(fixed);
+  EXPECT_TRUE(rr.healthy());
+  EXPECT_EQ(rr.salvage.records.size(), 3u);
+}
+
+TEST(Fsck, CorruptNewestSnapshotStillRecoverableViaFallback) {
+  // Two generations, then rot the *state* inside the newest envelope with
+  // the frame CRC recomputed — models rot during the compaction rewrite,
+  // caught only by the envelope checksum.
+  Journal j(std::make_unique<MemoryJournalSink>());
+  j.compact(payload_of({1}), /*retain_previous=*/false);
+  j.append(JournalRecordKind::kIterate, payload_of({2}));
+  j.commit();
+  j.compact(payload_of({3}));  // generation 2, retains generation 1
+
+  const SalvageReport s = salvage_scan(j.sink().contents());
+  std::vector<std::uint8_t> image;
+  for (const JournalRecord& rec : s.records) {
+    std::vector<std::uint8_t> payload = rec.payload;
+    if (rec.kind == JournalRecordKind::kSnapshot &&
+        parse_snapshot_payload(rec).generation == 2)
+      payload.back() ^= 0x10;  // rot a state byte inside the envelope
+    const auto f = encode_frame(rec.seq, rec.kind, payload);
+    image.insert(image.end(), f.begin(), f.end());
+  }
+
+  const FsckReport r = fsck_scan(image);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_TRUE(r.recoverable);  // generation 1 still verifies
+  ASSERT_EQ(r.snapshots.size(), 2u);
+  EXPECT_TRUE(r.snapshots[0].checksum_ok);
+  EXPECT_FALSE(r.snapshots[1].checksum_ok);
+  bool mentioned = false;
+  for (const std::string& p : r.problems)
+    if (p.find("generation 2") != std::string::npos) mentioned = true;
+  EXPECT_TRUE(mentioned);
+
+  // Repair anchors on generation 1 and keeps the tail (including the rotten
+  // generation-2 record, preserving sequence continuity for recovery's own
+  // fallback walk).
+  const auto fixed = fsck_repair(image);
+  const FsckReport rr = fsck_scan(fixed);
+  EXPECT_TRUE(rr.recoverable);
+  EXPECT_EQ(rr.salvage.records.size(), s.records.size());
+  EXPECT_TRUE(rr.salvage.clean());
+}
+
+TEST(Fsck, ReorderedDuplicatesAreDroppedBySeqOrder) {
+  const auto bytes = make_image(3);
+  const SalvageReport s = salvage_scan(bytes);
+  ASSERT_EQ(s.records.size(), 4u);
+  // Rebuild with the last two records swapped and the final one duplicated.
+  std::vector<std::uint8_t> image;
+  const auto put = [&image](const JournalRecord& rec) {
+    const auto f = encode_frame(rec.seq, rec.kind, rec.payload);
+    image.insert(image.end(), f.begin(), f.end());
+  };
+  put(s.records[0]);
+  put(s.records[1]);
+  put(s.records[3]);
+  put(s.records[2]);
+  put(s.records[3]);
+
+  const FsckReport r = fsck_scan(image);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_GT(r.salvage.duplicate_records, 0u);
+
+  const auto fixed = fsck_repair(image);
+  const FsckReport rr = fsck_scan(fixed);
+  EXPECT_TRUE(rr.healthy()) << to_text(rr, "fixed");
+  EXPECT_EQ(rr.salvage.records.size(), 4u);  // order healed, duplicate gone
+}
+
+TEST(Fsck, RefusesToForgeWithoutAVerifiableSnapshot) {
+  // Records but no snapshot at all.
+  std::vector<std::uint8_t> image;
+  const auto f = encode_frame(1, JournalRecordKind::kIterate, payload_of({1}));
+  image.insert(image.end(), f.begin(), f.end());
+  const FsckReport r = fsck_scan(image);
+  EXPECT_FALSE(r.recoverable);
+  EXPECT_THROW(fsck_repair(image), Error);
+}
+
+TEST(Fsck, V1ImageScansAndRepairUpgradesToV2) {
+  // A journal written entirely by the v1 code: snapshot payload is the raw
+  // state, frames carry no magic.
+  const auto state = payload_of({4, 2});
+  std::vector<std::uint8_t> image;
+  for (const auto& f :
+       {v1_frame(1, JournalRecordKind::kSnapshot, state),
+        v1_frame(2, JournalRecordKind::kIterate, payload_of({1})),
+        v1_frame(3, JournalRecordKind::kFinish, payload_of({2}))})
+    image.insert(image.end(), f.begin(), f.end());
+
+  const FsckReport r = fsck_scan(image);
+  EXPECT_TRUE(r.healthy()) << to_text(r, "v1");
+  EXPECT_TRUE(r.recoverable);
+  EXPECT_EQ(r.v1_frames, 3u);
+  EXPECT_EQ(r.v2_frames, 0u);
+  ASSERT_EQ(r.snapshots.size(), 1u);
+  EXPECT_EQ(r.snapshots[0].generation, 0u);  // pre-generation legacy
+  EXPECT_TRUE(r.snapshots[0].checksum_ok);   // trivially: nothing to verify
+
+  // Repair re-frames as v2, wrapping the legacy snapshot in an envelope so
+  // v2 readers parse the state correctly.
+  const auto fixed = fsck_repair(image);
+  const FsckReport rr = fsck_scan(fixed);
+  EXPECT_TRUE(rr.healthy());
+  EXPECT_EQ(rr.v1_frames, 0u);
+  EXPECT_EQ(rr.v2_frames, 3u);
+  ASSERT_EQ(rr.snapshots.size(), 1u);
+  EXPECT_TRUE(rr.snapshots[0].checksum_ok);
+  const SalvageReport ss = salvage_scan(fixed);
+  for (const JournalRecord& rec : ss.records) {
+    if (rec.kind != JournalRecordKind::kSnapshot) continue;
+    const SnapshotView view = parse_snapshot_payload(rec);
+    EXPECT_EQ(std::vector<std::uint8_t>(view.state.begin(), view.state.end()),
+              state);
+  }
+}
+
+TEST(Fsck, TextReportNamesKindsAndProblems) {
+  auto bytes = make_image(2);
+  bytes.resize(bytes.size() - 3);
+  const std::string text = to_text(fsck_scan(bytes), "wal");
+  EXPECT_NE(text.find("wal:"), std::string::npos);
+  EXPECT_NE(text.find("kind snapshot"), std::string::npos);
+  EXPECT_NE(text.find("torn tail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosched::fsck

@@ -1,0 +1,72 @@
+// CLI for cosched_fsck (see fsck.h for the scan/repair policy).
+//
+//   cosched_fsck [--repair] <journal-file>...
+//
+// Exit codes:
+//   0 — every image is healthy (after repair, when --repair is given)
+//   1 — problems found (and repaired, when --repair is given)
+//   2 — unusable input: unreadable file, or an image with no verifiable
+//       snapshot generation (repair refuses to forge a journal)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/journal.h"
+#include "fsck.h"
+#include "util/error.h"
+
+namespace {
+
+int run(int argc, char** argv) {
+  bool repair = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repair")
+      repair = true;
+    else if (arg == "--help" || arg == "-h" || arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "usage: cosched_fsck [--repair] <journal>...\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: cosched_fsck [--repair] <journal>...\n");
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    try {
+      cosched::FileJournalSink sink(path);
+      const std::vector<std::uint8_t> bytes = sink.contents();
+      const cosched::fsck::FsckReport report = cosched::fsck::fsck_scan(bytes);
+      std::fputs(cosched::fsck::to_text(report, path).c_str(), stdout);
+      if (report.healthy()) continue;
+      if (!report.recoverable) {
+        exit_code = 2;
+        continue;
+      }
+      if (exit_code == 0) exit_code = 1;
+      if (!repair) continue;
+
+      std::vector<std::uint8_t> fixed = cosched::fsck::fsck_repair(bytes);
+      const std::size_t kept =
+          cosched::fsck::fsck_scan(fixed).salvage.records.size();
+      sink.reset(std::move(fixed));  // temp file + rename: crash-atomic
+      std::fprintf(stdout,
+                   "%s: repaired — %zu record(s) kept, %zu dropped\n",
+                   path.c_str(), kept,
+                   report.salvage.records.size() - kept);
+    } catch (const cosched::Error& e) {
+      std::fprintf(stderr, "cosched_fsck: %s: %s\n", path.c_str(), e.what());
+      exit_code = 2;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,17 @@
+// journal-coverage bad fixture: roll_generation writes a new snapshot
+// generation without committing the journal first — compaction rewrites the
+// durable image, so any appended-but-uncommitted records would be silently
+// spliced out of the log.
+#pragma once
+
+class Keeper {
+ public:
+  void roll_generation() {
+    WireWriter snap;
+    write_snapshot(snap);
+    journal_->compact(snap.bytes());
+  }
+
+ private:
+  Journal* journal_ = nullptr;
+};

@@ -1,0 +1,17 @@
+// journal-coverage good fixture: the journal is committed before the
+// compaction rewrite, so the new generation folds a fully durable image —
+// nothing buffered can be spliced out.
+#pragma once
+
+class Keeper {
+ public:
+  void roll_generation() {
+    WireWriter snap;
+    write_snapshot(snap);
+    journal_->commit();
+    journal_->compact(snap.bytes());
+  }
+
+ private:
+  Journal* journal_ = nullptr;
+};

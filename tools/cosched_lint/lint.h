@@ -43,11 +43,17 @@
 //                          callees, thread_local members, and MutexLock-
 //                          guarded writes are exempt)
 //   journal-coverage       every JournalRecordKind enumerator has a writer
-//                          site (append/frame), a replay arm in the journal
-//                          apply switch, a to_string name arm, and its
-//                          replay-arm state is covered by write_snapshot/
-//                          apply_snapshot — a kind missing any of these
-//                          silently loses state across recovery/compaction
+//                          site (append/frame/encode_frame), a replay arm in
+//                          the journal apply switch (apply_record, recover_
+//                          from_journal, or the salvage/fallback helpers),
+//                          a to_string name arm, and its replay-arm state is
+//                          covered by write_snapshot/apply_snapshot — a kind
+//                          missing any of these silently loses state across
+//                          recovery/compaction.  Also: a function that rolls
+//                          a snapshot generation (write_snapshot + compact)
+//                          must commit the journal first, or buffered
+//                          records are spliced out of the durable image
+//                          (set_journal and emergency_compact are exempt)
 //   dispatch-exhaustiveness  every MsgType request enumerator has a dispatch
 //                          arm, and every arm whose effects run through a
 //                          helper still records a dedup verdict before the

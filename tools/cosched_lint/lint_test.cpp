@@ -246,11 +246,13 @@ TEST(CoschedLint, AccessorIterationNeedsWaiver) {
 TEST(CoschedLint, BadJournalKindsMissReplayAndSnapshot) {
   const Report r = lint_dir("bad");
   // kDeltaNote's replay arm was deleted; kGammaMark's replay arm rebuilds
-  // gamma_seen_, which the snapshot pair never carries.
-  ASSERT_EQ(count_rule(r, "journal-coverage"), 2);
+  // gamma_seen_, which the snapshot pair never carries; snapshot_commit.h
+  // adds the uncommitted-compaction hit (checked in its own test below).
+  ASSERT_EQ(count_rule(r, "journal-coverage"), 3);
   std::set<std::string> hits;
   for (const Finding& f : r.findings) {
     if (f.rule != "journal-coverage") continue;
+    if (f.file.find("snapshot_commit.h") != std::string::npos) continue;
     EXPECT_NE(f.file.find("journal_kinds.h"), std::string::npos);
     if (f.message.find("'kDeltaNote'") != std::string::npos &&
         f.message.find("no replay case") != std::string::npos)
@@ -260,6 +262,46 @@ TEST(CoschedLint, BadJournalKindsMissReplayAndSnapshot) {
   }
   EXPECT_EQ(hits,
             (std::set<std::string>{"missing-replay", "missing-snapshot"}));
+}
+
+TEST(CoschedLint, BadSnapshotGenerationWithoutCommitIsFlagged) {
+  const Report r = lint_dir("bad");
+  // roll_generation compacts around a fresh snapshot with no commit first —
+  // buffered records would be spliced out of the durable image.
+  bool found = false;
+  for (const Finding& f : r.findings) {
+    if (f.rule != "journal-coverage" ||
+        f.file.find("snapshot_commit.h") == std::string::npos)
+      continue;
+    found = true;
+    EXPECT_NE(f.message.find("roll_generation"), std::string::npos);
+    EXPECT_NE(f.message.find("without committing"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CoschedLint, CommitBeforeCompactAndLadderShapesPass) {
+  // Commit-before-compact is the good shape; set_journal (initial attach)
+  // and emergency_compact (the ENOSPC ladder) are exempt by name.
+  const std::vector<SourceFile> files = {
+      {"fake/core/keeper.cpp",
+       {"void Keeper::journal_commit() {",
+        "  journal_->commit();",
+        "  WireWriter snap;",
+        "  write_snapshot(snap);",
+        "  journal_->compact(snap.bytes());",
+        "}",
+        "void Keeper::set_journal(Journal* j) {",
+        "  WireWriter snap;",
+        "  write_snapshot(snap);",
+        "  journal_->compact(snap.bytes());",
+        "}",
+        "void Keeper::emergency_compact() {",
+        "  WireWriter snap;",
+        "  write_snapshot(snap);",
+        "  journal_->compact(snap.bytes());",
+        "}"}}};
+  EXPECT_EQ(count_rule(run_lint(files), "journal-coverage"), 0);
 }
 
 TEST(CoschedLint, JournalReplayArmDeletionIsCaught) {

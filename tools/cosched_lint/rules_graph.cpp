@@ -41,8 +41,8 @@ std::string site(const ProjectIndex& ix, int file, int line) {
 
 void rule_journal_coverage_impl(const ProjectIndex& ix, RuleSink& sink) {
   // Writer sites: `JournalRecordKind::kX` appearing as an argument of an
-  // append(...) or frame(...) call (frame covers the compaction path that
-  // emits kSnapshot directly).
+  // append(...), frame(...), or encode_frame(...) call (the frame encoders
+  // cover the compaction/salvage paths that emit kSnapshot directly).
   std::set<std::string> writers;
   for (const FileModel& fm : ix.file_model) {
     const std::vector<Token>& toks = fm.tokens;
@@ -55,7 +55,8 @@ void rule_journal_coverage_impl(const ProjectIndex& ix, RuleSink& sink) {
       const std::size_t lo = i >= 8 ? i - 8 : 0;
       for (std::size_t k = lo; k < i; ++k) {
         if (toks[k].kind == Token::kIdent &&
-            (toks[k].text == "append" || toks[k].text == "frame") &&
+            (toks[k].text == "append" || toks[k].text == "frame" ||
+             toks[k].text == "encode_frame") &&
             k + 1 < toks.size() && toks[k + 1].text == "(") {
           writers.insert(toks[i + 2].text);
           break;
@@ -68,8 +69,12 @@ void rule_journal_coverage_impl(const ProjectIndex& ix, RuleSink& sink) {
   bool have_write_snapshot = false, have_apply_snapshot = false;
   std::set<std::string> snapshot_tokens_write, snapshot_tokens_apply;
   for (const FunctionInfo& f : ix.functions) {
+    // The salvage/fallback helpers carved out of recover_from_journal are
+    // replay context too: a kind they route (or deliberately skip) counts.
     const bool is_replay =
-        f.name == "apply_record" || f.name == "recover_from_journal";
+        f.name == "apply_record" || f.name == "recover_from_journal" ||
+        f.name == "apply_verified_snapshot" ||
+        f.name == "replay_salvaged_tail";
     const bool is_name = f.name == "to_string";
     for (const CaseSite& cs : f.cases) {
       if (cs.enum_name != "JournalRecordKind") continue;
@@ -154,6 +159,38 @@ void rule_journal_coverage_impl(const ProjectIndex& ix, RuleSink& sink) {
                   /*accepts_ordered=*/false);
       }
     }
+  }
+
+  // Snapshot-generation discipline: compaction rewrites the journal from its
+  // *durable* image, so a function that rolls a new generation (calls both
+  // write_snapshot and compact) with appended-but-uncommitted records still
+  // buffered would silently splice them out of the log.  Require a commit
+  // call before the compact in the same body.  set_journal (initial attach:
+  // nothing buffered yet) and emergency_compact (runs *at* the commit
+  // boundary, where a commit may be what just failed) are the two legitimate
+  // commit-free shapes.
+  for (const FunctionInfo& f : ix.functions) {
+    if (f.name == "set_journal" || f.name == "emergency_compact") continue;
+    const CallSite* compact_call = nullptr;
+    bool writes_snapshot = false;
+    bool committed_first = false;
+    for (const CallSite& c : f.calls) {
+      if (c.name == "write_snapshot") writes_snapshot = true;
+      if (c.name == "compact" && compact_call == nullptr) compact_call = &c;
+      if ((c.name == "commit" || c.name == "journal_commit") &&
+          (compact_call == nullptr || c.token < compact_call->token))
+        committed_first = true;
+    }
+    if (compact_call == nullptr || !writes_snapshot || committed_first)
+      continue;
+    sink.emit(f.file, compact_call->line - 1, "journal-coverage",
+              "'" + f.qualified() +
+                  "' writes a snapshot generation (compact) without "
+                  "committing the journal first — compaction rewrites the "
+                  "durable image, so buffered records would be silently "
+                  "spliced out; commit() before compact() or waive with "
+                  "allow(journal-coverage)",
+              /*accepts_ordered=*/false);
   }
 }
 
